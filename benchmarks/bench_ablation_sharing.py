@@ -1,0 +1,142 @@
+"""E11 — ablation: cross-view input sharing on vs. off.
+
+The paper's lineage engines (ingraph, Viatra — refs [31, 33]) share Rete
+subnetworks between queries.  This ablation quantifies the engine-level
+part of that idea: with a :class:`~repro.rete.sharing.SharedInputLayer`
+each graph event is translated into tuple deltas **once per distinct
+base-relation signature**; without it, once per view.  Measured:
+
+* per-update latency with N live views (the sharing win grows with N),
+* registration cost of the Nth view,
+* distinct input nodes allocated (layer stats).
+
+Views drawn from a pool of social-domain queries with heavily overlapping
+base relations — the realistic many-views regime (e.g. a constraint set
+over one schema, as in the Train Benchmark).
+"""
+
+from __future__ import annotations
+
+from repro.bench import Timer, format_table, speedup
+from repro.rete.engine import IncrementalEngine
+from repro.workloads import social
+
+VIEW_POOL = [
+    "MATCH (p:Post) RETURN p.lang AS lang",
+    "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+    "MATCH (c:Comm)-[:REPLY]->(d:Comm) RETURN c, d",
+    "MATCH (u:Person)-[:LIKES]->(p:Post) RETURN u, p",
+    "MATCH (u:Person)-[:LIKES]->(p:Post) RETURN p, count(*) AS likes",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm)-[:REPLY]->(d:Comm) RETURN p, d",
+]
+
+
+def make_engine(graph, share: bool, view_count: int) -> IncrementalEngine:
+    engine = IncrementalEngine(graph, share_inputs=share)
+    for index in range(view_count):
+        engine.register(VIEW_POOL[index % len(VIEW_POOL)])
+    return engine
+
+
+def workload(persons=10):
+    return social.generate_social(
+        persons=persons, posts_per_person=2, comments_per_post=4, seed=91
+    )
+
+
+def drive_updates(net, count=40) -> None:
+    for i in range(count):
+        post = net.posts[i % len(net.posts)]
+        comment = social.add_comment(net, post, "en" if i % 2 else "de")
+        net.graph.set_vertex_property(comment, "lang", "fr")
+
+
+# -- pytest-benchmark kernels ----------------------------------------------------
+
+
+def test_updates_with_sharing(benchmark, bench_sizes):
+    net = workload(bench_sizes["persons"])
+    make_engine(net.graph, share=True, view_count=8)
+    benchmark(lambda: drive_updates(net, count=10))
+
+
+def test_updates_without_sharing(benchmark, bench_sizes):
+    net = workload(bench_sizes["persons"])
+    make_engine(net.graph, share=False, view_count=8)
+    benchmark(lambda: drive_updates(net, count=10))
+
+
+def test_both_modes_agree():
+    nets = {}
+    for share in (True, False):
+        net = workload(persons=6)
+        engine = make_engine(net.graph, share=share, view_count=8)
+        drive_updates(net, count=12)
+        nets[share] = [
+            sorted(v.rows(), key=repr) for v in engine.views
+        ]
+    assert nets[True] == nets[False]
+
+
+def test_sharing_allocates_fewer_inputs():
+    net = workload(persons=6)
+    engine = make_engine(net.graph, share=True, view_count=8)
+    stats = engine.input_layer.stats
+    assert stats.nodes < stats.requests
+
+
+# -- standalone report --------------------------------------------------------------
+
+
+def main() -> None:
+    rows = []
+    for view_count in (2, 4, 8, 16, 32):
+        timings = {}
+        inputs = {}
+        for share in (True, False):
+            net = workload(persons=12)
+            engine = make_engine(net.graph, share=share, view_count=view_count)
+            if share:
+                inputs["shared"] = engine.input_layer.stats.nodes
+            else:
+                inputs["private"] = sum(
+                    len(v.network.vertex_inputs) + len(v.network.edge_inputs)
+                    for v in engine.views
+                )
+            drive_updates(net, count=30)  # warm up caches and sizes
+            best = float("inf")
+            for _ in range(3):
+                with Timer() as timer:
+                    drive_updates(net, count=100)
+                best = min(best, timer.seconds / 100)
+            timings[share] = best
+        rows.append(
+            [
+                view_count,
+                inputs["private"],
+                inputs["shared"],
+                timings[False],
+                timings[True],
+                speedup(timings[False], timings[True]),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "views",
+                "inputs (private)",
+                "inputs (shared)",
+                "update (private)",
+                "update (shared)",
+                "speedup",
+            ],
+            rows,
+            title="E11 — ablation: cross-view input sharing",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

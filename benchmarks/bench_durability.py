@@ -1,0 +1,167 @@
+"""E15 — durability overhead and recovery time.
+
+The WAL subscribes to the same event stream as the Rete network, so
+durability is a fixed per-event tax.  Measured:
+
+* mutation throughput: bare store / WAL (eager flush) / WAL + fsync,
+* recovery time as the log grows, and the effect of checkpointing
+  (snapshot + truncated log) on recovery — the reason checkpoints exist.
+
+Run standalone for the sweep table; the pytest kernels time the flush
+configuration used by default.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro import PropertyGraph
+from repro.bench import Timer, format_table
+from repro.graph.persistence import DurableGraph, WriteAheadLog, replay_wal
+
+
+def mutate(graph: PropertyGraph, operations: int) -> None:
+    vertices = []
+    for index in range(operations):
+        kind = index % 4
+        if kind == 0 or len(vertices) < 2:
+            vertices.append(
+                graph.add_vertex(labels=["Post"], properties={"n": index})
+            )
+        elif kind == 1:
+            graph.add_edge(vertices[-2], vertices[-1], "REPLY")
+        elif kind == 2:
+            graph.set_vertex_property(vertices[index % len(vertices)], "n", index)
+        else:
+            graph.add_label(vertices[index % len(vertices)], "Seen")
+
+
+# -- pytest-benchmark kernels ----------------------------------------------------
+
+
+def test_mutations_bare(benchmark):
+    graph = PropertyGraph()
+    benchmark(lambda: mutate(graph, 100))
+
+
+def test_mutations_with_wal(benchmark, tmp_path):
+    graph = PropertyGraph()
+    wal = WriteAheadLog(graph, tmp_path / "wal.jsonl")
+    benchmark(lambda: mutate(graph, 100))
+    wal.close()
+
+
+def test_recovery_replay(benchmark, tmp_path):
+    graph = PropertyGraph()
+    with WriteAheadLog(graph, tmp_path / "wal.jsonl"):
+        mutate(graph, 2000)
+    benchmark(lambda: replay_wal(tmp_path / "wal.jsonl"))
+
+
+def test_checkpoint_bounds_recovery(tmp_path):
+    plain = DurableGraph(tmp_path / "plain")
+    mutate(plain.graph, 1500)
+    plain.close()
+
+    checkpointed = DurableGraph(tmp_path / "ckpt")
+    mutate(checkpointed.graph, 1500)
+    checkpointed.checkpoint()
+    mutate(checkpointed.graph, 30)
+    checkpointed.close()
+
+    with Timer() as t_plain:
+        DurableGraph(tmp_path / "plain").close()
+    with Timer() as t_ckpt:
+        recovered = DurableGraph(tmp_path / "ckpt")
+    assert recovered.recovered_wal_records == 30
+    recovered.close()
+    # snapshot loading is O(state), log replay O(history); with a long
+    # history and short tail the checkpointed store must not recover slower
+    assert t_ckpt.seconds <= t_plain.seconds * 2.0
+
+
+# -- standalone report --------------------------------------------------------------
+
+
+def main() -> None:
+    operations = 3000
+
+    rows = []
+    for label, make in (
+        ("bare store", lambda d: (PropertyGraph(), None)),
+        (
+            "WAL (flush)",
+            lambda d: _with_wal(d, fsync=False),
+        ),
+        (
+            "WAL (fsync)",
+            lambda d: _with_wal(d, fsync=True),
+        ),
+    ):
+        directory = Path(tempfile.mkdtemp(prefix="repro-dur-"))
+        try:
+            graph, wal = make(directory)
+            with Timer() as timer:
+                mutate(graph, operations)
+            if wal is not None:
+                wal.close()
+            rows.append(
+                [
+                    label,
+                    timer.seconds / operations,
+                    f"{operations / timer.seconds:,.0f}",
+                ]
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    print(
+        format_table(
+            ["mode", "per mutation", "mutations/s"],
+            rows,
+            title="E15 — durability overhead",
+        )
+    )
+
+    print()
+    rows = []
+    for history in (1000, 5000, 20000):
+        directory = Path(tempfile.mkdtemp(prefix="repro-rec-"))
+        try:
+            durable = DurableGraph(directory)
+            mutate(durable.graph, history)
+            durable.close()
+            with Timer() as replay_timer:
+                recovered = DurableGraph(directory)
+            recovered.checkpoint()
+            mutate(recovered.graph, 50)
+            recovered.close()
+            with Timer() as checkpoint_timer:
+                DurableGraph(directory).close()
+            rows.append(
+                [
+                    history,
+                    replay_timer.seconds,
+                    checkpoint_timer.seconds,
+                ]
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    print(
+        format_table(
+            ["history (events)", "recovery (log replay)", "recovery (snapshot+tail)"],
+            rows,
+            title="recovery time: full-log replay vs checkpointed",
+        )
+    )
+
+
+def _with_wal(directory: Path, fsync: bool):
+    graph = PropertyGraph()
+    wal = WriteAheadLog(graph, directory / "wal.jsonl", fsync=fsync)
+    return graph, wal
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""E16 — property indexes on the write path's pattern matcher.
+
+MERGE and MATCH-with-property-map statements degrade to label scans on
+a bare store; a ``(label, key)`` index turns the anchor lookup into a hash
+probe.  This experiment measures MERGE throughput and anchored-MATCH
+statement latency against the tag-dictionary size, with and without an
+index — the access-path story every database course tells, reproduced on
+this engine's write path.
+
+(The Rete read path is unaffected: its input nodes stream *changes*, not
+scans, which is the paper's whole point.)
+"""
+
+from __future__ import annotations
+
+from repro import PropertyGraph, QueryEngine
+from repro.bench import Timer, format_table, speedup
+
+
+def tag_store(size: int, indexed: bool) -> QueryEngine:
+    graph = PropertyGraph()
+    if indexed:
+        graph.create_index("Tag", "name")
+    engine = QueryEngine(graph)
+    for index in range(size):
+        graph.add_vertex(labels=["Tag"], properties={"name": f"tag-{index}"})
+    return engine
+
+
+def merge_round(engine: QueryEngine, count: int, offset: int = 0) -> None:
+    for index in range(count):
+        engine.execute(
+            "MERGE (t:Tag {name: $name})",
+            parameters={"name": f"tag-{(index + offset) * 7 % 1000}"},
+        )
+
+
+# -- pytest-benchmark kernels ----------------------------------------------------
+
+
+def test_merge_indexed(benchmark):
+    engine = tag_store(size=500, indexed=True)
+    benchmark(lambda: merge_round(engine, 20))
+
+
+def test_merge_scan(benchmark):
+    engine = tag_store(size=500, indexed=False)
+    benchmark(lambda: merge_round(engine, 20))
+
+
+def test_results_identical():
+    indexed = tag_store(size=50, indexed=True)
+    scan = tag_store(size=50, indexed=False)
+    merge_round(indexed, 60)
+    merge_round(scan, 60)
+    query = "MATCH (t:Tag) RETURN t.name AS name"
+    assert sorted(indexed.evaluate(query).rows()) == sorted(
+        scan.evaluate(query).rows()
+    )
+
+
+# -- standalone report --------------------------------------------------------------
+
+
+def main() -> None:
+    rows = []
+    for size in (100, 1000, 10000):
+        timings = {}
+        for indexed in (False, True):
+            engine = tag_store(size, indexed)
+            merge_round(engine, 30)  # warm-up
+            with Timer() as timer:
+                merge_round(engine, 200, offset=31)
+            timings[indexed] = timer.seconds / 200
+        rows.append(
+            [
+                size,
+                timings[False],
+                timings[True],
+                speedup(timings[False], timings[True]),
+            ]
+        )
+    print(
+        format_table(
+            ["tags", "MERGE (scan)", "MERGE (indexed)", "speedup"],
+            rows,
+            title="E16 — property index vs label scan (write-path anchors)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""E7 — scaling: maintenance latency versus model size.
+
+Sweeps the railway model size and reports, per size: batch (first
+validation) time, per-update incremental propagation, and per-update full
+recomputation.  The methodology and the expected shape follow the Train
+Benchmark ([30]) and the optimization study ([31]): recompute grows with
+model size while incremental propagation tracks the *change* size, so the
+gap widens with scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import QueryEngine
+from repro.bench import Timer, format_table, speedup
+from repro.workloads import trainbenchmark as tb
+
+QUERY = "RouteSensor"
+SWEEP = (5, 10, 20, 40)
+UPDATES = 10
+
+
+def measure(routes: int) -> dict:
+    model = tb.generate_railway(routes=routes, seed=17)
+    engine = QueryEngine(model.graph)
+
+    with Timer() as t_batch:
+        view = engine.register(tb.QUERIES[QUERY])
+
+    rng = random.Random(19)
+    with Timer() as t_inc:
+        for _ in range(UPDATES):
+            tb.inject(model, QUERY, 1, rng)
+            view.multiset()
+
+    rng = random.Random(23)
+    with Timer() as t_re:
+        for _ in range(UPDATES):
+            tb.inject(model, QUERY, 1, rng)
+            engine.evaluate(tb.QUERIES[QUERY]).multiset()
+
+    assert view.multiset() == engine.evaluate(tb.QUERIES[QUERY]).multiset()
+    return {
+        "routes": routes,
+        "vertices": model.graph.vertex_count,
+        "edges": model.graph.edge_count,
+        "batch": t_batch.seconds,
+        "incremental": t_inc.seconds / UPDATES,
+        "recompute": t_re.seconds / UPDATES,
+        "memory": view.memory_size(),
+    }
+
+
+# -- pytest-benchmark kernels -----------------------------------------------------
+
+
+@pytest.mark.parametrize("routes", [5, 10, 20])
+def test_update_incremental_at_scale(benchmark, routes):
+    model = tb.generate_railway(routes=routes, seed=17)
+    engine = QueryEngine(model.graph)
+    view = engine.register(tb.QUERIES[QUERY])
+    rng = random.Random(19)
+
+    def one_update():
+        tb.inject(model, QUERY, 1, rng)
+        return view.multiset()
+
+    benchmark(one_update)
+
+
+@pytest.mark.parametrize("routes", [5, 10, 20])
+def test_update_recompute_at_scale(benchmark, routes):
+    model = tb.generate_railway(routes=routes, seed=17)
+    engine = QueryEngine(model.graph)
+    rng = random.Random(19)
+
+    def one_update():
+        tb.inject(model, QUERY, 1, rng)
+        return engine.evaluate(tb.QUERIES[QUERY]).multiset()
+
+    benchmark(one_update)
+
+
+@pytest.mark.parametrize("routes", [5, 20])
+def test_batch_registration_at_scale(benchmark, routes):
+    model = tb.generate_railway(routes=routes, seed=17)
+
+    def register():
+        engine = QueryEngine(model.graph)
+        view = engine.register(tb.QUERIES[QUERY])
+        view.detach()
+
+    benchmark(register)
+
+
+# -- standalone report ---------------------------------------------------------------
+
+
+def main() -> None:
+    rows = []
+    for routes in SWEEP:
+        result = measure(routes)
+        rows.append(
+            [
+                result["routes"],
+                result["vertices"],
+                result["edges"],
+                result["batch"],
+                result["incremental"],
+                result["recompute"],
+                speedup(result["recompute"], result["incremental"]),
+                result["memory"],
+            ]
+        )
+    print(
+        format_table(
+            [
+                "routes",
+                "V",
+                "E",
+                "batch",
+                "inc/update",
+                "recompute/update",
+                "speedup",
+                "rete memory",
+            ],
+            rows,
+            title=f"E7 — scaling sweep, query={QUERY}, {UPDATES} updates per cell",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""E8 — sustained update throughput on the social-network domain (LDBC
+SNB-flavoured, paper ref [17]; the running example's home turf).
+
+A mixed update stream (comments, likes, language edits, subtree deletes,
+new posts) runs against a graph with several live views registered; we
+report the stream throughput with incremental maintenance versus
+re-evaluating every view after every operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryEngine
+from repro.bench import Timer, format_table, speedup
+from repro.workloads import social
+
+VIEW_NAMES = ("running_example", "thread_sizes", "posts_per_person", "popular_posts")
+STREAM_LENGTH = 60
+
+
+def network(persons=10):
+    return social.generate_social(
+        persons=persons, posts_per_person=2, comments_per_post=4, seed=21
+    )
+
+
+# -- pytest-benchmark kernels -------------------------------------------------------
+
+
+def test_stream_with_incremental_views(benchmark, bench_sizes):
+    def setup():
+        net = network(bench_sizes["persons"])
+        engine = QueryEngine(net.graph)
+        for name in VIEW_NAMES:
+            engine.register(social.QUERIES[name])
+        return (net,), {}
+
+    def target(net):
+        for _ in social.update_stream(net, STREAM_LENGTH, seed=2):
+            pass
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+def test_stream_with_recompute(benchmark, bench_sizes):
+    def setup():
+        net = network(bench_sizes["persons"])
+        engine = QueryEngine(net.graph)
+        return (net, engine), {}
+
+    def target(net, engine):
+        for _ in social.update_stream(net, STREAM_LENGTH, seed=2):
+            for name in VIEW_NAMES:
+                engine.evaluate(social.QUERIES[name])
+
+    benchmark.pedantic(target, setup=setup, rounds=2, iterations=1)
+
+
+def test_stream_correctness(bench_sizes):
+    net = network(bench_sizes["persons"])
+    engine = QueryEngine(net.graph)
+    views = {name: engine.register(social.QUERIES[name]) for name in VIEW_NAMES}
+    for _ in social.update_stream(net, STREAM_LENGTH, seed=2):
+        pass
+    for name, view in views.items():
+        assert view.multiset() == engine.evaluate(social.QUERIES[name]).multiset(), name
+
+
+# -- standalone report -----------------------------------------------------------------
+
+
+def main(persons: int = 20, operations: int = 200) -> None:
+    net = network(persons)
+    engine = QueryEngine(net.graph)
+    views = {name: engine.register(social.QUERIES[name]) for name in VIEW_NAMES}
+    print(f"graph: {net.graph.stats()}, views: {len(views)}")
+
+    with Timer() as t_inc:
+        kinds: dict[str, int] = {}
+        for kind in social.update_stream(net, operations, seed=5):
+            kinds[kind] = kinds.get(kind, 0) + 1
+
+    net2 = network(persons)
+    engine2 = QueryEngine(net2.graph)
+    with Timer() as t_re:
+        for _ in social.update_stream(net2, operations, seed=5):
+            for name in VIEW_NAMES:
+                engine2.evaluate(social.QUERIES[name])
+
+    for name, view in views.items():
+        assert view.multiset() == engine.evaluate(social.QUERIES[name]).multiset(), name
+
+    rows = [
+        [
+            "incremental",
+            t_inc.seconds,
+            f"{operations / t_inc.seconds:.0f}",
+            speedup(t_re.seconds, t_inc.seconds),
+        ],
+        ["recompute-per-op", t_re.seconds, f"{operations / t_re.seconds:.0f}", "1.0x"],
+    ]
+    print(
+        format_table(
+            ["mode", "total", "ops/sec", "speedup"],
+            rows,
+            title=f"E8 — social update stream, {operations} ops, mix={kinds}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""E5 — Train Benchmark *inject* scenario (methodology of paper ref [30]).
+
+For each of the six well-formedness queries: apply a small batch of fault
+injections, then re-obtain the match set — either by reading the
+incrementally maintained view (this paper's approach) or by full
+recomputation (a system without IVM).  The Train Benchmark reports exactly
+this per-query revalidation time; the expected *shape* is incremental ≪
+recompute, since injections touch a tiny fraction of the model.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import QueryEngine
+from repro.bench import Timer, format_table, speedup
+from repro.workloads import trainbenchmark as tb
+
+QUERY_NAMES = list(tb.QUERIES)
+INJECT_BATCH = 2
+
+
+def fresh(routes=10, seed=31):
+    model = tb.generate_railway(routes=routes, seed=seed)
+    engine = QueryEngine(model.graph)
+    return model, engine
+
+
+# -- pytest-benchmark kernels ---------------------------------------------------
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_inject_incremental(benchmark, query_name, bench_sizes):
+    def setup():
+        model, engine = fresh(routes=bench_sizes["routes"])
+        view = engine.register(tb.QUERIES[query_name])
+        return (model, view, random.Random(2)), {}
+
+    def target(model, view, rng):
+        tb.inject(model, query_name, INJECT_BATCH, rng)
+        return view.multiset()
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_inject_recompute(benchmark, query_name, bench_sizes):
+    def setup():
+        model, engine = fresh(routes=bench_sizes["routes"])
+        return (model, engine, random.Random(2)), {}
+
+    def target(model, engine, rng):
+        tb.inject(model, query_name, INJECT_BATCH, rng)
+        return engine.evaluate(tb.QUERIES[query_name]).multiset()
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+def test_inject_correctness(bench_sizes):
+    model, engine = fresh(routes=bench_sizes["routes"])
+    rng = random.Random(5)
+    views = {name: engine.register(q) for name, q in tb.QUERIES.items()}
+    for name in QUERY_NAMES:
+        tb.inject(model, name, INJECT_BATCH, rng)
+    for name, query in tb.QUERIES.items():
+        assert views[name].multiset() == engine.evaluate(query).multiset(), name
+
+
+# -- standalone report -------------------------------------------------------------
+
+
+def main(routes: int = 30) -> None:
+    rows = []
+    for name in QUERY_NAMES:
+        # incremental
+        model, engine = fresh(routes=routes)
+        view = engine.register(tb.QUERIES[name])
+        rng = random.Random(7)
+        with Timer() as t_inc:
+            tb.inject(model, name, INJECT_BATCH, rng)
+            matches_inc = view.multiset()
+        # recompute
+        model, engine = fresh(routes=routes)
+        rng = random.Random(7)
+        with Timer() as t_re:
+            tb.inject(model, name, INJECT_BATCH, rng)
+            matches_re = engine.evaluate(tb.QUERIES[name]).multiset()
+        assert matches_inc == matches_re, name
+        rows.append(
+            [name, len(matches_inc), t_inc.seconds, t_re.seconds, speedup(t_re.seconds, t_inc.seconds)]
+        )
+    model, _ = fresh(routes=routes)
+    print(
+        format_table(
+            ["query", "matches", "incremental", "recompute", "speedup"],
+            rows,
+            title=f"E5 — Train Benchmark inject, {routes} routes ({model.graph.stats()})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

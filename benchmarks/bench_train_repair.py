@@ -1,0 +1,119 @@
+"""E6 — Train Benchmark *repair* scenario (methodology of paper ref [30]).
+
+The repair phase fixes previously found violations and re-obtains the match
+set.  Repairs are *deletions from the view* — the direction classic
+insert-only incremental techniques struggle with and where counting-based
+maintenance (this paper's step 4) shines.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import QueryEngine
+from repro.bench import Timer, format_table, speedup
+from repro.workloads import trainbenchmark as tb
+
+QUERY_NAMES = list(tb.QUERIES)
+REPAIR_BATCH = 2
+
+
+def prepared(routes=10, seed=33, query_name="PosLength"):
+    """A model with injected faults plus its registered view."""
+    model = tb.generate_railway(routes=routes, seed=seed)
+    engine = QueryEngine(model.graph)
+    view = engine.register(tb.QUERIES[query_name])
+    tb.inject(model, query_name, 4, random.Random(seed))
+    return model, engine, view
+
+
+# -- pytest-benchmark kernels ----------------------------------------------------
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_repair_incremental(benchmark, query_name, bench_sizes):
+    def setup():
+        model, engine, view = prepared(
+            routes=bench_sizes["routes"], query_name=query_name
+        )
+        return (model, view, random.Random(3)), {}
+
+    def target(model, view, rng):
+        matches = view.rows()
+        tb.repair(model, query_name, matches, REPAIR_BATCH, rng)
+        return view.multiset()
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_repair_recompute(benchmark, query_name, bench_sizes):
+    def setup():
+        model = tb.generate_railway(routes=bench_sizes["routes"], seed=33)
+        engine = QueryEngine(model.graph)
+        tb.inject(model, query_name, 4, random.Random(33))
+        return (model, engine, random.Random(3)), {}
+
+    def target(model, engine, rng):
+        matches = engine.evaluate(tb.QUERIES[query_name]).rows()
+        tb.repair(model, query_name, matches, REPAIR_BATCH, rng)
+        return engine.evaluate(tb.QUERIES[query_name]).multiset()
+
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+
+def test_repair_correctness(bench_sizes):
+    for name in QUERY_NAMES:
+        model, engine, view = prepared(routes=bench_sizes["routes"], query_name=name)
+        rng = random.Random(9)
+        while view.rows():
+            before = len(view.rows())
+            tb.repair(model, name, view.rows(), before, rng)
+            assert view.multiset() == engine.evaluate(tb.QUERIES[name]).multiset()
+            assert len(view.rows()) < before, f"{name}: repair made no progress"
+
+
+# -- standalone report ----------------------------------------------------------------
+
+
+def main(routes: int = 30) -> None:
+    rows = []
+    for name in QUERY_NAMES:
+        model, engine, view = prepared(routes=routes, seed=33, query_name=name)
+        rng = random.Random(3)
+        with Timer() as t_inc:
+            tb.repair(model, name, view.rows(), REPAIR_BATCH, rng)
+            remaining_inc = view.multiset()
+
+        model2 = tb.generate_railway(routes=routes, seed=33)
+        engine2 = QueryEngine(model2.graph)
+        tb.inject(model2, name, 4, random.Random(33))
+        rng = random.Random(3)
+        with Timer() as t_re:
+            matches = engine2.evaluate(tb.QUERIES[name]).rows()
+            tb.repair(model2, name, matches, REPAIR_BATCH, rng)
+            remaining_re = engine2.evaluate(tb.QUERIES[name]).multiset()
+
+        assert remaining_inc == remaining_re, name
+        rows.append(
+            [
+                name,
+                len(remaining_inc),
+                t_inc.seconds,
+                t_re.seconds,
+                speedup(t_re.seconds, t_inc.seconds),
+            ]
+        )
+    print(
+        format_table(
+            ["query", "remaining", "incremental", "recompute", "speedup"],
+            rows,
+            title=f"E6 — Train Benchmark repair, {routes} routes",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

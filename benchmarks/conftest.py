@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Every experiment file doubles as a standalone script: ``python
+benchmarks/bench_<x>.py`` prints the full paper-style table/series, while
+``pytest benchmarks/ --benchmark-only`` runs the timed kernels under
+pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    """Default workload sizes for timed kernels (kept moderate so the whole
+    suite runs in seconds; the standalone mains sweep larger sizes)."""
+    return {"routes": 10, "persons": 10}

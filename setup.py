@@ -1,0 +1,6 @@
+"""Offline-friendly shim: `python setup.py develop` when pip's isolated
+build is unavailable.  Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — Incremental View Maintenance for Property Graph Queries.
+
+A faithful, self-contained Python reproduction of
+
+    Gábor Szárnyas, "Incremental View Maintenance for Property Graph
+    Queries", SIGMOD 2018 (SRC), arXiv:1712.04108,
+
+comprising a property graph store, an openCypher front end, the paper's
+GRA → NRA → FRA compilation pipeline with schema inference, a Rete-style
+incremental maintenance engine with atomic paths, a full-recomputation
+baseline, and the workloads/benchmarks used to evaluate them.
+
+Quick start
+-----------
+>>> from repro import PropertyGraph, QueryEngine
+>>> graph = PropertyGraph()
+>>> engine = QueryEngine(graph)
+>>> post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+>>> comment = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+>>> _ = graph.add_edge(post, comment, "REPLY")
+>>> view = engine.register(
+...     "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) "
+...     "WHERE p.lang = c.lang RETURN p, t"
+... )
+>>> len(view.rows())
+1
+"""
+
+from .api import QueryEngine
+from .compiler.pipeline import CompiledQuery, compile_query
+from .errors import (
+    CypherSemanticError,
+    CypherSyntaxError,
+    EvaluationError,
+    GraphError,
+    ReproError,
+    UnsupportedFeatureError,
+    UnsupportedForIncrementalError,
+)
+from .eval.results import ResultTable
+from .graph.graph import PropertyGraph, graph_from_dicts
+from .graph.persistence import DurableGraph
+from .graph.transactions import Transaction
+from .graph.values import ListValue, MapValue, PathValue
+from .rete.engine import IncrementalEngine, View
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "PropertyGraph",
+    "graph_from_dicts",
+    "DurableGraph",
+    "Transaction",
+    "QueryEngine",
+    "IncrementalEngine",
+    "View",
+    "ResultTable",
+    "CompiledQuery",
+    "compile_query",
+    "ListValue",
+    "MapValue",
+    "PathValue",
+    "ReproError",
+    "GraphError",
+    "CypherSyntaxError",
+    "CypherSemanticError",
+    "EvaluationError",
+    "UnsupportedFeatureError",
+    "UnsupportedForIncrementalError",
+    "__version__",
+]

@@ -1,0 +1,1075 @@
+"""Scalar expression compilation and evaluation over flat rows.
+
+FRA expressions are Cypher AST expression trees whose :class:`Variable`
+nodes name attributes of the operator's input :class:`~.schema.Schema`
+(including pushed-down dotted attributes like ``p.lang`` — the paper's
+``{lang → pL}`` columns).  After the compiler's pushdown pass, evaluating an
+expression needs **no graph access**: everything an expression can observe
+is already a column of the row.  This is exactly what makes the same
+expression code usable both by the one-shot interpreter and by the
+incremental Rete nodes.
+
+Expressions are compiled to closures once per operator, then invoked per
+row.  All predicate results follow openCypher's ternary (three-valued)
+logic; ``WHERE`` keeps a row only when the predicate is exactly ``True``.
+
+Aggregate functions live in their own registry (:data:`AGGREGATES`) with
+*incremental* insert/remove state machines so the Rete aggregation node can
+maintain them under deletions (Gupta–Mumick style counting).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..cypher import ast
+from ..errors import CompilerError, EvaluationError
+from ..graph.values import (
+    ListValue,
+    MapValue,
+    PathValue,
+    cypher_compare,
+    cypher_eq,
+    freeze_value,
+    order_key,
+)
+from .schema import Schema
+
+
+@dataclass(slots=True)
+class EvalContext:
+    """Per-evaluation environment: query parameters."""
+
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+
+
+CompiledExpr = Callable[[tuple, EvalContext], Any]
+
+
+class EntityResolver:
+    """Graph access for evaluating *nested-stage* (GRA/NRA) expressions.
+
+    FRA expressions never need one — the flattening step (paper §4 step 3)
+    turns every entity dereference into a column.  The one-shot interpreter
+    provides a resolver so the *unflattened* stages can also be evaluated,
+    which the stage-equivalence tests use to check that each lowering step
+    preserves semantics.
+    """
+
+    def vertex_property(self, vertex_id: int, key: str) -> Any:
+        raise NotImplementedError
+
+    def edge_property(self, edge_id: int, key: str) -> Any:
+        raise NotImplementedError
+
+    def vertex_labels(self, vertex_id: int) -> Any:
+        raise NotImplementedError
+
+    def edge_type(self, edge_id: int) -> Any:
+        raise NotImplementedError
+
+    def vertex_properties(self, vertex_id: int) -> Any:
+        raise NotImplementedError
+
+    def edge_properties(self, edge_id: int) -> Any:
+        raise NotImplementedError
+
+#: Names treated as aggregate functions (extracted by the compiler before
+#: expression compilation; seeing one here is a compiler bug).
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max", "collect"})
+
+
+def is_aggregate_call(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.CountStar) or (
+        isinstance(expr, ast.FunctionCall) and expr.name in AGGREGATE_NAMES
+    )
+
+
+def contains_aggregate(expr: ast.Expr) -> bool:
+    return any(is_aggregate_call(node) for node in ast.walk(expr))
+
+
+# ---------------------------------------------------------------------------
+# three-valued logic helpers
+# ---------------------------------------------------------------------------
+
+
+def ternary_and(values: list[Any]) -> Any:
+    if any(v is False for v in values):
+        return False
+    if any(v is None for v in values):
+        return None
+    return True
+
+def ternary_or(values: list[Any]) -> Any:
+    if any(v is True for v in values):
+        return True
+    if any(v is None for v in values):
+        return None
+    return False
+
+def ternary_xor(values: list[Any]) -> Any:
+    if any(v is None for v in values):
+        return None
+    result = False
+    for v in values:
+        result ^= bool(v)
+    return result
+
+def ternary_not(value: Any) -> Any:
+    if value is None:
+        return None
+    return not value
+
+
+def _as_bool(value: Any, what: str) -> Any:
+    if value is None or isinstance(value, bool):
+        return value
+    raise EvaluationError(f"{what} must be a boolean, got {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _nan_guard(value: float) -> Any:
+    """Map NaN to null: NaN breaks hashing/equality in counting multisets."""
+    if isinstance(value, float) and value != value:
+        return None
+    return value
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def arith_add(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    if _is_number(a) and _is_number(b):
+        return _nan_guard(a + b)
+    if isinstance(a, str) or isinstance(b, str):
+        return value_to_string(a) + value_to_string(b)
+    if isinstance(a, ListValue) and isinstance(b, ListValue):
+        return ListValue(tuple(a) + tuple(b))
+    if isinstance(a, ListValue):
+        return ListValue(tuple(a) + (b,))
+    if isinstance(b, ListValue):
+        return ListValue((a,) + tuple(b))
+    raise EvaluationError(f"cannot add {a!r} and {b!r}")
+
+
+def _trunc_div(a: Any, b: Any) -> Any:
+    if b == 0:
+        raise EvaluationError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return _nan_guard(a / b)
+
+
+def _java_mod(a: Any, b: Any) -> Any:
+    if b == 0:
+        raise EvaluationError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        return a - _trunc_div(a, b) * b
+    return _nan_guard(math.fmod(a, b))
+
+
+def arith_binary(op: str, a: Any, b: Any) -> Any:
+    if op == "+":
+        return arith_add(a, b)
+    if a is None or b is None:
+        return None
+    if not (_is_number(a) and _is_number(b)):
+        raise EvaluationError(f"operator {op!r} requires numbers, got {a!r}, {b!r}")
+    if op == "-":
+        return _nan_guard(a - b)
+    if op == "*":
+        return _nan_guard(a * b)
+    if op == "/":
+        return _trunc_div(a, b)
+    if op == "%":
+        return _java_mod(a, b)
+    if op == "^":
+        try:
+            return _nan_guard(float(a) ** float(b))
+        except OverflowError:
+            raise EvaluationError("numeric overflow in ^") from None
+    raise CompilerError(f"unknown arithmetic operator {op!r}")
+
+
+def compare_with_op(op: str, a: Any, b: Any) -> Any:
+    if op == "=":
+        return cypher_eq(a, b)
+    if op == "<>":
+        return ternary_not(cypher_eq(a, b))
+    c = cypher_compare(a, b)
+    if c is None:
+        return None
+    if op == "<":
+        return c < 0
+    if op == ">":
+        return c > 0
+    if op == "<=":
+        return c <= 0
+    if op == ">=":
+        return c >= 0
+    raise CompilerError(f"unknown comparison operator {op!r}")
+
+
+def cypher_in(item: Any, container: Any) -> Any:
+    if container is None:
+        return None
+    if isinstance(container, PathValue):
+        elements: tuple = container.vertices
+    elif isinstance(container, ListValue):
+        elements = tuple(container)
+    else:
+        raise EvaluationError(f"IN requires a list, got {container!r}")
+    unknown = False
+    for element in elements:
+        r = cypher_eq(item, element)
+        if r is True:
+            return True
+        if r is None:
+            unknown = True
+    # ``x IN []`` is false even for null x; otherwise null x is unknown.
+    if item is None and elements:
+        return None
+    return None if unknown else False
+
+
+def value_to_string(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return f"{value:.1f}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# scalar function library (pure functions; no graph access)
+# ---------------------------------------------------------------------------
+
+
+def _fn_coalesce(args: list[Any]) -> Any:
+    for a in args:
+        if a is not None:
+            return a
+    return None
+
+
+def _fn_to_integer(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    if isinstance(x, bool):
+        return None
+    if isinstance(x, int):
+        return x
+    if isinstance(x, float):
+        return int(x)
+    if isinstance(x, str):
+        try:
+            return int(x.strip())
+        except ValueError:
+            try:
+                return int(float(x.strip()))
+            except ValueError:
+                return None
+    return None
+
+
+def _fn_to_float(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None or isinstance(x, bool):
+        return None
+    if isinstance(x, (int, float)):
+        return float(x)
+    if isinstance(x, str):
+        try:
+            return _nan_guard(float(x.strip()))
+        except ValueError:
+            return None
+    return None
+
+
+def _fn_to_string(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    return value_to_string(x)
+
+
+def _fn_to_boolean(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    if isinstance(x, bool):
+        return x
+    if isinstance(x, str):
+        lowered = x.strip().lower()
+        if lowered == "true":
+            return True
+        if lowered == "false":
+            return False
+    return None
+
+
+def _fn_size(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    if isinstance(x, (str, ListValue)):
+        return len(x)
+    raise EvaluationError(f"size() requires a list or string, got {x!r}")
+
+
+def _fn_length(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    if isinstance(x, PathValue):
+        return len(x)
+    if isinstance(x, (ListValue, str)):
+        return len(x)
+    raise EvaluationError(f"length() requires a path, got {x!r}")
+
+
+def _fn_nodes(args: list[Any]) -> Any:
+    (p,) = args
+    if p is None:
+        return None
+    if not isinstance(p, PathValue):
+        raise EvaluationError(f"nodes() requires a path, got {p!r}")
+    return ListValue(p.vertices)
+
+
+def _fn_relationships(args: list[Any]) -> Any:
+    (p,) = args
+    if p is None:
+        return None
+    if not isinstance(p, PathValue):
+        raise EvaluationError(f"relationships() requires a path, got {p!r}")
+    return ListValue(p.edges)
+
+
+def _require_list(x: Any, fn: str) -> ListValue:
+    if isinstance(x, ListValue):
+        return x
+    raise EvaluationError(f"{fn}() requires a list, got {x!r}")
+
+
+def _fn_head(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    xs = _require_list(x, "head")
+    return xs[0] if xs else None
+
+
+def _fn_last(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    xs = _require_list(x, "last")
+    return xs[-1] if xs else None
+
+
+def _fn_tail(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    xs = _require_list(x, "tail")
+    return ListValue(tuple(xs)[1:])
+
+
+def _fn_reverse(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    if isinstance(x, str):
+        return x[::-1]
+    xs = _require_list(x, "reverse")
+    return ListValue(tuple(xs)[::-1])
+
+
+def _fn_range(args: list[Any]) -> Any:
+    if any(a is None for a in args):
+        return None
+    start, end = args[0], args[1]
+    step = args[2] if len(args) > 2 else 1
+    if not all(isinstance(v, int) and not isinstance(v, bool) for v in (start, end, step)):
+        raise EvaluationError("range() requires integer arguments")
+    if step == 0:
+        raise EvaluationError("range() step must not be zero")
+    out = []
+    value = start
+    if step > 0:
+        while value <= end:
+            out.append(value)
+            value += step
+    else:
+        while value >= end:
+            out.append(value)
+            value += step
+    return ListValue(out)
+
+
+def _numeric_fn(fn: Callable[[float], Any], name: str, integer_preserving: bool = False):
+    def wrapper(args: list[Any]) -> Any:
+        (x,) = args
+        if x is None:
+            return None
+        if not _is_number(x):
+            raise EvaluationError(f"{name}() requires a number, got {x!r}")
+        try:
+            result = fn(x)
+        except ValueError:
+            return None
+        except OverflowError:
+            raise EvaluationError(f"numeric overflow in {name}()") from None
+        if integer_preserving and isinstance(x, int) and isinstance(result, float):
+            return int(result)
+        return _nan_guard(result)
+
+    return wrapper
+
+
+def _string_fn(fn: Callable[..., Any], name: str, arity: int):
+    def wrapper(args: list[Any]) -> Any:
+        if any(a is None for a in args):
+            return None
+        if not isinstance(args[0], str):
+            raise EvaluationError(f"{name}() requires a string, got {args[0]!r}")
+        return fn(*args)
+
+    return wrapper
+
+
+def _fn_substring(args: list[Any]) -> Any:
+    if any(a is None for a in args):
+        return None
+    s, start = args[0], args[1]
+    if not isinstance(s, str) or not isinstance(start, int):
+        raise EvaluationError("substring() requires (string, int[, int])")
+    if len(args) > 2:
+        length = args[2]
+        if not isinstance(length, int):
+            raise EvaluationError("substring() length must be an integer")
+        return s[start : start + length]
+    return s[start:]
+
+
+def _fn_split(args: list[Any]) -> Any:
+    if any(a is None for a in args):
+        return None
+    s, delim = args
+    if not isinstance(s, str) or not isinstance(delim, str):
+        raise EvaluationError("split() requires strings")
+    return ListValue(s.split(delim))
+
+
+def _fn_exists(args: list[Any]) -> Any:
+    return args[0] is not None
+
+
+def _fn_keys(args: list[Any]) -> Any:
+    (x,) = args
+    if x is None:
+        return None
+    if isinstance(x, MapValue):
+        return ListValue(x.keys())
+    raise EvaluationError(f"keys() requires a map, got {x!r}")
+
+
+def _fn_internal_path(args: list[Any]) -> Any:
+    """Build a :class:`PathValue` from alternating components.
+
+    Components are vertex ids, edge ids, and sub-paths (from transitive
+    segments).  A sub-path following a vertex must start at that vertex
+    (the duplicate is dropped); a sub-path in edge position supplies both
+    its edges and its interior vertices.  A null component (an OPTIONAL
+    MATCH miss) yields a null path.
+    """
+    if any(a is None for a in args):
+        return None
+    vertices: list[int] = []
+    edges: list[int] = []
+    last_was_vertex = False
+    for component in args:
+        if isinstance(component, PathValue):
+            if last_was_vertex:
+                if vertices[-1] != component.start:
+                    raise EvaluationError("discontinuous path segments")
+                vertices.extend(component.vertices[1:])
+            else:
+                vertices.extend(component.vertices)
+            edges.extend(component.edges)
+            last_was_vertex = True
+        elif last_was_vertex:
+            edges.append(component)
+            last_was_vertex = False
+        else:
+            vertices.append(component)
+            last_was_vertex = True
+    return PathValue(vertices, edges)
+
+
+def _fn_internal_has_labels(args: list[Any]) -> Any:
+    labels_value, required = args
+    if labels_value is None:
+        return None
+    return all(label in tuple(labels_value) for label in tuple(required))
+
+
+def _fn_internal_disjoint(args: list[Any]) -> Any:
+    """True when two id lists share no element (edge-uniqueness checks)."""
+    a, b = args
+    if a is None or b is None:
+        return None
+    return not (set(tuple(a)) & set(tuple(b)))
+
+
+#: name → (min_arity, max_arity, implementation)
+FUNCTIONS: dict[str, tuple[int, int, Callable[[list[Any]], Any]]] = {
+    "coalesce": (1, 99, _fn_coalesce),
+    "tointeger": (1, 1, _fn_to_integer),
+    "tofloat": (1, 1, _fn_to_float),
+    "tostring": (1, 1, _fn_to_string),
+    "toboolean": (1, 1, _fn_to_boolean),
+    "size": (1, 1, _fn_size),
+    "length": (1, 1, _fn_length),
+    "nodes": (1, 1, _fn_nodes),
+    "relationships": (1, 1, _fn_relationships),
+    "rels": (1, 1, _fn_relationships),
+    "head": (1, 1, _fn_head),
+    "last": (1, 1, _fn_last),
+    "tail": (1, 1, _fn_tail),
+    "reverse": (1, 1, _fn_reverse),
+    "range": (2, 3, _fn_range),
+    "abs": (1, 1, _numeric_fn(abs, "abs")),
+    "sign": (1, 1, _numeric_fn(lambda x: (x > 0) - (x < 0), "sign")),
+    "ceil": (1, 1, _numeric_fn(math.ceil, "ceil")),
+    "floor": (1, 1, _numeric_fn(math.floor, "floor")),
+    "round": (1, 1, _numeric_fn(lambda x: float(round(x)), "round")),
+    "sqrt": (1, 1, _numeric_fn(math.sqrt, "sqrt")),
+    "exp": (1, 1, _numeric_fn(math.exp, "exp")),
+    "log": (1, 1, _numeric_fn(math.log, "log")),
+    "log10": (1, 1, _numeric_fn(math.log10, "log10")),
+    "sin": (1, 1, _numeric_fn(math.sin, "sin")),
+    "cos": (1, 1, _numeric_fn(math.cos, "cos")),
+    "tan": (1, 1, _numeric_fn(math.tan, "tan")),
+    "tolower": (1, 1, _string_fn(str.lower, "toLower", 1)),
+    "toupper": (1, 1, _string_fn(str.upper, "toUpper", 1)),
+    "trim": (1, 1, _string_fn(str.strip, "trim", 1)),
+    "ltrim": (1, 1, _string_fn(str.lstrip, "lTrim", 1)),
+    "rtrim": (1, 1, _string_fn(str.rstrip, "rTrim", 1)),
+    "replace": (3, 3, _string_fn(str.replace, "replace", 3)),
+    "substring": (2, 3, _fn_substring),
+    "split": (2, 2, _fn_split),
+    "left": (2, 2, _string_fn(lambda s, n: s[:n], "left", 2)),
+    "right": (2, 2, _string_fn(lambda s, n: s[len(s) - n :] if n < len(s) else s, "right", 2)),
+    "exists": (1, 1, _fn_exists),
+    "keys": (1, 1, _fn_keys),
+    "_path": (1, 99, _fn_internal_path),
+    "_has_labels": (2, 2, _fn_internal_has_labels),
+    "_disjoint": (2, 2, _fn_internal_disjoint),
+}
+
+
+# ---------------------------------------------------------------------------
+# expression compiler
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(
+    expr: ast.Expr, schema: Schema, resolver: EntityResolver | None = None
+) -> CompiledExpr:
+    """Compile *expr* into a closure evaluated as ``fn(row, ctx)``.
+
+    Variables must name attributes of *schema*; unknown names raise
+    :class:`CompilerError` at compile time, never at run time.  With a
+    *resolver*, entity dereferences (``p.lang`` on a vertex attribute,
+    ``labels()``/``type()``/``properties()``, label predicates) are
+    evaluated against the graph — used only for nested-stage (GRA/NRA)
+    evaluation; flat (FRA) expressions never need it.
+    """
+    if isinstance(expr, ast.Literal):
+        value = freeze_value(expr.value)
+        return lambda row, ctx: value
+
+    if isinstance(expr, ast.Parameter):
+        name = expr.name
+
+        def eval_parameter(row: tuple, ctx: EvalContext) -> Any:
+            if name not in ctx.parameters:
+                raise EvaluationError(f"missing query parameter ${name}")
+            return freeze_value(ctx.parameters[name])
+
+        return eval_parameter
+
+    if isinstance(expr, ast.Variable):
+        index = schema.index_of(expr.name)
+        return lambda row, ctx: row[index]
+
+    if isinstance(expr, ast.Property):
+        subject = compile_expr(expr.subject, schema, resolver)
+        key = expr.key
+        entity_kind = _entity_kind_of(expr.subject, schema)
+
+        if entity_kind is not None and resolver is not None:
+            lookup = (
+                resolver.vertex_property
+                if entity_kind == "vertex"
+                else resolver.edge_property
+            )
+
+            def eval_entity_property(row: tuple, ctx: EvalContext) -> Any:
+                entity = subject(row, ctx)
+                if entity is None:
+                    return None
+                return lookup(entity, key)
+
+            return eval_entity_property
+
+        def eval_property(row: tuple, ctx: EvalContext) -> Any:
+            value = subject(row, ctx)
+            if value is None:
+                return None
+            if isinstance(value, MapValue):
+                return value.get(key)
+            raise EvaluationError(
+                f"property access .{key} on non-map value {value!r}; "
+                "entity property access must be pushed down by the compiler"
+            )
+
+        return eval_property
+
+    if isinstance(expr, ast.ListLiteral):
+        items = [compile_expr(item, schema, resolver) for item in expr.items]
+        return lambda row, ctx: ListValue(fn(row, ctx) for fn in items)
+
+    if isinstance(expr, ast.MapLiteral):
+        entries = [(key, compile_expr(value, schema, resolver)) for key, value in expr.items]
+        return lambda row, ctx: MapValue({k: fn(row, ctx) for k, fn in entries})
+
+    if isinstance(expr, ast.Subscript):
+        subject = compile_expr(expr.subject, schema, resolver)
+        index_fn = compile_expr(expr.index, schema, resolver)
+
+        def eval_subscript(row: tuple, ctx: EvalContext) -> Any:
+            container = subject(row, ctx)
+            index = index_fn(row, ctx)
+            if container is None or index is None:
+                return None
+            if isinstance(container, ListValue):
+                if not isinstance(index, int) or isinstance(index, bool):
+                    raise EvaluationError(f"list index must be an integer, got {index!r}")
+                if -len(container) <= index < len(container):
+                    return container[index]
+                return None
+            if isinstance(container, MapValue):
+                if not isinstance(index, str):
+                    raise EvaluationError(f"map key must be a string, got {index!r}")
+                return container.get(index)
+            raise EvaluationError(f"cannot subscript {container!r}")
+
+        return eval_subscript
+
+    if isinstance(expr, ast.Slice):
+        subject = compile_expr(expr.subject, schema, resolver)
+        low_fn = compile_expr(expr.low, schema, resolver) if expr.low is not None else None
+        high_fn = compile_expr(expr.high, schema, resolver) if expr.high is not None else None
+
+        def eval_slice(row: tuple, ctx: EvalContext) -> Any:
+            container = subject(row, ctx)
+            if container is None:
+                return None
+            if not isinstance(container, ListValue):
+                raise EvaluationError(f"cannot slice {container!r}")
+            low = low_fn(row, ctx) if low_fn else 0
+            high = high_fn(row, ctx) if high_fn else len(container)
+            if low is None or high is None:
+                return None
+            return ListValue(tuple(container)[low:high])
+
+        return eval_slice
+
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name in AGGREGATE_NAMES:
+            raise CompilerError(
+                f"aggregate {expr.name}() must be extracted before compilation"
+            )
+        if (
+            resolver is not None
+            and expr.name in ("labels", "type", "properties")
+            and len(expr.args) == 1
+        ):
+            entity_kind = _entity_kind_of(expr.args[0], schema)
+            if entity_kind is not None:
+                subject = compile_expr(expr.args[0], schema, resolver)
+                if expr.name == "labels":
+                    lookup = resolver.vertex_labels
+                elif expr.name == "type":
+                    lookup = resolver.edge_type
+                elif entity_kind == "vertex":
+                    lookup = resolver.vertex_properties
+                else:
+                    lookup = resolver.edge_properties
+
+                def eval_meta(row: tuple, ctx: EvalContext) -> Any:
+                    entity = subject(row, ctx)
+                    if entity is None:
+                        return None
+                    return lookup(entity)
+
+                return eval_meta
+        if expr.name not in FUNCTIONS:
+            raise CompilerError(f"unknown function {expr.name}()")
+        low, high, impl = FUNCTIONS[expr.name]
+        if not (low <= len(expr.args) <= high):
+            raise CompilerError(
+                f"{expr.name}() takes {low}"
+                + (f"..{high}" if high != low else "")
+                + f" arguments, got {len(expr.args)}"
+            )
+        arg_fns = [compile_expr(a, schema, resolver) for a in expr.args]
+        return lambda row, ctx: impl([fn(row, ctx) for fn in arg_fns])
+
+    if isinstance(expr, ast.CountStar):
+        raise CompilerError("count(*) must be extracted before compilation")
+
+    if isinstance(expr, ast.Not):
+        operand = compile_expr(expr.operand, schema, resolver)
+        return lambda row, ctx: ternary_not(
+            _as_bool(operand(row, ctx), "argument of NOT")
+        )
+
+    if isinstance(expr, ast.BooleanOp):
+        operand_fns = [compile_expr(o, schema, resolver) for o in expr.operands]
+        combiner = {"AND": ternary_and, "OR": ternary_or, "XOR": ternary_xor}[expr.op]
+        op_name = expr.op
+
+        def eval_boolean(row: tuple, ctx: EvalContext) -> Any:
+            values = [
+                _as_bool(fn(row, ctx), f"operand of {op_name}") for fn in operand_fns
+            ]
+            return combiner(values)
+
+        return eval_boolean
+
+    if isinstance(expr, ast.Comparison):
+        operand_fns = [compile_expr(o, schema, resolver) for o in expr.operands]
+        ops = expr.ops
+
+        def eval_comparison(row: tuple, ctx: EvalContext) -> Any:
+            values = [fn(row, ctx) for fn in operand_fns]
+            results = [
+                compare_with_op(op, values[i], values[i + 1])
+                for i, op in enumerate(ops)
+            ]
+            return ternary_and(results)
+
+        return eval_comparison
+
+    if isinstance(expr, ast.Arithmetic):
+        left = compile_expr(expr.left, schema, resolver)
+        right = compile_expr(expr.right, schema, resolver)
+        op = expr.op
+        return lambda row, ctx: arith_binary(op, left(row, ctx), right(row, ctx))
+
+    if isinstance(expr, ast.UnaryMinus):
+        operand = compile_expr(expr.operand, schema, resolver)
+
+        def eval_neg(row: tuple, ctx: EvalContext) -> Any:
+            value = operand(row, ctx)
+            if value is None:
+                return None
+            if not _is_number(value):
+                raise EvaluationError(f"unary minus requires a number, got {value!r}")
+            return -value
+
+        return eval_neg
+
+    if isinstance(expr, ast.In):
+        item = compile_expr(expr.item, schema, resolver)
+        container = compile_expr(expr.container, schema, resolver)
+        return lambda row, ctx: cypher_in(item(row, ctx), container(row, ctx))
+
+    if isinstance(expr, ast.StringPredicate):
+        subject = compile_expr(expr.subject, schema, resolver)
+        pattern = compile_expr(expr.pattern, schema, resolver)
+        kind = expr.kind
+
+        def eval_string_pred(row: tuple, ctx: EvalContext) -> Any:
+            s = subject(row, ctx)
+            p = pattern(row, ctx)
+            if not isinstance(s, str) or not isinstance(p, str):
+                return None
+            if kind == "STARTS WITH":
+                return s.startswith(p)
+            if kind == "ENDS WITH":
+                return s.endswith(p)
+            return p in s
+
+        return eval_string_pred
+
+    if isinstance(expr, ast.IsNull):
+        operand = compile_expr(expr.operand, schema, resolver)
+        if expr.negated:
+            return lambda row, ctx: operand(row, ctx) is not None
+        return lambda row, ctx: operand(row, ctx) is None
+
+    if isinstance(expr, ast.CaseExpr):
+        when_fns = [
+            (compile_expr(c, schema, resolver), compile_expr(v, schema, resolver)) for c, v in expr.whens
+        ]
+        default_fn = (
+            compile_expr(expr.default, schema, resolver) if expr.default is not None else None
+        )
+
+        def eval_case(row: tuple, ctx: EvalContext) -> Any:
+            for condition, value in when_fns:
+                if condition(row, ctx) is True:
+                    return value(row, ctx)
+            return default_fn(row, ctx) if default_fn else None
+
+        return eval_case
+
+    if isinstance(expr, ast.HasLabel):
+        if resolver is not None and _entity_kind_of(expr.subject, schema) == "vertex":
+            subject = compile_expr(expr.subject, schema, resolver)
+            required = expr.labels
+
+            def eval_has_label(row: tuple, ctx: EvalContext) -> Any:
+                entity = subject(row, ctx)
+                if entity is None:
+                    return None
+                labels = tuple(resolver.vertex_labels(entity))
+                return all(label in labels for label in required)
+
+            return eval_has_label
+        raise CompilerError(
+            "label predicates must be rewritten to _has_labels by the compiler"
+        )
+
+    raise CompilerError(f"cannot compile expression {type(expr).__name__}")
+
+
+def _entity_kind_of(expr: ast.Expr, schema: Schema) -> str | None:
+    """'vertex' / 'edge' when *expr* is a variable of that kind, else None."""
+    from .schema import AttrKind
+
+    if isinstance(expr, ast.Variable) and expr.name in schema:
+        kind = schema.kind_of(expr.name)
+        if kind is AttrKind.VERTEX:
+            return "vertex"
+        if kind is AttrKind.EDGE:
+            return "edge"
+    return None
+
+
+def evaluate(
+    expr: ast.Expr,
+    schema: Schema,
+    row: tuple,
+    parameters: Mapping[str, Any] | None = None,
+) -> Any:
+    """One-off evaluation convenience (tests, small paths)."""
+    return compile_expr(expr, schema, resolver)(row, EvalContext(parameters or {}))
+
+
+# ---------------------------------------------------------------------------
+# aggregates (incremental state machines)
+# ---------------------------------------------------------------------------
+
+
+class Aggregator:
+    """Incremental aggregate over a bag of values.
+
+    ``insert``/``remove`` take the value and a positive multiplicity;
+    ``result`` is pure.  ``count(*)`` aggregators receive ``_ROW`` markers.
+    """
+
+    def insert(self, value: Any, multiplicity: int) -> None:
+        raise NotImplementedError
+
+    def remove(self, value: Any, multiplicity: int) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregator(Aggregator):
+    """count(expr) — counts non-null values; count(*) counts rows."""
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def insert(self, value: Any, multiplicity: int) -> None:
+        if value is not None:
+            self.total += multiplicity
+
+    def remove(self, value: Any, multiplicity: int) -> None:
+        if value is not None:
+            self.total -= multiplicity
+
+    def result(self) -> Any:
+        return self.total
+
+
+class SumAggregator(Aggregator):
+    def __init__(self) -> None:
+        self.total: int | float = 0
+        self.count = 0
+
+    def insert(self, value: Any, multiplicity: int) -> None:
+        if value is None:
+            return
+        if not _is_number(value):
+            raise EvaluationError(f"sum() requires numbers, got {value!r}")
+        self.total += value * multiplicity
+        self.count += multiplicity
+
+    def remove(self, value: Any, multiplicity: int) -> None:
+        if value is None:
+            return
+        self.total -= value * multiplicity
+        self.count -= multiplicity
+        if self.count == 0:
+            self.total = 0  # reset float drift on empty
+
+    def result(self) -> Any:
+        return self.total
+
+
+class AvgAggregator(SumAggregator):
+    def result(self) -> Any:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class _BagAggregator(Aggregator):
+    """Base for aggregates that need the full value bag (min/max/collect)."""
+
+    def __init__(self) -> None:
+        self.bag: dict[Any, int] = {}
+
+    def insert(self, value: Any, multiplicity: int) -> None:
+        if value is None:
+            return
+        self.bag[value] = self.bag.get(value, 0) + multiplicity
+
+    def remove(self, value: Any, multiplicity: int) -> None:
+        if value is None:
+            return
+        remaining = self.bag.get(value, 0) - multiplicity
+        if remaining > 0:
+            self.bag[value] = remaining
+        elif remaining == 0:
+            self.bag.pop(value, None)
+        else:
+            raise EvaluationError(f"aggregate multiset underflow for {value!r}")
+
+
+class MinAggregator(_BagAggregator):
+    def result(self) -> Any:
+        if not self.bag:
+            return None
+        return min(self.bag, key=order_key)
+
+
+class MaxAggregator(_BagAggregator):
+    def result(self) -> Any:
+        if not self.bag:
+            return None
+        return max(self.bag, key=order_key)
+
+
+class CollectAggregator(_BagAggregator):
+    """collect(expr) → list.
+
+    The paper's model is bag-based (ORD dropped except for paths), so the
+    collected list has no inherent order; we emit a canonical order (sorted
+    by the global value ordering) for reproducibility.
+    """
+
+    def result(self) -> Any:
+        out: list[Any] = []
+        for value in sorted(self.bag, key=order_key):
+            out.extend([value] * self.bag[value])
+        return ListValue(out)
+
+
+class DistinctAggregator(Aggregator):
+    """Wraps another aggregator, feeding each distinct value once."""
+
+    def __init__(self, inner: Aggregator) -> None:
+        self.inner = inner
+        self.seen: dict[Any, int] = {}
+
+    def insert(self, value: Any, multiplicity: int) -> None:
+        if value is None:
+            return
+        before = self.seen.get(value, 0)
+        self.seen[value] = before + multiplicity
+        if before == 0:
+            self.inner.insert(value, 1)
+
+    def remove(self, value: Any, multiplicity: int) -> None:
+        if value is None:
+            return
+        remaining = self.seen.get(value, 0) - multiplicity
+        if remaining < 0:
+            raise EvaluationError(f"distinct aggregate underflow for {value!r}")
+        if remaining == 0:
+            self.seen.pop(value, None)
+            self.inner.remove(value, 1)
+        else:
+            self.seen[value] = remaining
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+AGGREGATES: dict[str, Callable[[], Aggregator]] = {
+    "count": CountAggregator,
+    "sum": SumAggregator,
+    "avg": AvgAggregator,
+    "min": MinAggregator,
+    "max": MaxAggregator,
+    "collect": CollectAggregator,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateSpec:
+    """A single aggregate column of an Aggregate operator.
+
+    ``argument`` is ``None`` for ``count(*)`` (every row counts).
+    """
+
+    function: str
+    argument: ast.Expr | None
+    distinct: bool
+    output: str
+
+    def make_aggregator(self) -> Aggregator:
+        factory = AGGREGATES.get(self.function)
+        if factory is None:
+            raise CompilerError(f"unknown aggregate {self.function}()")
+        aggregator = factory()
+        if self.distinct:
+            aggregator = DistinctAggregator(aggregator)
+        return aggregator

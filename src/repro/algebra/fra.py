@@ -1,0 +1,109 @@
+"""FRA — flat relational algebra (paper §4, compilation step 3).
+
+The flattening step removes every µ by *pushing down* the required
+properties into the © and ⇑ base operators (the paper's ``{lang → pL}``
+annotations, here kept as dotted attribute names like ``p.lang``).  After
+flattening:
+
+* no :class:`~.ops.PropertyUnnest` remains,
+* no expression dereferences an entity (``Property`` on a VERTEX/EDGE
+  attribute) — everything expressions observe is a column,
+* the plan is directly executable both by the pull-based interpreter and by
+  the Rete network builder.
+
+``validate_fra`` enforces these invariants; the incremental fragment check
+(:func:`check_incremental_fragment`) additionally rejects the ordering
+operators, per the paper's central claim about the maintainable fragment.
+"""
+
+from __future__ import annotations
+
+from ..cypher import ast
+from ..errors import CompilerError, UnsupportedForIncrementalError
+from . import ops
+from .schema import AttrKind
+
+FRA_OPERATORS = (
+    ops.Unit,
+    ops.GetVertices,
+    ops.GetEdges,
+    ops.Select,
+    ops.Project,
+    ops.Dedup,
+    ops.Unwind,
+    ops.Aggregate,
+    ops.Join,
+    ops.AntiJoin,
+    ops.LeftOuterJoin,
+    ops.Union,
+    ops.TransitiveJoin,
+    ops.Sort,
+    ops.Skip,
+    ops.Limit,
+)
+
+#: Operators excluded from the paper's incrementally maintainable fragment:
+#: anything that depends on row ordering (ORD).
+ORDERING_OPERATORS = (ops.Sort, ops.Skip, ops.Limit)
+
+
+def _expressions_of(op: ops.Operator) -> list[ast.Expr]:
+    if isinstance(op, ops.Select):
+        return [op.predicate]
+    if isinstance(op, ops.Project):
+        return [e for _, e in op.items]
+    if isinstance(op, ops.Unwind):
+        return [op.expression]
+    if isinstance(op, ops.Aggregate):
+        exprs = [e for _, e in op.keys]
+        exprs += [a.argument for a in op.aggregates if a.argument is not None]
+        return exprs
+    if isinstance(op, ops.Sort):
+        return [e for e, _ in op.items]
+    if isinstance(op, (ops.Skip, ops.Limit)):
+        return [op.count]
+    return []
+
+
+def validate_fra(plan: ops.Operator) -> None:
+    """Raise :class:`CompilerError` if *plan* violates the FRA invariants."""
+    for op in plan.walk():
+        if not isinstance(op, FRA_OPERATORS):
+            raise CompilerError(f"{type(op).__name__} is not an FRA operator")
+        schema = op.children[0].schema if op.children else None
+        for expr in _expressions_of(op):
+            for node in ast.walk(expr):
+                if (
+                    isinstance(node, ast.Property)
+                    and isinstance(node.subject, ast.Variable)
+                    and schema is not None
+                    and node.subject.name in schema
+                    and schema.kind_of(node.subject.name)
+                    in (AttrKind.VERTEX, AttrKind.EDGE)
+                ):
+                    raise CompilerError(
+                        f"entity property access {node.subject.name}.{node.key} "
+                        "survived flattening (pushdown bug)"
+                    )
+                if isinstance(node, ast.HasLabel):
+                    raise CompilerError(
+                        "label predicate survived flattening (pushdown bug)"
+                    )
+
+
+def check_incremental_fragment(plan: ops.Operator) -> None:
+    """Reject plans outside the paper's incrementally maintainable fragment.
+
+    The fragment allows bags and atomic paths but no ordering: Sort / Skip /
+    Limit (and therefore top-k) raise
+    :class:`~repro.errors.UnsupportedForIncrementalError` — exactly the
+    trade-off the paper states in §4 ("It is also not possible to specify
+    top-k style queries").
+    """
+    for op in plan.walk():
+        if isinstance(op, ORDERING_OPERATORS):
+            raise UnsupportedForIncrementalError(
+                f"{type(op).__name__} requires ordering (ORD), which the "
+                "incrementally maintainable openCypher fragment excludes; "
+                "evaluate the query one-shot instead"
+            )

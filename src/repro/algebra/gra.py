@@ -1,0 +1,49 @@
+"""GRA — graph relational algebra (paper §2, compilation step 1).
+
+The GRA stage is the direct image of the query: patterns appear as
+``get-vertices`` (©) chains of ``expand-out`` (↑) operators, and property
+access still happens *inside* expressions (``p.lang``), not as columns.
+Legal operators: © ↑ σ π δ ω γ ⋈ ⟕ ▷ ∪ sort/skip/limit.
+
+``validate_gra`` asserts a tree stays inside this vocabulary — useful both
+as compiler self-checks and as executable documentation of the paper's
+pipeline stages.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompilerError
+from . import ops
+
+GRA_OPERATORS = (
+    ops.Unit,
+    ops.GetVertices,
+    ops.ExpandOut,
+    ops.Select,
+    ops.Project,
+    ops.Dedup,
+    ops.Unwind,
+    ops.Aggregate,
+    ops.Join,
+    ops.AntiJoin,
+    ops.LeftOuterJoin,
+    ops.Union,
+    ops.Sort,
+    ops.Skip,
+    ops.Limit,
+)
+
+
+def validate_gra(plan: ops.Operator) -> None:
+    """Raise :class:`CompilerError` if *plan* uses non-GRA operators."""
+    for op in plan.walk():
+        if not isinstance(op, GRA_OPERATORS):
+            raise CompilerError(
+                f"{type(op).__name__} is not a GRA operator (expand not yet "
+                "eliminated?)"
+            )
+        if isinstance(op, ops.GetVertices) and op.projections:
+            raise CompilerError(
+                "GRA base relations carry no pushed-down projections; "
+                "those appear only after NRA→FRA flattening"
+            )

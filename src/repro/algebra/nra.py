@@ -1,0 +1,74 @@
+"""NRA — nested relational algebra (paper §4, compilation step 2).
+
+After expand elimination, no ↑ remains: single-hop expands became natural
+joins with ``get-edges`` (⇑) base relations, transitive expands became
+transitive joins (⋈*), and every entity property an expression needs is
+exposed by an explicit attribute-directed unnest µ (the paper's modified
+unnest, e.g. ``µ_{c.lang→cL}``).
+
+This is the key stage for incrementality: every operator here has a known
+counting-based maintenance rule, whereas ↑ does not (paper: "expand
+operators cannot be maintained incrementally").
+"""
+
+from __future__ import annotations
+
+from ..cypher import ast
+from ..errors import CompilerError
+from . import ops
+from .expressions import contains_aggregate
+
+NRA_OPERATORS = (
+    ops.Unit,
+    ops.GetVertices,
+    ops.GetEdges,
+    ops.Select,
+    ops.Project,
+    ops.Dedup,
+    ops.Unwind,
+    ops.PropertyUnnest,
+    ops.Aggregate,
+    ops.Join,
+    ops.AntiJoin,
+    ops.LeftOuterJoin,
+    ops.Union,
+    ops.TransitiveJoin,
+    ops.Sort,
+    ops.Skip,
+    ops.Limit,
+)
+
+
+def validate_nra(plan: ops.Operator) -> None:
+    """Raise :class:`CompilerError` if *plan* is not valid NRA.
+
+    Checks the vocabulary and that base relations are still projection-free
+    (property access flows through µ at this stage).
+    """
+    for op in plan.walk():
+        if not isinstance(op, NRA_OPERATORS):
+            raise CompilerError(f"{type(op).__name__} is not an NRA operator")
+        if isinstance(op, (ops.GetVertices, ops.GetEdges)) and op.projections:
+            raise CompilerError(
+                "NRA base relations must not carry projections; "
+                "pushdown happens in the NRA→FRA flattening step"
+            )
+
+
+def collect_unnests(plan: ops.Operator) -> list[ops.PropertyUnnest]:
+    """All µ operators in the tree (pre-order)."""
+    return [op for op in plan.walk() if isinstance(op, ops.PropertyUnnest)]
+
+
+def entity_property_accesses(expr: ast.Expr) -> set[tuple[str, str]]:
+    """(variable, key) pairs accessed as ``variable.key`` in *expr*."""
+    return ast.property_accesses(expr)
+
+
+__all__ = [
+    "NRA_OPERATORS",
+    "validate_nra",
+    "collect_unnests",
+    "entity_property_accesses",
+    "contains_aggregate",
+]

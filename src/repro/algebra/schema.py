@@ -1,0 +1,128 @@
+"""Relation schemas for graph relations.
+
+The paper (§2) works with *graph relations*: relations whose attribute
+domains are vertices, edges, or atomic/nested values.  A :class:`Schema` is
+an ordered list of named, kinded attributes; engine tuples are positionally
+aligned with their operator's schema.
+
+Attribute names follow the compiler's conventions:
+
+* ``p`` — an entity variable bound by a pattern (vertex/edge/path),
+* ``p.lang`` — a property pushed down into a base operator
+  (the paper's ``{lang → pL}`` annotation; we keep the dotted name
+  instead of inventing ``pL``),
+* ``labels(p)`` / ``type(e)`` / ``properties(p)`` — pushed-down
+  meta-attributes for expressions the flat engine cannot compute from ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+from ..errors import CompilerError
+
+
+class AttrKind(Enum):
+    VERTEX = "vertex"
+    EDGE = "edge"
+    PATH = "path"
+    VALUE = "value"
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    name: str
+    kind: AttrKind
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"{self.name}:{self.kind.value}"
+
+
+class Schema:
+    """An ordered, duplicate-free list of attributes with O(1) name lookup."""
+
+    __slots__ = ("attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        index: dict[str, int] = {}
+        for position, attribute in enumerate(attrs):
+            if attribute.name in index:
+                raise CompilerError(f"duplicate attribute {attribute.name!r} in schema")
+            index[attribute.name] = position
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "_index", index)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Schema is immutable")
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self.attributes == other.attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CompilerError(
+                f"attribute {name!r} not in schema {self.names}"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self.attributes[self.index_of(name)]
+
+    def kind_of(self, name: str) -> AttrKind:
+        return self.attribute(name).kind
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        return Schema(self.attribute(n) for n in names)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Disjoint concatenation; raises on duplicate names."""
+        return Schema(self.attributes + other.attributes)
+
+    def join_with(self, other: "Schema") -> tuple["Schema", tuple[str, ...]]:
+        """Natural-join result schema and the shared attribute names.
+
+        Result layout: all left attributes, then right attributes that are
+        not shared.  Shared attributes must agree on kind.
+        """
+        shared: list[str] = []
+        extra: list[Attribute] = []
+        for attribute in other.attributes:
+            if attribute.name in self._index:
+                mine = self.attribute(attribute.name)
+                if mine.kind is not attribute.kind:
+                    raise CompilerError(
+                        f"attribute {attribute.name!r} has kind {mine.kind} on the "
+                        f"left but {attribute.kind} on the right"
+                    )
+                shared.append(attribute.name)
+            else:
+                extra.append(attribute)
+        return Schema(self.attributes + tuple(extra)), tuple(shared)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Schema({', '.join(map(repr, self.attributes))})"
+
+
+EMPTY_SCHEMA = Schema(())

@@ -1,0 +1,145 @@
+"""Public façade: one object for both evaluation modes.
+
+:class:`QueryEngine` bundles the two executors the paper contrasts:
+
+* ``evaluate(query)`` — one-shot full evaluation (supports the complete
+  implemented openCypher fragment, including ORDER BY / SKIP / LIMIT),
+* ``register(query)`` — an incrementally maintained view (the paper's
+  maintainable fragment: bags + atomic paths, no ordering).
+
+Example
+-------
+>>> from repro import PropertyGraph, QueryEngine
+>>> graph = PropertyGraph()
+>>> engine = QueryEngine(graph)
+>>> post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+>>> view = engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+>>> view.rows()
+[('en',)]
+>>> graph.set_vertex_property(post, "lang", "de")
+>>> view.rows()
+[('de',)]
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Any, Mapping
+
+from .compiler.pipeline import CompiledQuery, compile_query
+from .cypher import ast
+from .cypher.parser import parse, parse_script
+from .cypher.unparser import unparse
+from .errors import UnsupportedForIncrementalError
+from .eval.interpreter import Interpreter
+from .eval.results import ResultTable
+from .graph.graph import PropertyGraph
+from .rete.engine import IncrementalEngine, View
+from .updates import ExecutionResult, UpdateExecutor, UpdateSummary
+
+
+class QueryEngine:
+    """Evaluate openCypher queries over a property graph, one-shot or
+    incrementally."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        transitive_mode: str = "trails",
+        share_inputs: bool = True,
+    ):
+        self.graph = graph
+        self._incremental = IncrementalEngine(
+            graph, transitive_mode=transitive_mode, share_inputs=share_inputs
+        )
+        self._plan_cache: dict[str, CompiledQuery] = {}
+
+    def compile(self, query: str) -> CompiledQuery:
+        """Compile (with caching) through GRA → NRA → FRA."""
+        compiled = self._plan_cache.get(query)
+        if compiled is None:
+            compiled = compile_query(query)
+            self._plan_cache[query] = compiled
+        return compiled
+
+    def evaluate(
+        self, query: str, parameters: Mapping[str, Any] | None = None
+    ) -> ResultTable:
+        """One-shot evaluation by full recomputation (the baseline)."""
+        compiled = self.compile(query)
+        return Interpreter(self.graph, parameters).run(compiled.plan)
+
+    def execute(
+        self, query: str, parameters: Mapping[str, Any] | None = None
+    ) -> ExecutionResult:
+        """Run *query*, reading or updating.
+
+        Updating queries (CREATE / DELETE / SET / REMOVE / MERGE) run
+        atomically through the update executor; their writes propagate to
+        every registered incremental view.  Read-only queries evaluate
+        one-shot and return an :class:`ExecutionResult` with an empty
+        summary, so callers can use one entry point for both.
+        """
+        syntax = parse(query)
+        if isinstance(syntax, ast.UpdatingQuery):
+            return UpdateExecutor(self.graph, parameters).execute(syntax)
+        return ExecutionResult(UpdateSummary(), self.evaluate(query, parameters))
+
+    def execute_script(
+        self, script: str, parameters: Mapping[str, Any] | None = None
+    ) -> list[ExecutionResult]:
+        """Run a ``;``-separated statement sequence in one transaction.
+
+        Statements execute in order and see each other's writes; a failure
+        anywhere rolls back the whole script (views included).  Returns one
+        :class:`ExecutionResult` per statement.
+        """
+        statements = parse_script(script)
+        results: list[ExecutionResult] = []
+        scope = (
+            nullcontext()
+            if self.graph.in_transaction
+            else self.graph.transaction()
+        )
+        with scope:
+            for statement in statements:
+                if isinstance(statement, ast.UpdatingQuery):
+                    results.append(
+                        UpdateExecutor(self.graph, parameters).execute(statement)
+                    )
+                else:
+                    # round-trip through the unparser: read statements use
+                    # the compiled pipeline, which takes query text
+                    table = self.evaluate(unparse(statement), parameters)
+                    results.append(ExecutionResult(UpdateSummary(), table))
+        return results
+
+    def register(
+        self,
+        query: str | CompiledQuery,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> View:
+        """Register *query* as an incrementally maintained view.
+
+        Accepts query text or a pre-compiled :class:`CompiledQuery` (e.g.
+        one compiled with cost-based statistics).  Raises
+        :class:`UnsupportedForIncrementalError` outside the paper's
+        fragment.
+        """
+        compiled = self.compile(query) if isinstance(query, str) else query
+        return self._incremental.register(compiled, parameters)
+
+    def is_incremental(self, query: str) -> bool:
+        """Whether *query* lies in the incrementally maintainable fragment."""
+        return self.compile(query).is_incremental
+
+    def explain(self, query: str) -> str:
+        """The compilation pipeline's stages for *query*."""
+        return self.compile(query).explain()
+
+    @property
+    def views(self) -> tuple[View, ...]:
+        return self._incremental.views
+
+
+__all__ = ["QueryEngine", "ExecutionResult", "UnsupportedForIncrementalError"]

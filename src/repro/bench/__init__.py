@@ -1,0 +1,5 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` experiments."""
+
+from .harness import Measurement, Timer, format_table, speedup, timed
+
+__all__ = ["Measurement", "Timer", "timed", "format_table", "speedup"]

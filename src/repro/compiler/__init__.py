@@ -1,0 +1,17 @@
+"""Query compiler: openCypher → GRA → NRA → FRA (paper §4 steps 1–3)."""
+
+from .cypher_to_gra import compile_to_gra
+from .gra_to_nra import lower_to_nra
+from .nra_to_fra import flatten_to_fra, parse_pushed_attribute
+from .optimizer import optimize
+from .pipeline import CompiledQuery, compile_query
+
+__all__ = [
+    "compile_query",
+    "CompiledQuery",
+    "compile_to_gra",
+    "lower_to_nra",
+    "flatten_to_fra",
+    "parse_pushed_attribute",
+    "optimize",
+]

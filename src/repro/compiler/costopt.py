@@ -1,0 +1,78 @@
+"""Cost-based join ordering over FRA plans (ablation E13).
+
+The rule-based optimiser compiles patterns in syntactic order, producing a
+left-deep join tree that mirrors how the query was *written*.  For a Rete
+network that order matters twice: every join node stores both inputs, so a
+bad order inflates join memories *and* per-update delta work.
+
+This pass flattens each maximal chain of natural ⋈ operators into its leaf
+set and rebuilds it greedily: start from the smallest estimated leaf, then
+repeatedly join with the connected leaf (sharing ≥ 1 attribute) that
+minimises the estimated intermediate cardinality.  Cross products are
+deferred until forced.  Natural joins are associative and commutative over
+a fixed leaf set, and attributes are resolved by name, so any order is
+semantics-preserving — the equivalence property tests hammer this.
+
+Opt-in: pass ``statistics`` to ``compile_query`` (or construct
+:class:`~repro.compiler.stats.GraphStatistics` yourself).  Statistics are a
+snapshot; a badly stale snapshot degrades the *ordering*, never
+correctness.
+"""
+
+from __future__ import annotations
+
+from ..algebra import ops
+from .stats import GraphStatistics, estimate_cardinality
+from .treeutil import rebuild
+
+
+def _join_leaves(op: ops.Operator) -> list[ops.Operator]:
+    """Leaves of the maximal ⋈ chain rooted at *op* (op must be a Join)."""
+    if isinstance(op, ops.Join):
+        return _join_leaves(op.children[0]) + _join_leaves(op.children[1])
+    return [op]
+
+
+def _connected(left: ops.Operator, right: ops.Operator) -> bool:
+    return bool(set(left.schema.names) & set(right.schema.names))
+
+
+def reorder_joins(plan: ops.Operator, stats: GraphStatistics) -> ops.Operator:
+    """Reorder every ⋈ chain in *plan* by estimated cardinality."""
+    if isinstance(plan, ops.Join):
+        leaves = [reorder_joins(leaf, stats) for leaf in _join_leaves(plan)]
+        return _greedy_tree(leaves, stats)
+    return rebuild(plan, [reorder_joins(child, stats) for child in plan.children])
+
+
+def _greedy_tree(
+    leaves: list[ops.Operator], stats: GraphStatistics
+) -> ops.Operator:
+    remaining = list(leaves)
+    # seed: the smallest leaf that is connected to at least one other
+    # (an isolated leaf would force an immediate cross product)
+    def seed_key(leaf: ops.Operator) -> tuple:
+        connected = any(_connected(leaf, other) for other in remaining if other is not leaf)
+        return (not connected, estimate_cardinality(leaf, stats))
+
+    current = min(remaining, key=seed_key)
+    remaining.remove(current)
+    while remaining:
+        connected = [leaf for leaf in remaining if _connected(current, leaf)]
+        candidates = connected if connected else remaining  # cross product only when forced
+        best = min(
+            candidates,
+            key=lambda leaf: estimate_cardinality(ops.Join(current, leaf), stats),
+        )
+        remaining.remove(best)
+        current = ops.Join(current, best)
+    return current
+
+
+def estimated_cost(plan: ops.Operator, stats: GraphStatistics) -> float:
+    """Σ of estimated intermediate cardinalities — the ordering objective.
+
+    For Rete this approximates total join-memory size (every operator's
+    output is somebody's stored input).
+    """
+    return sum(estimate_cardinality(op, stats) for op in plan.walk())

@@ -1,0 +1,198 @@
+"""Compilation step 2 (paper §4): GRA → NRA.
+
+Two transformations happen here, exactly as the paper describes:
+
+1. **Expand elimination** — "as expand operators cannot be maintained
+   incrementally, they are replaced with joins": each single-hop ↑ becomes a
+   natural join with a ``get-edges`` (⇑) base relation, and each
+   variable-length ↑ becomes a transitive join ⋈* with a label-free ⇑
+   (final-vertex label constraints become a companion ``get-vertices``
+   join, preserving Cypher's last-vertex-only semantics).
+
+2. **Explicit unnesting** — every entity property access inside an
+   expression becomes an attribute-directed unnest µ directly below the
+   consuming operator (the paper's ``µ_{c.lang→cL}``), and the expression
+   is rewritten to reference the unnested attribute (we keep the dotted
+   name ``c.lang``).  The graph-dependent functions ``labels()``,
+   ``type()``, ``properties()`` and label predicates get the same
+   treatment via meta-attribute unnests.
+"""
+
+from __future__ import annotations
+
+from ..algebra import ops
+from ..algebra.schema import AttrKind, Schema
+from ..cypher import ast
+from ..errors import CompilerError
+from .rewrite import bottom_up
+from .treeutil import rebuild
+
+
+class NraLowering:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"_{prefix}{self._counter}n"
+
+    # -- expression rewriting -------------------------------------------------
+
+    def _rewrite_expr(
+        self, expr: ast.Expr, schema: Schema
+    ) -> tuple[ast.Expr, list[ops.PropertyProjection]]:
+        """Replace entity dereferences with unnested-attribute references."""
+        needed: dict[str, ops.PropertyProjection] = {}
+
+        def note(projection: ops.PropertyProjection) -> ast.Variable:
+            needed.setdefault(projection.output, projection)
+            return ast.Variable(projection.output)
+
+        def rewrite(node: ast.Expr) -> ast.Expr:
+            if isinstance(node, ast.Property) and isinstance(node.subject, ast.Variable):
+                name = node.subject.name
+                if name in schema and schema.kind_of(name) in (
+                    AttrKind.VERTEX,
+                    AttrKind.EDGE,
+                ):
+                    return note(ops.PropertyProjection(name, "property", node.key))
+            elif isinstance(node, ast.FunctionCall) and len(node.args) == 1:
+                arg = node.args[0]
+                if isinstance(arg, ast.Variable) and arg.name in schema:
+                    kind = schema.kind_of(arg.name)
+                    if node.name == "labels" and kind is AttrKind.VERTEX:
+                        return note(ops.PropertyProjection(arg.name, "labels"))
+                    if node.name == "type" and kind is AttrKind.EDGE:
+                        return note(ops.PropertyProjection(arg.name, "type"))
+                    if node.name == "properties" and kind in (
+                        AttrKind.VERTEX,
+                        AttrKind.EDGE,
+                    ):
+                        return note(ops.PropertyProjection(arg.name, "properties"))
+            elif isinstance(node, ast.HasLabel):
+                subject = node.subject
+                if isinstance(subject, ast.Variable) and subject.name in schema:
+                    labels_ref = note(ops.PropertyProjection(subject.name, "labels"))
+                    return ast.FunctionCall(
+                        "_has_labels",
+                        (
+                            labels_ref,
+                            ast.ListLiteral(
+                                tuple(ast.Literal(l) for l in node.labels)
+                            ),
+                        ),
+                    )
+            return node
+
+        rewritten = bottom_up(expr, rewrite)
+        return rewritten, sorted(needed.values(), key=lambda p: p.output)
+
+    def _unnest(
+        self, child: ops.Operator, projections: list[ops.PropertyProjection]
+    ) -> ops.Operator:
+        for projection in projections:
+            if projection.output not in child.schema:
+                child = ops.PropertyUnnest(child, projection)
+        return child
+
+    # -- operator lowering ------------------------------------------------------
+
+    def lower(self, op: ops.Operator) -> ops.Operator:
+        children = [self.lower(c) for c in op.children]
+
+        if isinstance(op, ops.ExpandOut):
+            return self._lower_expand(op, children[0])
+
+        if isinstance(op, ops.Select):
+            predicate, needed = self._rewrite_expr(op.predicate, children[0].schema)
+            return ops.Select(self._unnest(children[0], needed), predicate)
+
+        if isinstance(op, ops.Project):
+            items = []
+            all_needed: list[ops.PropertyProjection] = []
+            for name, expr in op.items:
+                rewritten, needed = self._rewrite_expr(expr, children[0].schema)
+                items.append((name, rewritten))
+                all_needed.extend(needed)
+            return ops.Project(self._unnest(children[0], all_needed), tuple(items))
+
+        if isinstance(op, ops.Unwind):
+            expr, needed = self._rewrite_expr(op.expression, children[0].schema)
+            return ops.Unwind(self._unnest(children[0], needed), expr, op.alias)
+
+        if isinstance(op, ops.Aggregate):
+            keys = []
+            all_needed = []
+            for name, expr in op.keys:
+                rewritten, needed = self._rewrite_expr(expr, children[0].schema)
+                keys.append((name, rewritten))
+                all_needed.extend(needed)
+            aggregates = []
+            for spec in op.aggregates:
+                if spec.argument is None:
+                    aggregates.append(spec)
+                    continue
+                rewritten, needed = self._rewrite_expr(
+                    spec.argument, children[0].schema
+                )
+                all_needed.extend(needed)
+                aggregates.append(
+                    type(spec)(spec.function, rewritten, spec.distinct, spec.output)
+                )
+            return ops.Aggregate(
+                self._unnest(children[0], all_needed), tuple(keys), tuple(aggregates)
+            )
+
+        if isinstance(op, ops.Sort):
+            items = []
+            all_needed = []
+            for expr, ascending in op.items:
+                rewritten, needed = self._rewrite_expr(expr, children[0].schema)
+                items.append((rewritten, ascending))
+                all_needed.extend(needed)
+            return ops.Sort(self._unnest(children[0], all_needed), tuple(items))
+
+        return rebuild(op, children)
+
+    def _lower_expand(self, op: ops.ExpandOut, child: ops.Operator) -> ops.Operator:
+        if not op.var_length:
+            if op.direction == "out":
+                edges = ops.GetEdges(
+                    op.src, op.edge, op.tgt, op.types, tgt_labels=op.tgt_labels
+                )
+            elif op.direction == "in":
+                edges = ops.GetEdges(
+                    op.tgt, op.edge, op.src, op.types, src_labels=op.tgt_labels
+                )
+            else:
+                edges = ops.GetEdges(
+                    op.src,
+                    op.edge,
+                    op.tgt,
+                    op.types,
+                    tgt_labels=op.tgt_labels,
+                    directed=False,
+                )
+            return ops.Join(child, edges)
+
+        edges = ops.GetEdges(
+            self._fresh("s"), self._fresh("e"), self._fresh("t"), op.types
+        )
+        plan: ops.Operator = ops.TransitiveJoin(
+            child,
+            edges,
+            source=op.src,
+            target=op.tgt,
+            direction=op.direction,
+            min_hops=op.min_hops,
+            max_hops=op.max_hops,
+            path_alias=op.path_alias,
+        )
+        if op.tgt_labels:
+            plan = ops.Join(plan, ops.GetVertices(op.tgt, op.tgt_labels))
+        return plan
+
+
+def lower_to_nra(plan: ops.Operator) -> ops.Operator:
+    """Eliminate expands and make property access explicit via µ."""
+    return NraLowering().lower(plan)

@@ -1,0 +1,268 @@
+"""Compilation step 3 (paper §4): NRA → FRA via schema inference.
+
+Property graphs are schema-free, so — quoting the paper — "the schema of
+the nested relations is not known in advance and has to be inferred based
+on the query.  Therefore, this step includes pushing down nested attributes
+to the © and ⇑ operators."
+
+The pass walks the tree top-down carrying the set of *required* pushed
+attributes (dotted names like ``p.lang`` and meta names like
+``labels(n)``).  Each µ disappears, adding its output to the requirement
+set; base operators materialise the requirements they own as
+:class:`~repro.algebra.ops.PropertyProjection` columns (the paper's
+``{lang → pL}`` annotations); projections and aggregations forward
+requirements through renames; transitive joins route final-vertex
+requirements to a companion ``get-vertices`` join, since the closure's
+target vertex is not bound by any base operator.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..algebra import ops
+from ..errors import CompilerError
+from ..cypher import ast
+
+_META_RE = re.compile(r"^(labels|type|properties)\((\w+)\)$")
+
+
+def parse_pushed_attribute(name: str) -> ops.PropertyProjection:
+    """Parse a pushed-attribute name back into a projection spec."""
+    meta = _META_RE.match(name)
+    if meta:
+        return ops.PropertyProjection(meta.group(2), meta.group(1))
+    subject, _, key = name.partition(".")
+    if not key:
+        raise CompilerError(f"{name!r} is not a pushed attribute")
+    return ops.PropertyProjection(subject, "property", key)
+
+
+def pushed_subject(name: str) -> str:
+    return parse_pushed_attribute(name).subject
+
+
+def _rename_attribute(name: str, new_subject: str) -> str:
+    projection = parse_pushed_attribute(name)
+    return ops.PropertyProjection(
+        new_subject, projection.kind, projection.key
+    ).output
+
+
+def can_provide(op: ops.Operator, subject: str) -> bool:
+    """Can this subtree materialise pushed attributes of *subject*?"""
+    if isinstance(op, ops.GetVertices):
+        return op.var == subject
+    if isinstance(op, ops.GetEdges):
+        return subject in (op.src, op.edge, op.tgt)
+    if isinstance(op, (ops.Select, ops.Dedup, ops.Sort, ops.Skip, ops.Limit)):
+        return can_provide(op.children[0], subject)
+    if isinstance(op, (ops.Unwind, ops.PropertyUnnest)):
+        return can_provide(op.children[0], subject)
+    if isinstance(op, ops.Project):
+        for name, expr in op.items:
+            if name == subject:
+                return isinstance(expr, ast.Variable) and can_provide(
+                    op.children[0], expr.name
+                )
+        return False
+    if isinstance(op, ops.Aggregate):
+        for name, expr in op.keys:
+            if name == subject:
+                return isinstance(expr, ast.Variable) and can_provide(
+                    op.children[0], expr.name
+                )
+        return False
+    if isinstance(op, (ops.Join, ops.LeftOuterJoin)):
+        return can_provide(op.children[0], subject) or can_provide(
+            op.children[1], subject
+        )
+    if isinstance(op, ops.AntiJoin):
+        return can_provide(op.children[0], subject)
+    if isinstance(op, ops.Union):
+        return can_provide(op.children[0], subject) and can_provide(
+            op.children[1], subject
+        )
+    if isinstance(op, ops.TransitiveJoin):
+        return subject != op.target and can_provide(op.children[0], subject)
+    return False
+
+
+def _flatten(op: ops.Operator, required: frozenset[str]) -> ops.Operator:
+    if isinstance(op, ops.PropertyUnnest):
+        return _flatten(op.children[0], required | {op.projection.output})
+
+    if isinstance(op, ops.GetVertices):
+        extra = []
+        for name in sorted(required):
+            projection = parse_pushed_attribute(name)
+            if projection.subject != op.var:
+                raise CompilerError(
+                    f"pushdown misrouted: {name!r} reached ©({op.var})"
+                )
+            extra.append(projection)
+        merged = dict((p.output, p) for p in op.projections)
+        merged.update((p.output, p) for p in extra)
+        return ops.GetVertices(
+            op.var, op.labels, tuple(sorted(merged.values(), key=lambda p: p.output))
+        )
+
+    if isinstance(op, ops.GetEdges):
+        extra = []
+        for name in sorted(required):
+            projection = parse_pushed_attribute(name)
+            if projection.subject not in (op.src, op.edge, op.tgt):
+                raise CompilerError(
+                    f"pushdown misrouted: {name!r} reached ⇑({op.src},{op.edge},{op.tgt})"
+                )
+            extra.append(projection)
+        merged = dict((p.output, p) for p in op.projections)
+        merged.update((p.output, p) for p in extra)
+        return ops.GetEdges(
+            op.src,
+            op.edge,
+            op.tgt,
+            op.types,
+            src_labels=op.src_labels,
+            tgt_labels=op.tgt_labels,
+            directed=op.directed,
+            projections=tuple(sorted(merged.values(), key=lambda p: p.output)),
+        )
+
+    if isinstance(op, ops.Unit):
+        if required:
+            raise CompilerError(f"cannot push {sorted(required)} into unit")
+        return op
+
+    if isinstance(op, ops.Select):
+        return ops.Select(_flatten(op.children[0], required), op.predicate)
+
+    if isinstance(op, ops.Dedup):
+        return ops.Dedup(_flatten(op.children[0], required))
+
+    if isinstance(op, ops.Unwind):
+        return ops.Unwind(
+            _flatten(op.children[0], required), op.expression, op.alias
+        )
+
+    if isinstance(op, ops.Sort):
+        return ops.Sort(_flatten(op.children[0], required), op.items)
+
+    if isinstance(op, ops.Skip):
+        return ops.Skip(_flatten(op.children[0], required), op.count)
+
+    if isinstance(op, ops.Limit):
+        return ops.Limit(_flatten(op.children[0], required), op.count)
+
+    if isinstance(op, ops.Project):
+        extra_items, child_required = _through_rename(
+            required, op.items, "projection"
+        )
+        child = _flatten(op.children[0], child_required)
+        return ops.Project(child, op.items + extra_items)
+
+    if isinstance(op, ops.Aggregate):
+        extra_keys, child_required = _through_rename(
+            required, op.keys, "aggregation"
+        )
+        child = _flatten(op.children[0], child_required)
+        return ops.Aggregate(child, op.keys + extra_keys, op.aggregates)
+
+    if isinstance(op, (ops.Join, ops.LeftOuterJoin, ops.AntiJoin)):
+        left, right = op.children
+        left_required: set[str] = set()
+        right_required: set[str] = set()
+        for name in required:
+            subject = pushed_subject(name)
+            if can_provide(left, subject):
+                left_required.add(name)
+            elif not isinstance(op, ops.AntiJoin) and can_provide(right, subject):
+                right_required.add(name)
+            else:
+                raise CompilerError(
+                    f"no operand of {type(op).__name__} can provide {name!r}"
+                )
+        new_left = _flatten(left, frozenset(left_required))
+        new_right = _flatten(right, frozenset(right_required))
+        return type(op)(new_left, new_right)
+
+    if isinstance(op, ops.Union):
+        left = _flatten(op.children[0], required)
+        right = _flatten(op.children[1], required)
+        return ops.Union(left, right)
+
+    if isinstance(op, ops.TransitiveJoin):
+        left_required: set[str] = set()
+        target_projections: list[ops.PropertyProjection] = []
+        for name in required:
+            subject = pushed_subject(name)
+            if subject == op.target:
+                target_projections.append(parse_pushed_attribute(name))
+            elif can_provide(op.children[0], subject):
+                left_required.add(name)
+            else:
+                raise CompilerError(
+                    f"transitive join cannot provide {name!r}"
+                )
+        left = _flatten(op.children[0], frozenset(left_required))
+        edges = op.children[1]
+        assert isinstance(edges, ops.GetEdges)
+        plan: ops.Operator = ops.TransitiveJoin(
+            left,
+            edges,
+            source=op.source,
+            target=op.target,
+            direction=op.direction,
+            min_hops=op.min_hops,
+            max_hops=op.max_hops,
+            path_alias=op.path_alias,
+        )
+        if target_projections:
+            companion = ops.GetVertices(
+                op.target,
+                (),
+                tuple(sorted(target_projections, key=lambda p: p.output)),
+            )
+            plan = ops.Join(plan, companion)
+        return plan
+
+    raise CompilerError(f"cannot flatten {type(op).__name__}")
+
+
+def _through_rename(
+    required: frozenset[str],
+    items: tuple[tuple[str, ast.Expr], ...],
+    what: str,
+) -> tuple[tuple[tuple[str, ast.Expr], ...], frozenset[str]]:
+    """Translate required pushed attributes through a rename boundary.
+
+    For a required ``q.lang`` and an item ``q ← Variable(p)``, the child
+    must provide ``p.lang`` and the boundary republishes it as ``q.lang``.
+    Returns the extra pass-through items and the child requirement set.
+    """
+    by_name = dict(items)
+    extra: list[tuple[str, ast.Expr]] = []
+    child_required: set[str] = set()
+    for name in sorted(required):
+        if name in by_name:
+            continue  # already produced explicitly
+        subject = pushed_subject(name)
+        source = by_name.get(subject)
+        if source is None:
+            raise CompilerError(
+                f"{what} drops {subject!r}, cannot provide {name!r}"
+            )
+        if not isinstance(source, ast.Variable):
+            raise CompilerError(
+                f"{what} computes {subject!r}; pushed attribute {name!r} "
+                "cannot flow through a computed column"
+            )
+        child_name = _rename_attribute(name, source.name)
+        child_required.add(child_name)
+        extra.append((name, ast.Variable(child_name)))
+    return tuple(extra), frozenset(child_required)
+
+
+def flatten_to_fra(plan: ops.Operator) -> ops.Operator:
+    """Flatten an NRA plan to FRA with inferred minimal base schemas."""
+    return _flatten(plan, frozenset())

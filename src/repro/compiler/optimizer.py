@@ -1,0 +1,164 @@
+"""FRA plan optimiser.
+
+Implements the optimisations studied in the companion work the paper cites
+for incremental engines ([31], "Evaluation of Optimization Strategies for
+Incremental Graph Query Evaluation"): the dominant one for Rete-style
+networks is *selection pushdown* — filtering tuples before they reach
+stateful join memories shrinks both state and delta traffic.
+
+The pass splits conjunctive predicates and sinks each conjunct as deep as
+its variable footprint allows (never through outer-join null-extension,
+aggregation, or ordering boundaries, where it would change semantics).
+"""
+
+from __future__ import annotations
+
+from ..algebra import ops
+from ..cypher import ast
+from .treeutil import rebuild
+
+
+def split_conjuncts(predicate: ast.Expr) -> list[ast.Expr]:
+    if isinstance(predicate, ast.BooleanOp) and predicate.op == "AND":
+        out: list[ast.Expr] = []
+        for operand in predicate.operands:
+            out.extend(split_conjuncts(operand))
+        return out
+    return [predicate]
+
+
+def conjoin(predicates: list[ast.Expr]) -> ast.Expr:
+    if len(predicates) == 1:
+        return predicates[0]
+    return ast.BooleanOp("AND", tuple(predicates))
+
+
+def _select(child: ops.Operator, predicates: list[ast.Expr]) -> ops.Operator:
+    if not predicates:
+        return child
+    return ops.Select(child, conjoin(predicates))
+
+
+def _push_into(op: ops.Operator, predicates: list[ast.Expr]) -> ops.Operator:
+    """Push *predicates* as far down into *op* as legal; returns new tree.
+
+    Any conjunct that cannot sink below *op* is applied directly above it.
+    """
+    if not predicates:
+        return _optimize(op)
+
+    if isinstance(op, ops.Select):
+        return _push_into(op.children[0], predicates + split_conjuncts(op.predicate))
+
+    if isinstance(op, ops.Join):
+        left, right = op.children
+        left_preds, right_preds, here = [], [], []
+        for predicate in predicates:
+            free = ast.free_variables(predicate)
+            if free <= set(left.schema.names):
+                left_preds.append(predicate)
+            elif free <= set(right.schema.names):
+                right_preds.append(predicate)
+            else:
+                here.append(predicate)
+        new = ops.Join(_push_into(left, left_preds), _push_into(right, right_preds))
+        return _select(new, here)
+
+    if isinstance(op, (ops.LeftOuterJoin, ops.AntiJoin)):
+        # Only left-side pushdown is semantics-preserving: the right side of
+        # ⟕ null-extends and the right side of ▷ is negated.
+        left, right = op.children
+        left_preds, here = [], []
+        for predicate in predicates:
+            if ast.free_variables(predicate) <= set(left.schema.names):
+                left_preds.append(predicate)
+            else:
+                here.append(predicate)
+        new = rebuild(op, [_push_into(left, left_preds), _optimize(right)])
+        return _select(new, here)
+
+    if isinstance(op, ops.TransitiveJoin):
+        left, edges = op.children
+        left_preds, here = [], []
+        for predicate in predicates:
+            if ast.free_variables(predicate) <= set(left.schema.names):
+                left_preds.append(predicate)
+            else:
+                here.append(predicate)
+        new = rebuild(op, [_push_into(left, left_preds), edges])
+        return _select(new, here)
+
+    if isinstance(op, ops.Dedup):
+        # σ δ ≡ δ σ
+        return ops.Dedup(_push_into(op.children[0], predicates))
+
+    if isinstance(op, ops.Unwind):
+        below, here = [], []
+        for predicate in predicates:
+            if op.alias not in ast.free_variables(predicate):
+                below.append(predicate)
+            else:
+                here.append(predicate)
+        new = ops.Unwind(_push_into(op.children[0], below), op.expression, op.alias)
+        return _select(new, here)
+
+    if isinstance(op, ops.Union):
+        left = _push_into(op.children[0], list(predicates))
+        # Align names: Union guarantees both sides share the name set.
+        right = _push_into(op.children[1], list(predicates))
+        return ops.Union(left, right)
+
+    # Barrier operators (Project, Aggregate, Sort/Skip/Limit, base ops, …):
+    # optimise below, keep the selection here.
+    return _select(_optimize(op), predicates)
+
+
+def _optimize(op: ops.Operator) -> ops.Operator:
+    if isinstance(op, ops.Select):
+        return _push_into(op.children[0], split_conjuncts(op.predicate))
+    return rebuild(op, [_optimize(c) for c in op.children])
+
+
+def optimize(plan: ops.Operator) -> ops.Operator:
+    """Apply selection pushdown; input and output are valid FRA."""
+    return _optimize(plan)
+
+
+def prune_unused_path_aliases(plan: ops.Operator) -> ops.Operator:
+    """Drop path attributes no expression ever observes (GRA stage).
+
+    The pattern compiler materialises a path for every variable-length
+    segment (named paths, relationship-list variables and edge-uniqueness
+    predicates need them).  When nothing references the path, dropping it
+    lets the transitive-closure stage run in the cheaper pair/reachability
+    mode (ablation D2) and keeps tuples narrower.
+    """
+    from ..algebra.fra import _expressions_of
+
+    used: set[str] = set()
+    for op in plan.walk():
+        for expr in _expressions_of(op):
+            used |= ast.free_variables(expr)
+
+    def prune(op: ops.Operator) -> ops.Operator:
+        children = [prune(c) for c in op.children]
+        if (
+            isinstance(op, ops.ExpandOut)
+            and op.path_alias is not None
+            and op.path_alias not in used
+        ):
+            return ops.ExpandOut(
+                children[0],
+                src=op.src,
+                edge=op.edge,
+                tgt=op.tgt,
+                types=op.types,
+                tgt_labels=op.tgt_labels,
+                direction=op.direction,
+                min_hops=op.min_hops,
+                max_hops=op.max_hops,
+                path_alias=None,
+            )
+        return rebuild(op, children)
+
+    return prune(plan)

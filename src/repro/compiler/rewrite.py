@@ -1,0 +1,61 @@
+"""Generic AST expression rewriting utilities used by the compiler passes."""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Callable
+
+from ..cypher import ast
+
+
+def _map_value(value, fn: Callable[[ast.Expr], ast.Expr]):
+    if isinstance(value, ast.Expr):
+        return fn(value)
+    if isinstance(value, tuple):
+        return tuple(_map_value(item, fn) for item in value)
+    return value
+
+
+def map_child_exprs(node: ast.AstNode, fn: Callable[[ast.Expr], ast.Expr]) -> ast.AstNode:
+    """Rebuild *node* with *fn* applied to each direct child expression."""
+    kwargs = {}
+    changed = False
+    for field in fields(node):  # type: ignore[arg-type]
+        value = getattr(node, field.name)
+        new_value = _map_value(value, fn)
+        kwargs[field.name] = new_value
+        if new_value is not value:
+            changed = True
+    return type(node)(**kwargs) if changed else node
+
+
+def bottom_up(expr: ast.Expr, fn: Callable[[ast.Expr], ast.Expr]) -> ast.Expr:
+    """Apply *fn* to every node of *expr*, children before parents."""
+    rebuilt = map_child_exprs(expr, lambda child: bottom_up(child, fn))
+    return fn(rebuilt)  # type: ignore[arg-type]
+
+
+def substitute_variables(expr: ast.Expr, mapping: dict[str, ast.Expr]) -> ast.Expr:
+    """Replace each ``Variable(name)`` with ``mapping[name]`` where present."""
+    if not mapping:
+        return expr
+
+    def replace(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Variable) and node.name in mapping:
+            return mapping[node.name]
+        return node
+
+    return bottom_up(expr, replace)
+
+
+def substitute_subexpression(
+    expr: ast.Expr, target: ast.Expr, replacement: ast.Expr
+) -> ast.Expr:
+    """Replace every subexpression structurally equal to *target*."""
+
+    def replace(node: ast.Expr) -> ast.Expr:
+        if node == target:
+            return replacement
+        return node
+
+    return bottom_up(expr, replace)

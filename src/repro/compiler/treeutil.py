@@ -1,0 +1,73 @@
+"""Operator-tree rebuilding helpers shared by the compiler passes."""
+
+from __future__ import annotations
+
+from ..algebra import ops
+from ..errors import CompilerError
+
+
+def rebuild(op: ops.Operator, children: list[ops.Operator]) -> ops.Operator:
+    """Reconstruct *op* with new *children*, keeping its parameters.
+
+    Returns *op* itself when nothing changed (cheap identity fast-path).
+    """
+    if len(children) == len(op.children) and all(
+        new is old for new, old in zip(children, op.children)
+    ):
+        return op
+    if isinstance(op, (ops.GetVertices, ops.GetEdges, ops.Unit)):
+        return op
+    if isinstance(op, ops.ExpandOut):
+        return ops.ExpandOut(
+            children[0],
+            src=op.src,
+            edge=op.edge,
+            tgt=op.tgt,
+            types=op.types,
+            tgt_labels=op.tgt_labels,
+            direction=op.direction,
+            min_hops=op.min_hops,
+            max_hops=op.max_hops,
+            path_alias=op.path_alias,
+        )
+    if isinstance(op, ops.Select):
+        return ops.Select(children[0], op.predicate)
+    if isinstance(op, ops.Project):
+        return ops.Project(children[0], op.items)
+    if isinstance(op, ops.Dedup):
+        return ops.Dedup(children[0])
+    if isinstance(op, ops.Unwind):
+        return ops.Unwind(children[0], op.expression, op.alias)
+    if isinstance(op, ops.PropertyUnnest):
+        return ops.PropertyUnnest(children[0], op.projection)
+    if isinstance(op, ops.Aggregate):
+        return ops.Aggregate(children[0], op.keys, op.aggregates)
+    if isinstance(op, ops.Sort):
+        return ops.Sort(children[0], op.items)
+    if isinstance(op, ops.Skip):
+        return ops.Skip(children[0], op.count)
+    if isinstance(op, ops.Limit):
+        return ops.Limit(children[0], op.count)
+    if isinstance(op, ops.Join):
+        return ops.Join(children[0], children[1])
+    if isinstance(op, ops.AntiJoin):
+        return ops.AntiJoin(children[0], children[1])
+    if isinstance(op, ops.LeftOuterJoin):
+        return ops.LeftOuterJoin(children[0], children[1])
+    if isinstance(op, ops.Union):
+        return ops.Union(children[0], children[1])
+    if isinstance(op, ops.TransitiveJoin):
+        edges = children[1]
+        if not isinstance(edges, ops.GetEdges):
+            raise CompilerError("transitive join edges child must stay a get-edges")
+        return ops.TransitiveJoin(
+            children[0],
+            edges,
+            source=op.source,
+            target=op.target,
+            direction=op.direction,
+            min_hops=op.min_hops,
+            max_hops=op.max_hops,
+            path_alias=op.path_alias,
+        )
+    raise CompilerError(f"cannot rebuild {type(op).__name__}")

@@ -1,0 +1,21 @@
+"""openCypher front end: lexer, AST, parser, unparser."""
+
+from . import ast
+from .lexer import Lexer, tokenize
+from .parser import Parser, UnionQuery, parse, parse_expression
+from .tokens import Token, TokenType
+from .unparser import unparse, unparse_expr
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "Lexer",
+    "Token",
+    "TokenType",
+    "parse",
+    "parse_expression",
+    "Parser",
+    "UnionQuery",
+    "unparse",
+    "unparse_expr",
+]

@@ -1,0 +1,264 @@
+"""Hand-written lexer for the openCypher fragment.
+
+Follows the openCypher grammar's lexical rules for the constructs in our
+fragment: case-insensitive keywords, single- and double-quoted strings with
+backslash escapes, backtick-quoted identifiers, ``//`` line comments and
+``/* */`` block comments, integer/float literals, and ``$param`` parameters.
+"""
+
+from __future__ import annotations
+
+from ..errors import CypherSyntaxError
+from .tokens import KEYWORDS, Token, TokenType
+
+_SIMPLE_TOKENS = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+    ":": TokenType.COLON,
+    ";": TokenType.SEMICOLON,
+    "|": TokenType.PIPE,
+    "+": TokenType.PLUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "^": TokenType.CARET,
+    "=": TokenType.EQ,
+}
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "`": "`",
+}
+
+
+class Lexer:
+    """Tokenises a query string; use :func:`tokenize` for the common case."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _error(self, message: str) -> CypherSyntaxError:
+        return CypherSyntaxError(message, self.line, self.column)
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    # -- token scanners -------------------------------------------------
+
+    def _scan_string(self) -> Token:
+        line, column = self.line, self.column
+        quote = self._peek()
+        self._advance()
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise CypherSyntaxError("unterminated string literal", line, column)
+            if ch == quote:
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                escaped = self._peek()
+                if escaped == "u":
+                    self._advance()
+                    hex_digits = self.text[self.pos : self.pos + 4]
+                    if len(hex_digits) != 4:
+                        raise self._error("invalid unicode escape")
+                    try:
+                        chars.append(chr(int(hex_digits, 16)))
+                    except ValueError:
+                        raise self._error("invalid unicode escape") from None
+                    self._advance(4)
+                    continue
+                if escaped not in _ESCAPES:
+                    raise self._error(f"invalid escape sequence \\{escaped}")
+                chars.append(_ESCAPES[escaped])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        value = "".join(chars)
+        return Token(TokenType.STRING, value, line, column, value)
+
+    def _scan_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        # Disambiguate "1..3" (range) from "1.5" (float): only consume the dot
+        # when it is followed by a digit.
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.text[start : self.pos]
+        if is_float:
+            return Token(TokenType.FLOAT, text, line, column, float(text))
+        return Token(TokenType.INTEGER, text, line, column, int(text))
+
+    def _scan_identifier(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.text[start : self.pos]
+        upper = text.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, line, column)
+        return Token(TokenType.IDENT, text, line, column)
+
+    def _scan_backtick_identifier(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise CypherSyntaxError("unterminated quoted identifier", line, column)
+            if ch == "`":
+                self._advance()
+                if self._peek() == "`":  # doubled backtick escapes a backtick
+                    chars.append("`")
+                    self._advance()
+                    continue
+                break
+            chars.append(ch)
+            self._advance()
+        return Token(TokenType.IDENT, "".join(chars), line, column)
+
+    def _scan_parameter(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # $
+        if not (self._peek().isalpha() or self._peek() == "_"):
+            raise self._error("expected parameter name after '$'")
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        return Token(TokenType.PARAMETER, self.text[start : self.pos], line, column)
+
+    # -- main loop -------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        ch = self._peek()
+        if ch == "":
+            return Token(TokenType.EOF, "", line, column)
+        if ch in "'\"":
+            return self._scan_string()
+        if ch.isdigit():
+            return self._scan_number()
+        if ch.isalpha() or ch == "_":
+            return self._scan_identifier()
+        if ch == "`":
+            return self._scan_backtick_identifier()
+        if ch == "$":
+            return self._scan_parameter()
+        if ch == ".":
+            if self._peek(1) == ".":
+                self._advance(2)
+                return Token(TokenType.DOTDOT, "..", line, column)
+            self._advance()
+            return Token(TokenType.DOT, ".", line, column)
+        if ch == "<":
+            if self._peek(1) == ">":
+                self._advance(2)
+                return Token(TokenType.NEQ, "<>", line, column)
+            if self._peek(1) == "=":
+                self._advance(2)
+                return Token(TokenType.LE, "<=", line, column)
+            if self._peek(1) == "-":
+                self._advance(2)
+                return Token(TokenType.ARROW_LEFT, "<-", line, column)
+            self._advance()
+            return Token(TokenType.LT, "<", line, column)
+        if ch == ">":
+            if self._peek(1) == "=":
+                self._advance(2)
+                return Token(TokenType.GE, ">=", line, column)
+            self._advance()
+            return Token(TokenType.GT, ">", line, column)
+        if ch == "-":
+            if self._peek(1) == ">":
+                self._advance(2)
+                return Token(TokenType.ARROW_RIGHT, "->", line, column)
+            self._advance()
+            return Token(TokenType.MINUS, "-", line, column)
+        if ch in _SIMPLE_TOKENS:
+            self._advance()
+            return Token(_SIMPLE_TOKENS[ch], ch, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            token = self.next_token()
+            out.append(token)
+            if token.type is TokenType.EOF:
+                return out
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise *text*, returning a list ending with an EOF token."""
+    return Lexer(text).tokens()

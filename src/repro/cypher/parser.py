@@ -1,0 +1,760 @@
+"""Recursive-descent parser for the openCypher fragment.
+
+Grammar coverage (the paper's fragment plus the extensions it lists as
+future work, which our compiler supports non-incrementally or
+incrementally where possible)::
+
+    query        := single ( UNION (ALL)? single )*
+    single       := clause* RETURN projection
+    clause       := (OPTIONAL)? MATCH pattern (WHERE expr)?
+                  | UNWIND expr AS var
+                  | WITH projection (WHERE expr)?
+    pattern      := part ("," part)*
+    part         := (var "=")? node (rel node)*
+    node         := "(" var? (":" label)* map? ")"
+    rel          := dash "[" var? types? varlen? map? "]" dash
+    projection   := (DISTINCT)? item ("," item)*
+                    (ORDER BY order ("," order)*)? (SKIP expr)? (LIMIT expr)?
+
+Expression precedence follows the openCypher specification:
+OR < XOR < AND < NOT < comparison < +/- < * / % < ^ < unary minus <
+string/list/null operators (IN, STARTS WITH, IS NULL, subscripts) <
+property access / label predicate < atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CypherSyntaxError, UnsupportedFeatureError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+_COMPARISON_OPS = {
+    TokenType.EQ: "=",
+    TokenType.NEQ: "<>",
+    TokenType.LT: "<",
+    TokenType.GT: ">",
+    TokenType.LE: "<=",
+    TokenType.GE: ">=",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class UnionQuery(ast.AstNode):
+    """``q1 UNION [ALL] q2 ...``; ``all=False`` deduplicates the result."""
+
+    queries: tuple[ast.Query, ...]
+    all: bool
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str) -> CypherSyntaxError:
+        token = self.current
+        return CypherSyntaxError(
+            f"{message} (found {token.text!r})" if token.text else message,
+            token.line,
+            token.column,
+        )
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        if self.current.type is not token_type:
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    def _at_keyword(self, *words: str) -> bool:
+        return self.current.type is TokenType.KEYWORD and self.current.text in words
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._at_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise self._error(f"expected {word}")
+
+    def _name(self, what: str = "identifier") -> str:
+        """Accept an identifier; keywords are allowed as names where openCypher
+        allows (e.g. property keys), but only a safe subset here."""
+        if self.current.type is TokenType.IDENT:
+            return self._advance().text
+        raise self._error(f"expected {what}")
+
+    # -- entry point ------------------------------------------------------
+
+    def parse(self) -> ast.Query | ast.UpdatingQuery | UnionQuery:
+        statement = self._parse_statement()
+        if self.current.type is TokenType.SEMICOLON:
+            self._advance()
+        if self.current.type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+        return statement
+
+    def _parse_statement(self) -> ast.Query | ast.UpdatingQuery | UnionQuery:
+        first = self._parse_single_query()
+        queries = [first]
+        all_flags: list[bool] = []
+        while self._accept_keyword("UNION"):
+            all_flags.append(self._accept_keyword("ALL"))
+            queries.append(self._parse_single_query())
+        if len(queries) == 1:
+            return first
+        if any(isinstance(q, ast.UpdatingQuery) for q in queries):
+            raise UnsupportedFeatureError(
+                "UNION of updating queries is not supported"
+            )
+        if len(set(all_flags)) > 1:
+            raise UnsupportedFeatureError(
+                "mixing UNION and UNION ALL in one query is not supported"
+            )
+        return UnionQuery(tuple(queries), all=all_flags[0])
+
+    def _parse_single_query(self) -> ast.Query | ast.UpdatingQuery:
+        clauses: list[ast.AstNode] = []
+        has_update = False
+        while True:
+            if self._at_keyword("MATCH", "OPTIONAL"):
+                clauses.append(self._parse_match())
+            elif self._at_keyword("UNWIND"):
+                clauses.append(self._parse_unwind())
+            elif self._at_keyword("WITH"):
+                clauses.append(self._parse_with())
+            elif self._at_keyword("CREATE"):
+                clauses.append(self._parse_create())
+                has_update = True
+            elif self._at_keyword("MERGE"):
+                clauses.append(self._parse_merge())
+                has_update = True
+            elif self._at_keyword("DELETE", "DETACH"):
+                clauses.append(self._parse_delete())
+                has_update = True
+            elif self._at_keyword("SET"):
+                clauses.append(self._parse_set())
+                has_update = True
+            elif self._at_keyword("REMOVE"):
+                clauses.append(self._parse_remove())
+                has_update = True
+            elif self._at_keyword("RETURN"):
+                return_clause = self._parse_return()
+                if has_update:
+                    return ast.UpdatingQuery(tuple(clauses), return_clause)
+                return ast.Query(tuple(clauses), return_clause)
+            elif (
+                has_update
+                and clauses
+                and (
+                    self.current.type in (TokenType.EOF, TokenType.SEMICOLON)
+                    or self._at_keyword("UNION")
+                )
+            ):
+                if not isinstance(clauses[-1], ast.UPDATING_CLAUSES):
+                    raise self._error(
+                        "query must end with RETURN or an updating clause"
+                    )
+                return ast.UpdatingQuery(tuple(clauses), None)
+            else:
+                raise self._error(
+                    "expected MATCH, UNWIND, WITH, CREATE, MERGE, DELETE, "
+                    "SET, REMOVE or RETURN"
+                )
+
+    # -- clauses ----------------------------------------------------------
+
+    def _parse_match(self) -> ast.MatchClause:
+        optional = self._accept_keyword("OPTIONAL")
+        self._expect_keyword("MATCH")
+        pattern = self._parse_pattern()
+        where = self._parse_expression() if self._accept_keyword("WHERE") else None
+        return ast.MatchClause(pattern, optional=optional, where=where)
+
+    def _parse_unwind(self) -> ast.UnwindClause:
+        self._expect_keyword("UNWIND")
+        expression = self._parse_expression()
+        self._expect_keyword("AS")
+        alias = self._name("alias after AS")
+        return ast.UnwindClause(expression, alias)
+
+    def _parse_with(self) -> ast.WithClause:
+        self._expect_keyword("WITH")
+        body = self._parse_projection_body()
+        where = self._parse_expression() if self._accept_keyword("WHERE") else None
+        return ast.WithClause(body, where=where)
+
+    def _parse_return(self) -> ast.ReturnClause:
+        self._expect_keyword("RETURN")
+        return ast.ReturnClause(self._parse_projection_body())
+
+    # -- updating clauses ---------------------------------------------------
+
+    def _parse_create(self) -> ast.CreateClause:
+        self._expect_keyword("CREATE")
+        return ast.CreateClause(self._parse_pattern())
+
+    def _parse_merge(self) -> ast.MergeClause:
+        self._expect_keyword("MERGE")
+        part = self._parse_pattern_part()
+        on_create: list[ast.AstNode] = []
+        on_match: list[ast.AstNode] = []
+        while self._at_keyword("ON"):
+            self._advance()
+            if self._accept_keyword("CREATE"):
+                bucket = on_create
+            elif self._accept_keyword("MATCH"):
+                bucket = on_match
+            else:
+                raise self._error("expected CREATE or MATCH after ON")
+            self._expect_keyword("SET")
+            bucket.extend(self._parse_set_items())
+        return ast.MergeClause(part, tuple(on_create), tuple(on_match))
+
+    def _parse_delete(self) -> ast.DeleteClause:
+        detach = self._accept_keyword("DETACH")
+        self._expect_keyword("DELETE")
+        expressions = [self._parse_expression()]
+        while self.current.type is TokenType.COMMA:
+            self._advance()
+            expressions.append(self._parse_expression())
+        return ast.DeleteClause(tuple(expressions), detach=detach)
+
+    def _parse_set(self) -> ast.SetClause:
+        self._expect_keyword("SET")
+        return ast.SetClause(tuple(self._parse_set_items()))
+
+    def _parse_set_items(self) -> list[ast.AstNode]:
+        items = [self._parse_set_item()]
+        while self.current.type is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_set_item())
+        return items
+
+    def _parse_set_item(self) -> ast.AstNode:
+        target = self._parse_property_or_labels()
+        if isinstance(target, ast.HasLabel):
+            if not isinstance(target.subject, ast.Variable):
+                raise self._error("SET label target must be a variable")
+            return ast.SetLabels(target.subject.name, target.labels)
+        if isinstance(target, ast.Property):
+            self._expect(TokenType.EQ, "'=' in SET item")
+            return ast.SetProperty(target, self._parse_expression())
+        if isinstance(target, ast.Variable):
+            if self.current.type is TokenType.PLUS:
+                self._advance()
+                self._expect(TokenType.EQ, "'=' after '+' in SET item")
+                return ast.SetProperties(
+                    target.name, self._parse_expression(), merge=True
+                )
+            self._expect(TokenType.EQ, "'=' or '+=' in SET item")
+            return ast.SetProperties(target.name, self._parse_expression(), merge=False)
+        raise self._error("invalid SET target")
+
+    def _parse_remove(self) -> ast.RemoveClause:
+        self._expect_keyword("REMOVE")
+        items = [self._parse_remove_item()]
+        while self.current.type is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_remove_item())
+        return ast.RemoveClause(tuple(items))
+
+    def _parse_remove_item(self) -> ast.AstNode:
+        target = self._parse_property_or_labels()
+        if isinstance(target, ast.HasLabel):
+            if not isinstance(target.subject, ast.Variable):
+                raise self._error("REMOVE label target must be a variable")
+            return ast.RemoveLabels(target.subject.name, target.labels)
+        if isinstance(target, ast.Property):
+            return ast.RemoveProperty(target)
+        raise self._error("REMOVE expects n.prop or n:Label")
+
+    def _parse_projection_body(self) -> ast.ProjectionBody:
+        distinct = self._accept_keyword("DISTINCT")
+        items = [self._parse_return_item()]
+        while self.current.type is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_return_item())
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_items = [self._parse_order_item()]
+            while self.current.type is TokenType.COMMA:
+                self._advance()
+                order_items.append(self._parse_order_item())
+            order_by = tuple(order_items)
+        skip = self._parse_expression() if self._accept_keyword("SKIP") else None
+        limit = self._parse_expression() if self._accept_keyword("LIMIT") else None
+        return ast.ProjectionBody(tuple(items), distinct, order_by, skip, limit)
+
+    def _parse_return_item(self) -> ast.ReturnItem:
+        if self.current.type is TokenType.STAR:
+            raise UnsupportedFeatureError("RETURN * is not supported; list items explicitly")
+        expression = self._parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._name("alias after AS")
+        return ast.ReturnItem(expression, alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expression = self._parse_expression()
+        ascending = True
+        if self._accept_keyword("DESC", "DESCENDING"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC", "ASCENDING")
+        return ast.OrderItem(expression, ascending)
+
+    # -- patterns -----------------------------------------------------------
+
+    def _parse_pattern(self) -> ast.Pattern:
+        parts = [self._parse_pattern_part()]
+        while self.current.type is TokenType.COMMA:
+            self._advance()
+            parts.append(self._parse_pattern_part())
+        return ast.Pattern(tuple(parts))
+
+    def _parse_pattern_part(self) -> ast.PatternPart:
+        variable = None
+        if (
+            self.current.type is TokenType.IDENT
+            and self._peek().type is TokenType.EQ
+        ):
+            variable = self._advance().text
+            self._advance()  # =
+        elements: list[ast.AstNode] = [self._parse_node_pattern()]
+        while self.current.type in (TokenType.MINUS, TokenType.ARROW_LEFT):
+            elements.append(self._parse_relationship_pattern())
+            elements.append(self._parse_node_pattern())
+        return ast.PatternPart(variable, tuple(elements))
+
+    def _parse_node_pattern(self) -> ast.NodePattern:
+        self._expect(TokenType.LPAREN, "'(' to start a node pattern")
+        variable = None
+        if self.current.type is TokenType.IDENT:
+            variable = self._advance().text
+        labels: list[str] = []
+        while self.current.type is TokenType.COLON:
+            self._advance()
+            labels.append(self._name("label name"))
+        properties: tuple[tuple[str, ast.Expr], ...] = ()
+        if self.current.type is TokenType.LBRACE:
+            properties = self._parse_map_entries()
+        self._expect(TokenType.RPAREN, "')' to close the node pattern")
+        return ast.NodePattern(variable, tuple(labels), properties)
+
+    def _parse_relationship_pattern(self) -> ast.RelationshipPattern:
+        left_arrow = False
+        if self.current.type is TokenType.ARROW_LEFT:
+            left_arrow = True
+            self._advance()
+        else:
+            self._expect(TokenType.MINUS, "'-' to start a relationship")
+
+        variable = None
+        types: list[str] = []
+        var_length = False
+        min_hops, max_hops = 1, 1
+        properties: tuple[tuple[str, ast.Expr], ...] = ()
+
+        if self.current.type is TokenType.LBRACKET:
+            self._advance()
+            if self.current.type is TokenType.IDENT:
+                variable = self._advance().text
+            if self.current.type is TokenType.COLON:
+                self._advance()
+                types.append(self._name("relationship type"))
+                while self.current.type is TokenType.PIPE:
+                    self._advance()
+                    if self.current.type is TokenType.COLON:
+                        self._advance()
+                    types.append(self._name("relationship type"))
+            if self.current.type is TokenType.STAR:
+                self._advance()
+                var_length = True
+                min_hops, max_hops = self._parse_range_literal()
+            if self.current.type is TokenType.LBRACE:
+                properties = self._parse_map_entries()
+            self._expect(TokenType.RBRACKET, "']' to close the relationship")
+
+        right_arrow = False
+        if self.current.type is TokenType.ARROW_RIGHT:
+            right_arrow = True
+            self._advance()
+        else:
+            self._expect(TokenType.MINUS, "'-' or '->' after the relationship")
+
+        if left_arrow and right_arrow:
+            direction = "both"
+        elif left_arrow:
+            direction = "in"
+        elif right_arrow:
+            direction = "out"
+        else:
+            direction = "both"
+        return ast.RelationshipPattern(
+            variable,
+            tuple(types),
+            direction,
+            var_length=var_length,
+            min_hops=min_hops,
+            max_hops=max_hops,
+            properties=properties,
+        )
+
+    def _parse_range_literal(self) -> tuple[int, int | None]:
+        """After ``*``: ``''`` → 1..∞, ``n`` → n..n, ``a..b``/``..b``/``a..``."""
+        low: int | None = None
+        high: int | None = None
+        if self.current.type is TokenType.INTEGER:
+            low = int(self.current.value)  # type: ignore[arg-type]
+            self._advance()
+            if self.current.type is TokenType.DOTDOT:
+                self._advance()
+                if self.current.type is TokenType.INTEGER:
+                    high = int(self._advance().value)  # type: ignore[arg-type]
+            else:
+                high = low
+        elif self.current.type is TokenType.DOTDOT:
+            self._advance()
+            low = 1
+            if self.current.type is TokenType.INTEGER:
+                high = int(self._advance().value)  # type: ignore[arg-type]
+        else:
+            low, high = 1, None
+        if low is None:
+            low = 1
+        if high is not None and high < low:
+            raise self._error(f"invalid hop range *{low}..{high}")
+        return low, high
+
+    def _parse_map_entries(self) -> tuple[tuple[str, ast.Expr], ...]:
+        self._expect(TokenType.LBRACE, "'{'")
+        entries: list[tuple[str, ast.Expr]] = []
+        if self.current.type is not TokenType.RBRACE:
+            while True:
+                key = self._map_key()
+                self._expect(TokenType.COLON, "':' after map key")
+                entries.append((key, self._parse_expression()))
+                if self.current.type is TokenType.COMMA:
+                    self._advance()
+                else:
+                    break
+        self._expect(TokenType.RBRACE, "'}'")
+        return tuple(entries)
+
+    def _map_key(self) -> str:
+        if self.current.type is TokenType.IDENT:
+            return self._advance().text
+        if self.current.type is TokenType.KEYWORD:
+            return self._advance().text.lower()
+        if self.current.type is TokenType.STRING:
+            return str(self._advance().value)
+        raise self._error("expected map key")
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        operands = [self._parse_xor()]
+        while self._accept_keyword("OR"):
+            operands.append(self._parse_xor())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BooleanOp("OR", tuple(operands))
+
+    def _parse_xor(self) -> ast.Expr:
+        operands = [self._parse_and()]
+        while self._accept_keyword("XOR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BooleanOp("XOR", tuple(operands))
+
+    def _parse_and(self) -> ast.Expr:
+        operands = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.BooleanOp("AND", tuple(operands))
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept_keyword("NOT"):
+            return ast.Not(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        first = self._parse_add_sub()
+        operands = [first]
+        ops: list[str] = []
+        while self.current.type in _COMPARISON_OPS:
+            ops.append(_COMPARISON_OPS[self._advance().type])
+            operands.append(self._parse_add_sub())
+        if not ops:
+            return first
+        return ast.Comparison(tuple(operands), tuple(ops))
+
+    def _parse_add_sub(self) -> ast.Expr:
+        left = self._parse_mul_div()
+        while self.current.type in (TokenType.PLUS, TokenType.MINUS):
+            op = "+" if self._advance().type is TokenType.PLUS else "-"
+            left = ast.Arithmetic(op, left, self._parse_mul_div())
+        return left
+
+    def _parse_mul_div(self) -> ast.Expr:
+        left = self._parse_power()
+        ops = {TokenType.STAR: "*", TokenType.SLASH: "/", TokenType.PERCENT: "%"}
+        while self.current.type in ops:
+            op = ops[self._advance().type]
+            left = ast.Arithmetic(op, left, self._parse_power())
+        return left
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_unary()
+        if self.current.type is TokenType.CARET:
+            self._advance()
+            # right-associative
+            return ast.Arithmetic("^", base, self._parse_power())
+        return base
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.current.type is TokenType.MINUS:
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Literal(-operand.value)
+            return ast.UnaryMinus(operand)
+        if self.current.type is TokenType.PLUS:
+            self._advance()
+            return self._parse_unary()
+        return self._parse_string_list_null()
+
+    def _parse_string_list_null(self) -> ast.Expr:
+        expr = self._parse_property_or_labels()
+        while True:
+            if self._at_keyword("IN"):
+                self._advance()
+                expr = ast.In(expr, self._parse_property_or_labels())
+            elif self._at_keyword("STARTS"):
+                self._advance()
+                self._expect_keyword("WITH")
+                expr = ast.StringPredicate(
+                    "STARTS WITH", expr, self._parse_property_or_labels()
+                )
+            elif self._at_keyword("ENDS"):
+                self._advance()
+                self._expect_keyword("WITH")
+                expr = ast.StringPredicate(
+                    "ENDS WITH", expr, self._parse_property_or_labels()
+                )
+            elif self._at_keyword("CONTAINS"):
+                self._advance()
+                expr = ast.StringPredicate(
+                    "CONTAINS", expr, self._parse_property_or_labels()
+                )
+            elif self._at_keyword("IS"):
+                self._advance()
+                negated = self._accept_keyword("NOT")
+                self._expect_keyword("NULL")
+                expr = ast.IsNull(expr, negated=negated)
+            else:
+                return expr
+
+    def _parse_property_or_labels(self) -> ast.Expr:
+        expr = self._parse_atom()
+        while True:
+            if self.current.type is TokenType.DOT:
+                self._advance()
+                expr = ast.Property(expr, self._property_key())
+            elif self.current.type is TokenType.LBRACKET:
+                self._advance()
+                expr = self._parse_subscript_or_slice(expr)
+            elif self.current.type is TokenType.COLON:
+                labels = []
+                while self.current.type is TokenType.COLON:
+                    self._advance()
+                    labels.append(self._name("label name"))
+                expr = ast.HasLabel(expr, tuple(labels))
+            else:
+                return expr
+
+    def _property_key(self) -> str:
+        if self.current.type is TokenType.IDENT:
+            return self._advance().text
+        if self.current.type is TokenType.KEYWORD:
+            return self._advance().text.lower()
+        raise self._error("expected property key after '.'")
+
+    def _parse_subscript_or_slice(self, subject: ast.Expr) -> ast.Expr:
+        low: ast.Expr | None = None
+        if self.current.type is TokenType.DOTDOT:
+            self._advance()
+            high = (
+                None
+                if self.current.type is TokenType.RBRACKET
+                else self._parse_expression()
+            )
+            self._expect(TokenType.RBRACKET, "']'")
+            return ast.Slice(subject, None, high)
+        low = self._parse_expression()
+        if self.current.type is TokenType.DOTDOT:
+            self._advance()
+            high = (
+                None
+                if self.current.type is TokenType.RBRACKET
+                else self._parse_expression()
+            )
+            self._expect(TokenType.RBRACKET, "']'")
+            return ast.Slice(subject, low, high)
+        self._expect(TokenType.RBRACKET, "']'")
+        return ast.Subscript(subject, low)
+
+    def _parse_atom(self) -> ast.Expr:
+        token = self.current
+        if token.type is TokenType.INTEGER or token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return ast.Parameter(token.text)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect(TokenType.LPAREN, "'(' after exists")
+            arg = self._parse_expression()
+            self._expect(TokenType.RPAREN, "')'")
+            return ast.FunctionCall("exists", (arg,))
+        if token.type is TokenType.IDENT:
+            if self._peek().type is TokenType.LPAREN:
+                return self._parse_function_call()
+            self._advance()
+            return ast.Variable(token.text)
+        if token.type is TokenType.LBRACKET:
+            self._advance()
+            items: list[ast.Expr] = []
+            if self.current.type is not TokenType.RBRACKET:
+                while True:
+                    items.append(self._parse_expression())
+                    if self.current.type is TokenType.COMMA:
+                        self._advance()
+                    else:
+                        break
+            self._expect(TokenType.RBRACKET, "']'")
+            return ast.ListLiteral(tuple(items))
+        if token.type is TokenType.LBRACE:
+            return ast.MapLiteral(self._parse_map_entries())
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN, "')'")
+            return expr
+        raise self._error("expected an expression")
+
+    def _parse_function_call(self) -> ast.Expr:
+        name = self._advance().text
+        self._expect(TokenType.LPAREN, "'('")
+        if name.lower() == "count" and self.current.type is TokenType.STAR:
+            self._advance()
+            self._expect(TokenType.RPAREN, "')'")
+            return ast.CountStar()
+        distinct = self._accept_keyword("DISTINCT")
+        args: list[ast.Expr] = []
+        if self.current.type is not TokenType.RPAREN:
+            while True:
+                args.append(self._parse_expression())
+                if self.current.type is TokenType.COMMA:
+                    self._advance()
+                else:
+                    break
+        self._expect(TokenType.RPAREN, "')'")
+        return ast.FunctionCall(name.lower(), tuple(args), distinct=distinct)
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect_keyword("CASE")
+        subject: ast.Expr | None = None
+        if not self._at_keyword("WHEN"):
+            subject = self._parse_expression()
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expression()
+            if subject is not None:
+                condition = ast.Comparison((subject, condition), ("=",))
+            self._expect_keyword("THEN")
+            whens.append((condition, self._parse_expression()))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        default = self._parse_expression() if self._accept_keyword("ELSE") else None
+        self._expect_keyword("END")
+        return ast.CaseExpr(tuple(whens), default)
+
+
+def parse(text: str) -> ast.Query | ast.UpdatingQuery | UnionQuery:
+    """Parse *text* into an AST; raises :class:`CypherSyntaxError` on error."""
+    return Parser(text).parse()
+
+
+def parse_script(
+    text: str,
+) -> list[ast.Query | ast.UpdatingQuery | UnionQuery]:
+    """Parse a ``;``-separated sequence of statements.
+
+    Empty statements (stray semicolons, trailing whitespace) are skipped;
+    at least one statement is required.
+    """
+    parser = Parser(text)
+    statements: list[ast.Query | ast.UpdatingQuery | UnionQuery] = []
+    while True:
+        while parser.current.type is TokenType.SEMICOLON:
+            parser._advance()
+        if parser.current.type is TokenType.EOF:
+            break
+        statements.append(parser._parse_statement())
+    if not statements:
+        raise CypherSyntaxError("empty script", 1, 1)
+    return statements
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a standalone expression (testing convenience)."""
+    parser = Parser(text)
+    expr = parser._parse_expression()
+    if parser.current.type is not TokenType.EOF:
+        raise parser._error("unexpected trailing input after expression")
+    return expr

@@ -1,0 +1,117 @@
+"""Token kinds for the openCypher lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    # literals / names
+    IDENT = auto()
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()
+    PARAMETER = auto()
+
+    # punctuation
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    COMMA = auto()
+    COLON = auto()
+    SEMICOLON = auto()
+    DOT = auto()
+    DOTDOT = auto()
+    PIPE = auto()
+
+    # operators
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    CARET = auto()
+    EQ = auto()
+    NEQ = auto()
+    LT = auto()
+    GT = auto()
+    LE = auto()
+    GE = auto()
+    ARROW_RIGHT = auto()  # ->
+    ARROW_LEFT = auto()  # <-
+
+    # keywords (matched case-insensitively from IDENT spelling)
+    KEYWORD = auto()
+
+    EOF = auto()
+
+
+#: Reserved words recognised by the parser.  openCypher keywords are case
+#: insensitive; the lexer upper-cases them into ``Token.text``.
+KEYWORDS = frozenset(
+    {
+        "MATCH",
+        "OPTIONAL",
+        "WHERE",
+        "RETURN",
+        "WITH",
+        "UNWIND",
+        "AS",
+        "DISTINCT",
+        "ORDER",
+        "BY",
+        "ASC",
+        "ASCENDING",
+        "DESC",
+        "DESCENDING",
+        "SKIP",
+        "LIMIT",
+        "AND",
+        "OR",
+        "XOR",
+        "NOT",
+        "IN",
+        "STARTS",
+        "ENDS",
+        "CONTAINS",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "UNION",
+        "ALL",
+        "EXISTS",
+        # updating clauses
+        "CREATE",
+        "DELETE",
+        "DETACH",
+        "SET",
+        "REMOVE",
+        "MERGE",
+        "ON",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+    value: object = None  # decoded value for literals
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Token({self.type.name}, {self.text!r}, {self.line}:{self.column})"

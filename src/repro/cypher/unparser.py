@@ -1,0 +1,249 @@
+"""Render an AST back to openCypher text.
+
+The output is canonical (keywords upper-case, single spaces) and reparses to
+an equal AST — the round-trip property checked by the parser test suite.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompilerError
+from . import ast
+from .parser import UnionQuery
+
+
+def unparse(node: ast.AstNode | UnionQuery) -> str:
+    if isinstance(node, UnionQuery):
+        joiner = " UNION ALL " if node.all else " UNION "
+        return joiner.join(unparse(q) for q in node.queries)
+    if isinstance(node, ast.Query):
+        parts = [unparse(c) for c in node.clauses]
+        parts.append(unparse(node.return_clause))
+        return " ".join(parts)
+    if isinstance(node, ast.MatchClause):
+        text = ("OPTIONAL " if node.optional else "") + "MATCH " + unparse(node.pattern)
+        if node.where is not None:
+            text += " WHERE " + unparse_expr(node.where)
+        return text
+    if isinstance(node, ast.UnwindClause):
+        return f"UNWIND {unparse_expr(node.expression)} AS {node.alias}"
+    if isinstance(node, ast.WithClause):
+        text = "WITH " + _projection(node.body)
+        if node.where is not None:
+            text += " WHERE " + unparse_expr(node.where)
+        return text
+    if isinstance(node, ast.ReturnClause):
+        return "RETURN " + _projection(node.body)
+    if isinstance(node, ast.UpdatingQuery):
+        parts = [unparse(c) for c in node.clauses]
+        if node.return_clause is not None:
+            parts.append(unparse(node.return_clause))
+        return " ".join(parts)
+    if isinstance(node, ast.CreateClause):
+        return "CREATE " + unparse(node.pattern)
+    if isinstance(node, ast.MergeClause):
+        text = "MERGE " + unparse(node.part)
+        if node.on_create:
+            text += " ON CREATE SET " + ", ".join(
+                _set_item(i) for i in node.on_create
+            )
+        if node.on_match:
+            text += " ON MATCH SET " + ", ".join(_set_item(i) for i in node.on_match)
+        return text
+    if isinstance(node, ast.DeleteClause):
+        keyword = "DETACH DELETE" if node.detach else "DELETE"
+        return f"{keyword} " + ", ".join(unparse_expr(e) for e in node.expressions)
+    if isinstance(node, ast.SetClause):
+        return "SET " + ", ".join(_set_item(i) for i in node.items)
+    if isinstance(node, ast.RemoveClause):
+        return "REMOVE " + ", ".join(_remove_item(i) for i in node.items)
+    if isinstance(node, ast.Pattern):
+        return ", ".join(unparse(p) for p in node.parts)
+    if isinstance(node, ast.PatternPart):
+        prefix = f"{node.variable} = " if node.variable else ""
+        return prefix + "".join(unparse(e) for e in node.elements)
+    if isinstance(node, ast.NodePattern):
+        inner = node.variable or ""
+        inner += "".join(f":{l}" for l in node.labels)
+        if node.properties:
+            inner += (" " if inner else "") + _map_text(node.properties)
+        return f"({inner})"
+    if isinstance(node, ast.RelationshipPattern):
+        return _relationship(node)
+    if isinstance(node, ast.Expr):
+        return unparse_expr(node)
+    raise CompilerError(f"cannot unparse {type(node).__name__}")
+
+
+def _projection(body: ast.ProjectionBody) -> str:
+    text = "DISTINCT " if body.distinct else ""
+    text += ", ".join(
+        unparse_expr(item.expression) + (f" AS {item.alias}" if item.alias else "")
+        for item in body.items
+    )
+    if body.order_by:
+        text += " ORDER BY " + ", ".join(
+            unparse_expr(o.expression) + ("" if o.ascending else " DESC")
+            for o in body.order_by
+        )
+    if body.skip is not None:
+        text += " SKIP " + unparse_expr(body.skip)
+    if body.limit is not None:
+        text += " LIMIT " + unparse_expr(body.limit)
+    return text
+
+
+def _relationship(rel: ast.RelationshipPattern) -> str:
+    inner = rel.variable or ""
+    if rel.types:
+        inner += ":" + "|".join(rel.types)
+    if rel.var_length:
+        if rel.min_hops == 1 and rel.max_hops is None:
+            inner += "*"
+        elif rel.min_hops == rel.max_hops:
+            inner += f"*{rel.min_hops}"
+        elif rel.max_hops is None:
+            inner += f"*{rel.min_hops}.."
+        else:
+            inner += f"*{rel.min_hops}..{rel.max_hops}"
+    if rel.properties:
+        inner += (" " if inner else "") + _map_text(rel.properties)
+    detail = f"[{inner}]" if inner else ""
+    left = "<-" if rel.direction in ("in", "both") and rel.direction == "in" else "-"
+    right = "->" if rel.direction == "out" else "-"
+    if rel.direction == "in":
+        left, right = "<-", "-"
+    elif rel.direction == "out":
+        left, right = "-", "->"
+    else:
+        left, right = "-", "-"
+    return f"{left}{detail}{right}"
+
+
+def _set_item(item: ast.AstNode) -> str:
+    if isinstance(item, ast.SetProperty):
+        return f"{unparse_expr(item.target)} = {unparse_expr(item.value)}"
+    if isinstance(item, ast.SetLabels):
+        return item.variable + "".join(f":{l}" for l in item.labels)
+    if isinstance(item, ast.SetProperties):
+        op = "+=" if item.merge else "="
+        return f"{item.variable} {op} {unparse_expr(item.value)}"
+    raise CompilerError(f"cannot unparse SET item {type(item).__name__}")
+
+
+def _remove_item(item: ast.AstNode) -> str:
+    if isinstance(item, ast.RemoveProperty):
+        return unparse_expr(item.target)
+    if isinstance(item, ast.RemoveLabels):
+        return item.variable + "".join(f":{l}" for l in item.labels)
+    raise CompilerError(f"cannot unparse REMOVE item {type(item).__name__}")
+
+
+def _map_text(entries: tuple[tuple[str, ast.Expr], ...]) -> str:
+    inner = ", ".join(f"{k}: {unparse_expr(v)}" for k, v in entries)
+    return "{" + inner + "}"
+
+
+def _literal_text(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    """Render an expression with explicit parentheses where needed."""
+    if isinstance(expr, ast.Literal):
+        return _literal_text(expr.value)
+    if isinstance(expr, ast.Parameter):
+        return f"${expr.name}"
+    if isinstance(expr, ast.Variable):
+        return expr.name
+    if isinstance(expr, ast.Property):
+        return f"{_maybe_paren(expr.subject)}.{expr.key}"
+    if isinstance(expr, ast.ListLiteral):
+        return "[" + ", ".join(unparse_expr(i) for i in expr.items) + "]"
+    if isinstance(expr, ast.MapLiteral):
+        return _map_text(expr.items)
+    if isinstance(expr, ast.Subscript):
+        return f"{_maybe_paren(expr.subject)}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, ast.Slice):
+        low = unparse_expr(expr.low) if expr.low is not None else ""
+        high = unparse_expr(expr.high) if expr.high is not None else ""
+        return f"{_maybe_paren(expr.subject)}[{low}..{high}]"
+    if isinstance(expr, ast.FunctionCall):
+        inner = ", ".join(unparse_expr(a) for a in expr.args)
+        if expr.distinct:
+            inner = "DISTINCT " + inner
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.CountStar):
+        return "count(*)"
+    if isinstance(expr, ast.Not):
+        return f"(NOT ({unparse_expr(expr.operand)}))"
+    if isinstance(expr, ast.BooleanOp):
+        joiner = f" {expr.op} "
+        return "(" + joiner.join(unparse_expr(o) for o in expr.operands) + ")"
+    if isinstance(expr, ast.Comparison):
+        parts = [unparse_expr(expr.operands[0])]
+        for op, operand in zip(expr.ops, expr.operands[1:]):
+            parts.append(op)
+            parts.append(unparse_expr(operand))
+        return "(" + " ".join(parts) + ")"
+    if isinstance(expr, ast.Arithmetic):
+        return f"({unparse_expr(expr.left)} {expr.op} {unparse_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryMinus):
+        return f"(-{unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.In):
+        return f"({_tight(expr.item)} IN {_tight(expr.container)})"
+    if isinstance(expr, ast.StringPredicate):
+        return f"({_tight(expr.subject)} {expr.kind} {_tight(expr.pattern)})"
+    if isinstance(expr, ast.IsNull):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({_tight(expr.operand)} {keyword})"
+    if isinstance(expr, ast.CaseExpr):
+        parts = ["CASE"]
+        for condition, value in expr.whens:
+            parts.append(f"WHEN {unparse_expr(condition)} THEN {unparse_expr(value)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {unparse_expr(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.HasLabel):
+        return _maybe_paren(expr.subject) + "".join(f":{l}" for l in expr.labels)
+    raise CompilerError(f"cannot unparse expression {type(expr).__name__}")
+
+
+def _maybe_paren(expr: ast.Expr) -> str:
+    if isinstance(expr, (ast.Variable, ast.Parameter, ast.Property, ast.FunctionCall)):
+        return unparse_expr(expr)
+    return f"({unparse_expr(expr)})"
+
+
+def _tight(expr: ast.Expr) -> str:
+    """Operand rendering for IN / STARTS WITH / IS NULL, whose grammar slots
+    accept only property-or-labels-level terms: anything looser — including
+    a negative literal, which reparses through unary minus — gets parens."""
+    atomic = (
+        ast.Variable,
+        ast.Parameter,
+        ast.Property,
+        ast.FunctionCall,
+        ast.ListLiteral,
+        ast.MapLiteral,
+        ast.Subscript,
+        ast.CountStar,
+    )
+    if isinstance(expr, atomic):
+        return unparse_expr(expr)
+    if isinstance(expr, ast.Literal) and not (
+        isinstance(expr.value, (int, float))
+        and not isinstance(expr.value, bool)
+        and expr.value < 0
+    ):
+        return unparse_expr(expr)
+    return f"({unparse_expr(expr)})"

@@ -1,0 +1,72 @@
+"""Materialisation of pushed-down base-relation columns from the graph.
+
+Shared by the pull-based interpreter (scans) and the Rete input nodes
+(initial population and delta construction): both must build *exactly* the
+same column values for a given entity, or differential tests would fail on
+representation rather than semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..algebra.ops import PropertyProjection
+from ..graph.graph import PropertyGraph
+from ..graph.values import ListValue, MapValue
+
+
+def labels_value(labels: Iterable[str]) -> ListValue:
+    """Canonical (sorted) representation of a label set."""
+    return ListValue(sorted(labels))
+
+
+def vertex_projection_value(
+    graph: PropertyGraph,
+    vertex_id: int,
+    projection: PropertyProjection,
+    *,
+    labels: Iterable[str] | None = None,
+    properties: dict[str, Any] | None = None,
+) -> Any:
+    """Value of one pushed-down column for a vertex.
+
+    ``labels``/``properties`` override the live graph state — the input
+    nodes use this to build *pre-event* tuples from event payloads.
+    """
+    if projection.kind == "property":
+        if properties is not None:
+            return properties.get(projection.key)
+        return graph.vertex_property(vertex_id, projection.key)  # type: ignore[arg-type]
+    if projection.kind == "labels":
+        return labels_value(
+            labels if labels is not None else graph.labels_of(vertex_id)
+        )
+    if projection.kind == "properties":
+        return MapValue(
+            properties
+            if properties is not None
+            else graph.vertex_properties(vertex_id)
+        )
+    raise ValueError(f"projection kind {projection.kind!r} not valid for vertices")
+
+
+def edge_projection_value(
+    graph: PropertyGraph,
+    edge_id: int,
+    projection: PropertyProjection,
+    *,
+    edge_type: str | None = None,
+    properties: dict[str, Any] | None = None,
+) -> Any:
+    """Value of one pushed-down column for an edge."""
+    if projection.kind == "property":
+        if properties is not None:
+            return properties.get(projection.key)
+        return graph.edge_property(edge_id, projection.key)  # type: ignore[arg-type]
+    if projection.kind == "type":
+        return edge_type if edge_type is not None else graph.type_of(edge_id)
+    if projection.kind == "properties":
+        return MapValue(
+            properties if properties is not None else graph.edge_properties(edge_id)
+        )
+    raise ValueError(f"projection kind {projection.kind!r} not valid for edges")

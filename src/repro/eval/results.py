@@ -1,0 +1,141 @@
+"""Query result containers.
+
+A :class:`ResultTable` is a bag (or, for ordered one-shot queries, a
+sequence) of rows aligned with a schema.  Entity attributes hold bare ids;
+rendering helpers resolve them against the originating graph on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..algebra.schema import AttrKind, Schema
+from ..graph.graph import PropertyGraph
+from ..graph.values import order_key
+
+
+def canonical_order(rows: Iterator[tuple]) -> list[tuple]:
+    """Deterministic ordering of rows for comparison and display."""
+    return sorted(rows, key=lambda row: tuple(order_key(v) for v in row))
+
+
+class ResultTable:
+    """An immutable query result.
+
+    ``ordered`` is True only for one-shot queries with ORDER BY/SKIP/LIMIT,
+    where row order is semantically meaningful (the incrementally
+    maintainable fragment never produces ordered results, per the paper).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: list[tuple],
+        *,
+        ordered: bool = False,
+        graph: PropertyGraph | None = None,
+    ):
+        self._schema = schema
+        self._rows = rows
+        self._ordered = ordered
+        self._graph = graph
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._schema.names
+
+    @property
+    def ordered(self) -> bool:
+        return self._ordered
+
+    def rows(self) -> list[tuple]:
+        """Rows with multiplicity (a bag expanded to a list).
+
+        Unordered results are returned in canonical order so the same bag
+        always lists identically.
+        """
+        if self._ordered:
+            return list(self._rows)
+        return canonical_order(iter(self._rows))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows())
+
+    def multiset(self) -> dict[tuple, int]:
+        """The result as a multiplicity map (basis for bag comparison)."""
+        out: dict[tuple, int] = {}
+        for row in self._rows:
+            out[row] = out.get(row, 0) + 1
+        return out
+
+    def records(self) -> list[dict[str, Any]]:
+        """Rows as dicts keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows()]
+
+    def single(self) -> tuple:
+        """The only row; raises if the result does not have exactly one."""
+        rows = self.rows()
+        if len(rows) != 1:
+            raise ValueError(f"expected exactly one row, got {len(rows)}")
+        return rows[0]
+
+    def scalar(self) -> Any:
+        """The only value of the only row."""
+        row = self.single()
+        if len(row) != 1:
+            raise ValueError(f"expected exactly one column, got {len(row)}")
+        return row[0]
+
+    # -- rendering ---------------------------------------------------------
+
+    def _render_value(self, value: Any, kind: AttrKind) -> str:
+        if value is None:
+            return "null"
+        if kind is AttrKind.VERTEX and self._graph is not None and isinstance(value, int):
+            if self._graph.has_vertex(value):
+                labels = "".join(f":{l}" for l in sorted(self._graph.labels_of(value)))
+                return f"({value}{labels})"
+        if kind is AttrKind.EDGE and self._graph is not None and isinstance(value, int):
+            if self._graph.has_edge(value):
+                return f"[{value}:{self._graph.type_of(value)}]"
+        return repr(value)
+
+    def to_text(self, limit: int | None = 20) -> str:
+        """A fixed-width table rendering (paper-style result tables)."""
+        kinds = [a.kind for a in self._schema]
+        rows = self.rows()
+        shown = rows if limit is None else rows[:limit]
+        cells = [
+            [self._render_value(v, k) for v, k in zip(row, kinds)] for row in shown
+        ]
+        headers = list(self.columns)
+        widths = [
+            max(len(h), *(len(c[i]) for c in cells)) if cells else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row_cells in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+        if limit is not None and len(rows) > limit:
+            lines.append(f"... ({len(rows) - limit} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"ResultTable({len(self._rows)} rows, columns={self.columns})"
+
+
+def bag_equal(a: Mapping[tuple, int], b: Mapping[tuple, int]) -> bool:
+    """Multiset equality ignoring zero-count entries."""
+    a_clean = {k: v for k, v in a.items() if v}
+    b_clean = {k: v for k, v in b.items() if v}
+    return a_clean == b_clean

@@ -1,0 +1,52 @@
+"""Property graph substrate: store, value domain, and change events."""
+
+from .events import (
+    EdgeAdded,
+    EdgePropertySet,
+    EdgeRemoved,
+    GraphEvent,
+    VertexAdded,
+    VertexLabelAdded,
+    VertexLabelRemoved,
+    VertexPropertySet,
+    VertexRemoved,
+)
+from .graph import PropertyGraph, graph_from_dicts
+from .persistence import DurableGraph, WriteAheadLog, replay_wal
+from .transactions import Transaction
+from .values import (
+    ListValue,
+    MapValue,
+    PathValue,
+    cypher_compare,
+    cypher_eq,
+    freeze_value,
+    order_key,
+    thaw_value,
+)
+
+__all__ = [
+    "PropertyGraph",
+    "graph_from_dicts",
+    "Transaction",
+    "DurableGraph",
+    "WriteAheadLog",
+    "replay_wal",
+    "ListValue",
+    "MapValue",
+    "PathValue",
+    "freeze_value",
+    "thaw_value",
+    "cypher_eq",
+    "cypher_compare",
+    "order_key",
+    "GraphEvent",
+    "VertexAdded",
+    "VertexRemoved",
+    "EdgeAdded",
+    "EdgeRemoved",
+    "VertexLabelAdded",
+    "VertexLabelRemoved",
+    "VertexPropertySet",
+    "EdgePropertySet",
+]

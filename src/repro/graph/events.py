@@ -1,0 +1,90 @@
+"""Change events emitted by :class:`~repro.graph.graph.PropertyGraph`.
+
+The incremental engine consumes these events as its *delta stream*: every
+elementary mutation of the store produces exactly one event, emitted
+synchronously after the store state has been updated.  Events carry enough
+*before* state (old labels, old property values) that a consumer can retract
+previously derived tuples without keeping its own shadow copy of the graph.
+
+Setting a property to ``None`` is identical to removing it (Cypher
+semantics), so property changes are a single event type with ``old_value``
+and ``new_value`` where ``None`` means *absent*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class GraphEvent:
+    """Base class for all change events."""
+
+
+@dataclass(frozen=True, slots=True)
+class VertexAdded(GraphEvent):
+    vertex_id: int
+    labels: frozenset[str]
+    properties: Mapping[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class VertexRemoved(GraphEvent):
+    """Emitted after a vertex is removed; carries its final state."""
+
+    vertex_id: int
+    labels: frozenset[str]
+    properties: Mapping[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeAdded(GraphEvent):
+    edge_id: int
+    source: int
+    target: int
+    edge_type: str
+    properties: Mapping[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeRemoved(GraphEvent):
+    """Emitted after an edge is removed; carries its final state."""
+
+    edge_id: int
+    source: int
+    target: int
+    edge_type: str
+    properties: Mapping[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class VertexLabelAdded(GraphEvent):
+    vertex_id: int
+    label: str
+
+
+@dataclass(frozen=True, slots=True)
+class VertexLabelRemoved(GraphEvent):
+    vertex_id: int
+    label: str
+
+
+@dataclass(frozen=True, slots=True)
+class VertexPropertySet(GraphEvent):
+    """A vertex property changed; ``None`` means the key is/was absent."""
+
+    vertex_id: int
+    key: str
+    old_value: Any
+    new_value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class EdgePropertySet(GraphEvent):
+    """An edge property changed; ``None`` means the key is/was absent."""
+
+    edge_id: int
+    key: str
+    old_value: Any
+    new_value: Any

@@ -1,0 +1,180 @@
+"""Serialisation of property graphs: JSON-lines and CSV directories.
+
+Two interchange formats, both round-trip safe for the full value domain:
+
+* **JSON lines** (``.jsonl``) — one record per line: a header record, then
+  vertices, then edges.  Nested property values (lists/maps) serialise
+  naturally; ids are preserved.
+* **CSV directory** — LDBC-style: one ``vertices.csv`` + one
+  ``edges.csv`` with JSON-encoded property columns.  Convenient for
+  eyeballing and spreadsheet tooling.
+
+Both loaders rebuild indices through the normal mutation API, so a graph
+loaded while views are registered would replay as a delta stream — though
+the intended use is loading *before* registration.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import GraphError
+from .graph import PropertyGraph
+from .values import ListValue, MapValue, thaw_value
+
+FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, (ListValue, MapValue)):
+        return thaw_value(value)
+    return value
+
+
+def _encode_properties(properties: dict[str, Any]) -> dict[str, Any]:
+    return {key: _encode_value(value) for key, value in properties.items()}
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+
+
+def save_jsonl(graph: PropertyGraph, path: str | Path) -> None:
+    """Write *graph* to a JSON-lines file (ids preserved)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"kind": "header", "version": FORMAT_VERSION}
+        handle.write(json.dumps(header) + "\n")
+        for vertex in sorted(graph.vertices()):
+            record = {
+                "kind": "vertex",
+                "id": vertex,
+                "labels": sorted(graph.labels_of(vertex)),
+                "properties": _encode_properties(graph.vertex_properties(vertex)),
+            }
+            handle.write(json.dumps(record) + "\n")
+        for edge in sorted(graph.edges()):
+            source, target = graph.endpoints(edge)
+            record = {
+                "kind": "edge",
+                "id": edge,
+                "source": source,
+                "target": target,
+                "type": graph.type_of(edge),
+                "properties": _encode_properties(graph.edge_properties(edge)),
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_jsonl(path: str | Path) -> PropertyGraph:
+    """Load a graph written by :func:`save_jsonl`.
+
+    Ids are re-assigned densely in file order; external ids are preserved
+    as-is only when they were already dense (the common case for graphs
+    produced by this library).  A mapping is applied to edges either way.
+    """
+    path = Path(path)
+    graph = PropertyGraph()
+    id_map: dict[int, int] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("version") != FORMAT_VERSION:
+                    raise GraphError(
+                        f"unsupported graph file version {record.get('version')!r}"
+                    )
+            elif kind == "vertex":
+                new_id = graph.add_vertex(
+                    labels=record.get("labels", ()),
+                    properties=record.get("properties", {}),
+                )
+                id_map[int(record["id"])] = new_id
+            elif kind == "edge":
+                try:
+                    source = id_map[int(record["source"])]
+                    target = id_map[int(record["target"])]
+                except KeyError as missing:
+                    raise GraphError(
+                        f"line {line_number}: edge references unknown vertex {missing}"
+                    ) from None
+                graph.add_edge(
+                    source,
+                    target,
+                    record["type"],
+                    properties=record.get("properties", {}),
+                )
+            else:
+                raise GraphError(f"line {line_number}: unknown record kind {kind!r}")
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# CSV directory
+# ---------------------------------------------------------------------------
+
+
+def save_csv(graph: PropertyGraph, directory: str | Path) -> None:
+    """Write ``vertices.csv`` and ``edges.csv`` under *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with (directory / "vertices.csv").open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "labels", "properties"])
+        for vertex in sorted(graph.vertices()):
+            writer.writerow(
+                [
+                    vertex,
+                    ";".join(sorted(graph.labels_of(vertex))),
+                    json.dumps(_encode_properties(graph.vertex_properties(vertex))),
+                ]
+            )
+    with (directory / "edges.csv").open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "source", "target", "type", "properties"])
+        for edge in sorted(graph.edges()):
+            source, target = graph.endpoints(edge)
+            writer.writerow(
+                [
+                    edge,
+                    source,
+                    target,
+                    graph.type_of(edge),
+                    json.dumps(_encode_properties(graph.edge_properties(edge))),
+                ]
+            )
+
+
+def load_csv(directory: str | Path) -> PropertyGraph:
+    """Load a graph written by :func:`save_csv`."""
+    directory = Path(directory)
+    graph = PropertyGraph()
+    id_map: dict[int, int] = {}
+    with (directory / "vertices.csv").open("r", newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            labels = [l for l in row["labels"].split(";") if l]
+            new_id = graph.add_vertex(
+                labels=labels, properties=json.loads(row["properties"])
+            )
+            id_map[int(row["id"])] = new_id
+    with (directory / "edges.csv").open("r", newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            try:
+                source = id_map[int(row["source"])]
+                target = id_map[int(row["target"])]
+            except KeyError as missing:
+                raise GraphError(
+                    f"edge {row['id']} references unknown vertex {missing}"
+                ) from None
+            graph.add_edge(
+                source, target, row["type"], properties=json.loads(row["properties"])
+            )
+    return graph

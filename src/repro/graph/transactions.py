@@ -1,0 +1,131 @@
+"""Compensating transactions over the property graph.
+
+The store applies every mutation immediately and synchronously notifies
+listeners (including Rete networks), so a transaction here is *not* a
+deferred write buffer — it is an **undo scope**: all events raised inside
+the scope are recorded, and on failure (or explicit :meth:`Transaction.
+rollback`) the inverse mutations are applied in reverse order, again
+through the normal event flow, so incremental views stay consistent
+through both the doomed changes and their compensation.
+
+This is exactly what the update-query executor needs: a failed ``SET``
+halfway through a binding table must not leave earlier rows mutated.
+
+Trigger caveat: compensation happens *after* the scope ends, so view
+change-callbacks observe the compensation deltas (they must, to stay
+consistent) with ``graph.in_transaction`` already ``False``.  A callback
+that issues follow-up writes should therefore react only to insertions
+(positive multiplicities) unless it really means to act on rollbacks.
+
+Example
+-------
+>>> from repro.graph import PropertyGraph
+>>> graph = PropertyGraph()
+>>> try:
+...     with graph.transaction():
+...         vertex = graph.add_vertex(labels=["Post"])
+...         raise RuntimeError("boom")
+... except RuntimeError:
+...     pass
+>>> graph.vertex_count
+0
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import TransactionError
+from . import events as ev
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import PropertyGraph
+
+
+class Transaction:
+    """An undo scope over a :class:`~repro.graph.graph.PropertyGraph`.
+
+    Use via :meth:`PropertyGraph.transaction`; nesting is rejected.  On
+    clean ``with``-exit the transaction commits (a no-op — changes are
+    already applied); on exception it rolls back and re-raises.
+    """
+
+    def __init__(self, graph: "PropertyGraph"):
+        self._graph = graph
+        self._log: list[ev.GraphEvent] = []
+        self._active = False
+        self._closed = False
+
+    # -- recording -----------------------------------------------------------
+
+    def _record(self, event: ev.GraphEvent) -> None:
+        self._log.append(event)
+
+    @property
+    def events(self) -> tuple[ev.GraphEvent, ...]:
+        """Events applied so far within this transaction."""
+        return tuple(self._log)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        if self._closed:
+            raise TransactionError("transaction cannot be reused")
+        self._graph._begin_transaction(self)
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._active:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+        return False  # propagate exceptions
+
+    def commit(self) -> None:
+        """End the scope, keeping all changes."""
+        self._end()
+
+    def rollback(self) -> None:
+        """Undo every recorded change, newest first."""
+        self._end()
+        graph = self._graph
+        for event in reversed(self._log):
+            _apply_inverse(graph, event)
+        self._log.clear()
+
+    def _end(self) -> None:
+        if not self._active:
+            raise TransactionError("transaction is not active")
+        self._active = False
+        self._closed = True
+        self._graph._end_transaction(self)
+
+
+def _apply_inverse(graph: "PropertyGraph", event: ev.GraphEvent) -> None:
+    """Apply the mutation that undoes *event* (emitting normal events)."""
+    if isinstance(event, ev.VertexAdded):
+        graph.remove_vertex(event.vertex_id)
+    elif isinstance(event, ev.VertexRemoved):
+        graph._restore_vertex(event.vertex_id, event.labels, event.properties)
+    elif isinstance(event, ev.EdgeAdded):
+        graph.remove_edge(event.edge_id)
+    elif isinstance(event, ev.EdgeRemoved):
+        graph._restore_edge(
+            event.edge_id,
+            event.source,
+            event.target,
+            event.edge_type,
+            event.properties,
+        )
+    elif isinstance(event, ev.VertexLabelAdded):
+        graph.remove_label(event.vertex_id, event.label)
+    elif isinstance(event, ev.VertexLabelRemoved):
+        graph.add_label(event.vertex_id, event.label)
+    elif isinstance(event, ev.VertexPropertySet):
+        graph.set_vertex_property(event.vertex_id, event.key, event.old_value)
+    elif isinstance(event, ev.EdgePropertySet):
+        graph.set_edge_property(event.edge_id, event.key, event.old_value)
+    else:  # pragma: no cover - exhaustive over the event vocabulary
+        raise TransactionError(f"cannot invert event {type(event).__name__}")

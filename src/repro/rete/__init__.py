@@ -1,0 +1,7 @@
+"""Rete-style incremental view maintenance engine (paper §4, step 4)."""
+
+from .deltas import Delta
+from .engine import IncrementalEngine, View
+from .network import ReteNetwork
+
+__all__ = ["Delta", "IncrementalEngine", "View", "ReteNetwork"]

@@ -1,0 +1,87 @@
+"""Signed multisets (deltas) — the currency of the Rete network.
+
+Incremental maintenance uses the counting approach of Gupta–Mumick /
+Griffin–Libkin (paper refs [10, 11]): every relation is a bag represented
+as ``tuple → multiplicity``, and changes travel as *deltas* mapping tuples
+to signed multiplicity changes.  A delta with ``+2`` means "two more copies
+of this row"; ``-1`` means "one copy retracted".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Delta:
+    """A signed multiset of rows; zero-count entries vanish."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, items: Iterable[tuple[tuple, int]] = ()):
+        self._counts: dict[tuple, int] = {}
+        for row, multiplicity in items:
+            self.add(row, multiplicity)
+
+    def add(self, row: tuple, multiplicity: int) -> None:
+        if multiplicity == 0:
+            return
+        count = self._counts.get(row, 0) + multiplicity
+        if count:
+            self._counts[row] = count
+        else:
+            del self._counts[row]
+
+    def update(self, other: "Delta") -> None:
+        for row, multiplicity in other.items():
+            self.add(row, multiplicity)
+
+    def items(self) -> Iterator[tuple[tuple, int]]:
+        return iter(self._counts.items())
+
+    def __iter__(self) -> Iterator[tuple[tuple, int]]:
+        return iter(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Delta):
+            return self._counts == other._counts
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        inner = ", ".join(f"{row}: {m:+d}" for row, m in self._counts.items())
+        return "Delta{" + inner + "}"
+
+    def negated(self) -> "Delta":
+        out = Delta()
+        for row, multiplicity in self.items():
+            out.add(row, -multiplicity)
+        return out
+
+
+def bag_insert(bag: dict[tuple, int], row: tuple, multiplicity: int) -> int:
+    """Adjust *row*'s count in a bag; returns the new count (may be 0)."""
+    count = bag.get(row, 0) + multiplicity
+    if count:
+        bag[row] = count
+    else:
+        bag.pop(row, None)
+    return count
+
+
+def index_insert(
+    index: dict, key: tuple, row: tuple, multiplicity: int
+) -> None:
+    """Adjust a keyed bag index (key → bag of rows); prunes empty buckets."""
+    bucket = index.get(key)
+    if bucket is None:
+        if multiplicity == 0:
+            return
+        bucket = {}
+        index[key] = bucket
+    if bag_insert(bucket, row, multiplicity) == 0 and not bucket:
+        del index[key]

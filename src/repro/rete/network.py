@@ -1,0 +1,393 @@
+"""Rete network construction from an FRA plan (paper §4, step 4).
+
+``build_network`` translates each FRA operator into its incremental node:
+
+=================  =========================================
+FRA operator       Rete node
+=================  =========================================
+© get-vertices     :class:`~.nodes.input.VertexInputNode`
+⇑ get-edges        :class:`~.nodes.input.EdgeInputNode`
+σ select           :class:`~.nodes.unary.SelectionNode`
+π project          :class:`~.nodes.unary.ProjectionNode`
+δ dedup            :class:`~.nodes.unary.DedupNode`
+ω unwind           :class:`~.nodes.unary.UnwindNode`
+γ aggregate        :class:`~.nodes.aggregate.AggregateNode`
+⋈ join             :class:`~.nodes.join.JoinNode`
+▷ antijoin         :class:`~.nodes.join.AntiJoinNode`
+⟕ left outer join  :class:`~.nodes.join.LeftOuterJoinNode`
+∪ union            :class:`~.nodes.join.UnionNode`
+⋈* transitive      :class:`~.nodes.transitive.TransitiveClosureNode`
+=================  =========================================
+
+Identical base relations are shared between subplans (classic Rete node
+sharing): two ©/⇑ operators with the same labels/types/projections feed
+from one input node, since tuple layout depends only on those parameters,
+not on variable names.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..algebra import ops
+from ..algebra.expressions import EvalContext, compile_expr
+from ..algebra.fra import check_incremental_fragment, validate_fra
+from ..errors import CompilerError
+from ..graph import events as ev
+from ..graph.graph import PropertyGraph
+from .nodes.aggregate import AggregateNode
+from .nodes.base import LEFT, RIGHT, Node
+from .nodes.input import EdgeInputNode, UnitNode, VertexInputNode
+from .nodes.join import AntiJoinNode, JoinNode, LeftOuterJoinNode, UnionNode
+from .nodes.production import ProductionNode
+from .nodes.transitive import EDGES, ReachabilityNode, TransitiveClosureNode
+from .nodes.unary import DedupNode, ProjectionNode, SelectionNode, UnwindNode
+from .sharing import SharedInputLayer
+
+
+class ReteNetwork:
+    """A built network: input nodes, production node, and statistics."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        plan: ops.Operator,
+        parameters: Mapping[str, Any] | None = None,
+        transitive_mode: str = "trails",
+        input_layer: "SharedInputLayer | None" = None,
+    ):
+        validate_fra(plan)
+        check_incremental_fragment(plan)
+        if transitive_mode not in ("trails", "reachability"):
+            raise CompilerError(f"unknown transitive mode {transitive_mode!r}")
+        self.graph = graph
+        self.plan = plan
+        self.ctx = EvalContext(dict(parameters or {}))
+        self.transitive_mode = transitive_mode
+        self.input_layer = input_layer
+        self.vertex_inputs: list[VertexInputNode] = []
+        self.edge_inputs: list[EdgeInputNode] = []
+        self.unit_inputs: list[UnitNode] = []
+        self.aggregates: list[AggregateNode] = []
+        self.all_nodes: list[Node] = []
+        self._vertex_cache: dict[tuple, VertexInputNode] = {}
+        self._edge_cache: dict[tuple, EdgeInputNode] = {}
+        # shared input node -> subscriber count at acquisition; every edge
+        # appended after that belongs to this network (targeted activation
+        # and detach use this to address only our subscriptions)
+        self._shared_marks: dict[int, tuple[Node, int]] = {}
+
+        root = self._build(plan)
+        self.production = ProductionNode(plan.schema)
+        root.subscribe(self.production, LEFT)
+        self.all_nodes.append(self.production)
+        # Freeze this network's shared subscription edges now: edges other
+        # views append later must not be attributed to this network.
+        self.shared_edges: tuple[tuple[Node, Node, int], ...] = tuple(
+            (node, subscriber, side)
+            for node, mark in self._shared_marks.values()
+            for subscriber, side in node._subscribers[mark:]
+        )
+
+    # -- construction -----------------------------------------------------
+
+    def _register(self, node: Node) -> Node:
+        self.all_nodes.append(node)
+        return node
+
+    def _acquire_shared(self, node: Node) -> Node:
+        if id(node) not in self._shared_marks:
+            self._shared_marks[id(node)] = (node, node.subscriber_count)
+        return node
+
+    def _build(self, op: ops.Operator) -> Node:
+        if isinstance(op, ops.Unit):
+            if self.input_layer is not None:
+                return self._acquire_shared(self.input_layer.unit_node(op.schema))
+            node = UnitNode(op.schema)
+            self.unit_inputs.append(node)
+            return self._register(node)
+
+        if isinstance(op, ops.GetVertices):
+            if self.input_layer is not None:
+                return self._acquire_shared(self.input_layer.vertex_node(op))
+            key = (op.labels, op.projections)
+            cached = self._vertex_cache.get(key)
+            if cached is not None:
+                return cached
+            node = VertexInputNode(op, self.graph)
+            self._vertex_cache[key] = node
+            self.vertex_inputs.append(node)
+            return self._register(node)
+
+        if isinstance(op, ops.GetEdges):
+            if self.input_layer is not None:
+                return self._acquire_shared(self.input_layer.edge_node(op))
+            # Projections are keyed by role, not by variable name.
+            roles = tuple(
+                (
+                    "src"
+                    if p.subject == op.src
+                    else "edge"
+                    if p.subject == op.edge
+                    else "tgt",
+                    p.kind,
+                    p.key,
+                )
+                for p in op.projections
+            )
+            key = (op.types, op.src_labels, op.tgt_labels, op.directed, roles)
+            cached = self._edge_cache.get(key)
+            if cached is not None:
+                return cached
+            node = EdgeInputNode(op, self.graph)
+            self._edge_cache[key] = node
+            self.edge_inputs.append(node)
+            return self._register(node)
+
+        if isinstance(op, ops.Select):
+            child = self._build(op.children[0])
+            node = SelectionNode(
+                op.schema,
+                compile_expr(op.predicate, op.children[0].schema),
+                self.ctx,
+            )
+            child.subscribe(node, LEFT)
+            return self._register(node)
+
+        if isinstance(op, ops.Project):
+            child = self._build(op.children[0])
+            items = [
+                compile_expr(expr, op.children[0].schema) for _, expr in op.items
+            ]
+            node = ProjectionNode(op.schema, items, self.ctx)
+            child.subscribe(node, LEFT)
+            return self._register(node)
+
+        if isinstance(op, ops.Dedup):
+            child = self._build(op.children[0])
+            node = DedupNode(op.schema)
+            child.subscribe(node, LEFT)
+            return self._register(node)
+
+        if isinstance(op, ops.Unwind):
+            child = self._build(op.children[0])
+            node = UnwindNode(
+                op.schema,
+                compile_expr(op.expression, op.children[0].schema),
+                self.ctx,
+            )
+            child.subscribe(node, LEFT)
+            return self._register(node)
+
+        if isinstance(op, ops.Aggregate):
+            child = self._build(op.children[0])
+            child_schema = op.children[0].schema
+            node = AggregateNode(
+                op.schema,
+                [compile_expr(e, child_schema) for _, e in op.keys],
+                list(op.aggregates),
+                [
+                    compile_expr(a.argument, child_schema)
+                    if a.argument is not None
+                    else None
+                    for a in op.aggregates
+                ],
+                self.ctx,
+            )
+            child.subscribe(node, LEFT)
+            self.aggregates.append(node)
+            return self._register(node)
+
+        if isinstance(op, ops.Join):
+            left, right = op.children
+            left_node = self._build(left)
+            right_node = self._build(right)
+            node = JoinNode(
+                op.schema,
+                [left.schema.index_of(n) for n in op.common],
+                [right.schema.index_of(n) for n in op.common],
+                [
+                    i
+                    for i, a in enumerate(right.schema)
+                    if a.name not in op.common
+                ],
+            )
+            left_node.subscribe(node, LEFT)
+            right_node.subscribe(node, RIGHT)
+            return self._register(node)
+
+        if isinstance(op, ops.AntiJoin):
+            left, right = op.children
+            left_node = self._build(left)
+            right_node = self._build(right)
+            node = AntiJoinNode(
+                op.schema,
+                [left.schema.index_of(n) for n in op.common],
+                [right.schema.index_of(n) for n in op.common],
+            )
+            left_node.subscribe(node, LEFT)
+            right_node.subscribe(node, RIGHT)
+            return self._register(node)
+
+        if isinstance(op, ops.LeftOuterJoin):
+            left, right = op.children
+            left_node = self._build(left)
+            right_node = self._build(right)
+            extra = [
+                i for i, a in enumerate(right.schema) if a.name not in op.common
+            ]
+            node = LeftOuterJoinNode(
+                op.schema,
+                [left.schema.index_of(n) for n in op.common],
+                [right.schema.index_of(n) for n in op.common],
+                extra,
+            )
+            node.configure_nulls(len(extra))
+            left_node.subscribe(node, LEFT)
+            right_node.subscribe(node, RIGHT)
+            return self._register(node)
+
+        if isinstance(op, ops.Union):
+            left_node = self._build(op.children[0])
+            right_node = self._build(op.children[1])
+            node = UnionNode(op.schema, op.right_permutation)
+            left_node.subscribe(node, LEFT)
+            right_node.subscribe(node, RIGHT)
+            return self._register(node)
+
+        if isinstance(op, ops.TransitiveJoin):
+            left = op.children[0]
+            left_node = self._build(left)
+            edges_node = self._build(op.edges)
+            source_index = left.schema.index_of(op.source)
+            if (
+                self.transitive_mode == "reachability"
+                and op.path_alias is None
+                and op.min_hops <= 1
+                and op.max_hops is None
+            ):
+                node: Node = ReachabilityNode(
+                    op.schema, source_index, op.direction, op.min_hops
+                )
+            else:
+                node = TransitiveClosureNode(
+                    op.schema,
+                    source_index,
+                    op.direction,
+                    op.min_hops,
+                    op.max_hops,
+                    emit_path=op.path_alias is not None,
+                )
+            left_node.subscribe(node, LEFT)
+            edges_node.subscribe(node, EDGES)
+            return self._register(node)
+
+        raise CompilerError(f"cannot build a Rete node for {type(op).__name__}")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def populate(self) -> None:
+        """Emit base rows and initial scans through the network.
+
+        Order matters: global aggregates first publish their empty-state
+        rows, then unit sources fire, then each input node streams the
+        current graph contents as one insertion delta.
+
+        Shared input nodes (cross-view sharing) use *targeted activation*:
+        the current-state delta is applied only to this network's
+        subscription edges, never re-emitted to other views.  Construction
+        and population happen back-to-back inside ``register``, so no graph
+        event can slip in between.
+        """
+        for aggregate in self.aggregates:
+            aggregate.initialize()
+        for unit in self.unit_inputs:
+            unit.activate(self.graph)
+        for node in self.vertex_inputs:
+            node.activate(self.graph)
+        for node in self.edge_inputs:
+            node.activate(self.graph)
+        if not self.shared_edges:
+            return
+        deltas: dict[int, Any] = {}
+        for kind in (UnitNode, VertexInputNode, EdgeInputNode):
+            for node, subscriber, side in self.shared_edges:
+                if not isinstance(node, kind):
+                    continue
+                delta = deltas.get(id(node))
+                if delta is None:
+                    delta = node.activation_delta(self.graph)
+                    deltas[id(node)] = delta
+                if delta:
+                    subscriber.apply(delta, side)
+
+    def disconnect_shared(self) -> None:
+        """Detach this network's subscriptions from shared input nodes."""
+        for node, subscriber, side in self.shared_edges:
+            node.unsubscribe(subscriber, side)
+        self.shared_edges = ()
+
+    def dispatch(self, event: ev.GraphEvent) -> None:
+        """Route one graph event to the input nodes that may care."""
+        if isinstance(
+            event,
+            (ev.VertexAdded, ev.VertexRemoved),
+        ):
+            for node in self.vertex_inputs:
+                node.on_event(event)
+        elif isinstance(event, (ev.VertexLabelAdded, ev.VertexLabelRemoved)):
+            for node in self.vertex_inputs:
+                node.on_event(event)
+            for edge_node in self.edge_inputs:
+                edge_node.on_event(event)
+        elif isinstance(event, ev.VertexPropertySet):
+            for node in self.vertex_inputs:
+                node.on_event(event)
+            for edge_node in self.edge_inputs:
+                edge_node.on_event(event)
+        elif isinstance(event, (ev.EdgeAdded, ev.EdgeRemoved, ev.EdgePropertySet)):
+            for edge_node in self.edge_inputs:
+                edge_node.on_event(event)
+
+    def profile(self) -> str:
+        """PROFILE rendering: per-node traffic and memory counters.
+
+        One line per node in construction (bottom-up) order; shared input
+        nodes are marked, and their counters cover traffic for *all* views
+        they feed.
+        """
+        header = f"{'node':<28} {'schema':<34} {'deltas':>8} {'rows':>10} {'memory':>8}"
+        lines = [header, "-" * len(header)]
+        seen: set[int] = set()
+        for node, _ in self._shared_marks.values():
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            lines.append(self._profile_line(node, shared=True))
+        for node in self.all_nodes:
+            lines.append(self._profile_line(node, shared=False))
+        return "\n".join(lines)
+
+    def _profile_line(self, node: Node, shared: bool) -> str:
+        name = type(node).__name__.removesuffix("Node")
+        if shared:
+            name += " (shared)"
+        columns = ", ".join(node.schema.names)
+        if len(columns) > 32:
+            columns = columns[:29] + "..."
+        return (
+            f"{name:<28} {columns:<34} {node.emitted_deltas:>8} "
+            f"{node.emitted_rows:>10} {node.memory_size():>8}"
+        )
+
+    def memory_size(self) -> int:
+        """Total entries across all node memories (ablation metric)."""
+        return sum(node.memory_size() for node in self.all_nodes)
+
+    def memory_cells(self) -> int:
+        """Total stored tuple fields across all memories (width-sensitive)."""
+        return sum(node.memory_cells() for node in self.all_nodes)
+
+    def node_count(self) -> int:
+        return len(self.all_nodes)

@@ -1,0 +1,423 @@
+"""Input nodes: the network's interface to the graph's event stream.
+
+Each input node materialises one base relation (the paper's © and ⇑
+operators, including their pushed-down ``{prop → attr}`` columns) and
+translates graph events into tuple deltas.  Events carry *before* state, so
+retraction tuples are rebuilt exactly as they were emitted — the network
+never consults its own memory to undo an input.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...algebra.ops import GetEdges, GetVertices, PropertyProjection
+from ...eval.projections import (
+    edge_projection_value,
+    vertex_projection_value,
+)
+from ...graph import events as ev
+from ...graph.graph import PropertyGraph
+from ..deltas import Delta
+from .base import Node
+
+
+class UnitNode(Node):
+    """Emits the single empty tuple once, at activation."""
+
+    def activation_delta(self, graph: PropertyGraph) -> Delta:
+        delta = Delta()
+        delta.add((), 1)
+        return delta
+
+    def activate(self, graph: PropertyGraph) -> None:
+        self.emit(self.activation_delta(graph))
+
+    def on_event(self, event: ev.GraphEvent) -> None:  # pragma: no cover
+        pass
+
+    def apply(self, delta: Delta, side: int) -> None:  # pragma: no cover
+        raise AssertionError("input nodes have no upstream")
+
+
+class VertexInputNode(Node):
+    """© — vertices carrying all required labels, with pushed-down columns."""
+
+    def __init__(self, op: GetVertices, graph: PropertyGraph):
+        super().__init__(op.schema)
+        self.graph = graph
+        self.labels = frozenset(op.labels)
+        self.projections = op.projections
+        self._property_keys = frozenset(
+            p.key for p in op.projections if p.kind == "property"
+        )
+        self._wants_labels = any(p.kind == "labels" for p in op.projections)
+        self._wants_properties = any(p.kind == "properties" for p in op.projections)
+
+    # -- tuple building -----------------------------------------------------
+
+    def _matches(self, labels) -> bool:
+        return self.labels <= set(labels)
+
+    def _tuple(
+        self,
+        vertex_id: int,
+        labels=None,
+        properties: dict[str, Any] | None = None,
+    ) -> tuple:
+        row = [vertex_id]
+        for projection in self.projections:
+            row.append(
+                vertex_projection_value(
+                    self.graph,
+                    vertex_id,
+                    projection,
+                    labels=labels,
+                    properties=properties,
+                )
+            )
+        return tuple(row)
+
+    # -- activation & events --------------------------------------------------
+
+    def activation_delta(self, graph: PropertyGraph) -> Delta:
+        delta = Delta()
+        seed = next(iter(self.labels)) if self.labels else None
+        for vertex in graph.vertices(seed):
+            if self._matches(graph.labels_of(vertex)):
+                delta.add(self._tuple(vertex), 1)
+        return delta
+
+    def activate(self, graph: PropertyGraph) -> None:
+        self.emit(self.activation_delta(graph))
+
+    def on_event(self, event: ev.GraphEvent) -> None:
+        if isinstance(event, ev.VertexAdded):
+            if self._matches(event.labels):
+                delta = Delta()
+                delta.add(
+                    self._tuple(
+                        event.vertex_id,
+                        labels=event.labels,
+                        properties=dict(event.properties),
+                    ),
+                    1,
+                )
+                self.emit(delta)
+        elif isinstance(event, ev.VertexRemoved):
+            if self._matches(event.labels):
+                delta = Delta()
+                delta.add(
+                    self._tuple(
+                        event.vertex_id,
+                        labels=event.labels,
+                        properties=dict(event.properties),
+                    ),
+                    -1,
+                )
+                self.emit(delta)
+        elif isinstance(event, ev.VertexLabelAdded):
+            current = self.graph.labels_of(event.vertex_id)
+            before = current - {event.label}
+            self._label_transition(event.vertex_id, before, current)
+        elif isinstance(event, ev.VertexLabelRemoved):
+            current = self.graph.labels_of(event.vertex_id)
+            before = current | {event.label}
+            self._label_transition(event.vertex_id, before, current)
+        elif isinstance(event, ev.VertexPropertySet):
+            self._property_change(event)
+
+    def _label_transition(self, vertex_id: int, before, current) -> None:
+        was = self._matches(before)
+        now = self._matches(current)
+        if not was and not now:
+            return
+        delta = Delta()
+        if was and not now:
+            delta.add(self._tuple(vertex_id, labels=before), -1)
+        elif now and not was:
+            delta.add(self._tuple(vertex_id, labels=current), 1)
+        elif self._wants_labels:
+            # membership unchanged but a labels(...) column changed value
+            delta.add(self._tuple(vertex_id, labels=before), -1)
+            delta.add(self._tuple(vertex_id, labels=current), 1)
+        self.emit(delta)
+
+    def _property_change(self, event: ev.VertexPropertySet) -> None:
+        if not (self._wants_properties or event.key in self._property_keys):
+            return
+        if not self._matches(self.graph.labels_of(event.vertex_id)):
+            return
+        after = self.graph.vertex_properties(event.vertex_id)
+        before = dict(after)
+        if event.old_value is None:
+            before.pop(event.key, None)
+        else:
+            before[event.key] = event.old_value
+        delta = Delta()
+        delta.add(self._tuple(event.vertex_id, properties=before), -1)
+        delta.add(self._tuple(event.vertex_id, properties=after), 1)
+        self.emit(delta)
+
+    def apply(self, delta: Delta, side: int) -> None:  # pragma: no cover
+        raise AssertionError("input nodes have no upstream")
+
+
+class EdgeInputNode(Node):
+    """⇑ — ``(src, edge, tgt)`` triples with endpoint label constraints and
+    pushed-down columns (the paper's ``⇑(c:Comm{lang→cL})(p:Post)``).
+
+    With ``directed=False`` every non-loop edge contributes both
+    orientations.  The node reacts to edge lifecycle events, edge property
+    changes, and label/property changes of *endpoint* vertices (which can
+    change membership or pushed-column values of incident edge tuples).
+    """
+
+    def __init__(self, op: GetEdges, graph: PropertyGraph):
+        super().__init__(op.schema)
+        self.graph = graph
+        self.types = frozenset(op.types)
+        self.src_labels = frozenset(op.src_labels)
+        self.tgt_labels = frozenset(op.tgt_labels)
+        self.directed = op.directed
+        self.projections = op.projections
+        self._roles = []
+        for projection in op.projections:
+            if projection.subject == op.src:
+                self._roles.append("src")
+            elif projection.subject == op.edge:
+                self._roles.append("edge")
+            else:
+                self._roles.append("tgt")
+        self._edge_property_keys = frozenset(
+            p.key
+            for p, role in zip(op.projections, self._roles)
+            if role == "edge" and p.kind == "property"
+        )
+        self._wants_edge_properties = any(
+            p.kind == "properties"
+            for p, role in zip(op.projections, self._roles)
+            if role == "edge"
+        )
+        self._vertex_property_keys = frozenset(
+            p.key
+            for p, role in zip(op.projections, self._roles)
+            if role in ("src", "tgt") and p.kind == "property"
+        )
+        self._wants_vertex_properties = any(
+            p.kind == "properties"
+            for p, role in zip(op.projections, self._roles)
+            if role in ("src", "tgt")
+        )
+        self._wants_vertex_labels = any(
+            p.kind == "labels"
+            for p, role in zip(op.projections, self._roles)
+            if role in ("src", "tgt")
+        )
+
+    # -- tuple building ----------------------------------------------------
+
+    def _type_matches(self, edge_type: str) -> bool:
+        return not self.types or edge_type in self.types
+
+    def _orientations(self, source: int, target: int):
+        yield source, target
+        if not self.directed and source != target:
+            yield target, source
+
+    def _row(
+        self,
+        edge_id: int,
+        src: int,
+        tgt: int,
+        *,
+        vertex_labels: dict[int, frozenset[str]] | None = None,
+        vertex_properties: dict[int, dict] | None = None,
+        edge_type: str | None = None,
+        edge_properties: dict | None = None,
+    ) -> tuple | None:
+        """One oriented tuple, or None when label constraints fail.
+
+        The override maps supply *before* state for the vertices whose
+        labels/properties an event changed.
+        """
+        labels_of = lambda v: (
+            vertex_labels[v]
+            if vertex_labels is not None and v in vertex_labels
+            else self.graph.labels_of(v)
+        )
+        if self.src_labels and not self.src_labels <= set(labels_of(src)):
+            return None
+        if self.tgt_labels and not self.tgt_labels <= set(labels_of(tgt)):
+            return None
+        row = [src, edge_id, tgt]
+        for projection, role in zip(self.projections, self._roles):
+            if role == "edge":
+                row.append(
+                    edge_projection_value(
+                        self.graph,
+                        edge_id,
+                        projection,
+                        edge_type=edge_type,
+                        properties=edge_properties,
+                    )
+                )
+            else:
+                vertex = src if role == "src" else tgt
+                overrides = {}
+                if vertex_labels is not None and vertex in vertex_labels:
+                    overrides["labels"] = vertex_labels[vertex]
+                if vertex_properties is not None and vertex in vertex_properties:
+                    overrides["properties"] = vertex_properties[vertex]
+                row.append(
+                    vertex_projection_value(
+                        self.graph, vertex, projection, **overrides
+                    )
+                )
+        return tuple(row)
+
+    def _edge_delta(
+        self,
+        edge_id: int,
+        source: int,
+        target: int,
+        sign: int,
+        delta: Delta,
+        **overrides,
+    ) -> None:
+        for src, tgt in self._orientations(source, target):
+            row = self._row(edge_id, src, tgt, **overrides)
+            if row is not None:
+                delta.add(row, sign)
+
+    # -- activation & events --------------------------------------------------
+
+    def activation_delta(self, graph: PropertyGraph) -> Delta:
+        delta = Delta()
+        type_list = self.types if self.types else {None}
+        for edge_type in type_list:
+            for s, e, t in graph.edge_triples(edge_type):
+                self._edge_delta(e, s, t, 1, delta)
+        return delta
+
+    def activate(self, graph: PropertyGraph) -> None:
+        self.emit(self.activation_delta(graph))
+
+    def on_event(self, event: ev.GraphEvent) -> None:
+        if isinstance(event, ev.EdgeAdded):
+            if self._type_matches(event.edge_type):
+                delta = Delta()
+                self._edge_delta(
+                    event.edge_id,
+                    event.source,
+                    event.target,
+                    1,
+                    delta,
+                    edge_type=event.edge_type,
+                    edge_properties=dict(event.properties),
+                )
+                self.emit(delta)
+        elif isinstance(event, ev.EdgeRemoved):
+            if self._type_matches(event.edge_type):
+                delta = Delta()
+                self._edge_delta(
+                    event.edge_id,
+                    event.source,
+                    event.target,
+                    -1,
+                    delta,
+                    edge_type=event.edge_type,
+                    edge_properties=dict(event.properties),
+                )
+                self.emit(delta)
+        elif isinstance(event, ev.EdgePropertySet):
+            self._edge_property_change(event)
+        elif isinstance(event, ev.VertexLabelAdded):
+            current = self.graph.labels_of(event.vertex_id)
+            self._endpoint_label_change(
+                event.vertex_id, current - {event.label}, current
+            )
+        elif isinstance(event, ev.VertexLabelRemoved):
+            current = self.graph.labels_of(event.vertex_id)
+            self._endpoint_label_change(
+                event.vertex_id, current | {event.label}, current
+            )
+        elif isinstance(event, ev.VertexPropertySet):
+            self._endpoint_property_change(event)
+
+    def _edge_property_change(self, event: ev.EdgePropertySet) -> None:
+        if not (
+            self._wants_edge_properties or event.key in self._edge_property_keys
+        ):
+            return
+        if not self._type_matches(self.graph.type_of(event.edge_id)):
+            return
+        source, target = self.graph.endpoints(event.edge_id)
+        after = self.graph.edge_properties(event.edge_id)
+        before = dict(after)
+        if event.old_value is None:
+            before.pop(event.key, None)
+        else:
+            before[event.key] = event.old_value
+        delta = Delta()
+        self._edge_delta(
+            event.edge_id, source, target, -1, delta, edge_properties=before
+        )
+        self._edge_delta(
+            event.edge_id, source, target, 1, delta, edge_properties=after
+        )
+        self.emit(delta)
+
+    def _relevant_label_change(self, before, current) -> bool:
+        changed = before ^ current
+        if self._wants_vertex_labels:
+            return True
+        return bool(changed & (self.src_labels | self.tgt_labels))
+
+    def _endpoint_label_change(self, vertex_id: int, before, current) -> None:
+        if not self._relevant_label_change(before, current):
+            return
+        delta = Delta()
+        for edge_id in self.graph.incident_edges(vertex_id):
+            if not self._type_matches(self.graph.type_of(edge_id)):
+                continue
+            source, target = self.graph.endpoints(edge_id)
+            self._edge_delta(
+                edge_id, source, target, -1, delta,
+                vertex_labels={vertex_id: before},
+            )
+            self._edge_delta(
+                edge_id, source, target, 1, delta,
+                vertex_labels={vertex_id: current},
+            )
+        self.emit(delta)
+
+    def _endpoint_property_change(self, event: ev.VertexPropertySet) -> None:
+        if not (
+            self._wants_vertex_properties
+            or event.key in self._vertex_property_keys
+        ):
+            return
+        after = self.graph.vertex_properties(event.vertex_id)
+        before = dict(after)
+        if event.old_value is None:
+            before.pop(event.key, None)
+        else:
+            before[event.key] = event.old_value
+        delta = Delta()
+        for edge_id in self.graph.incident_edges(event.vertex_id):
+            if not self._type_matches(self.graph.type_of(edge_id)):
+                continue
+            source, target = self.graph.endpoints(edge_id)
+            self._edge_delta(
+                edge_id, source, target, -1, delta,
+                vertex_properties={event.vertex_id: before},
+            )
+            self._edge_delta(
+                edge_id, source, target, 1, delta,
+                vertex_properties={event.vertex_id: after},
+            )
+        self.emit(delta)
+
+    def apply(self, delta: Delta, side: int) -> None:  # pragma: no cover
+        raise AssertionError("input nodes have no upstream")

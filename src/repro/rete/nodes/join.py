@@ -1,0 +1,195 @@
+"""Binary beta nodes: natural join, antijoin, left outer join, union.
+
+All four maintain per-side memories indexed by the shared (natural-join)
+attributes and follow the sequential counting rule — an incoming delta is
+joined against the *other* side's current memory, then folded into this
+side's memory (see :mod:`.base`).
+"""
+
+from __future__ import annotations
+
+from ..deltas import Delta, index_insert
+from .base import LEFT, Node
+
+Index = dict  # key -> {row: multiplicity}
+
+
+class JoinNode(Node):
+    """⋈ — natural join with two hash memories."""
+
+    def __init__(self, schema, left_key: list[int], right_key: list[int], right_extra: list[int]):
+        super().__init__(schema)
+        self.left_key = left_key
+        self.right_key = right_key
+        self.right_extra = right_extra
+        self.left_index: Index = {}
+        self.right_index: Index = {}
+
+    def _merge(self, left_row: tuple, right_row: tuple) -> tuple:
+        return left_row + tuple(right_row[i] for i in self.right_extra)
+
+    def apply(self, delta: Delta, side: int) -> None:
+        out = Delta()
+        if side == LEFT:
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.left_key)
+                for other, m2 in self.right_index.get(key, {}).items():
+                    out.add(self._merge(row, other), multiplicity * m2)
+                index_insert(self.left_index, key, row, multiplicity)
+        else:
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.right_key)
+                for other, m2 in self.left_index.get(key, {}).items():
+                    out.add(self._merge(other, row), multiplicity * m2)
+                index_insert(self.right_index, key, row, multiplicity)
+        self.emit(out)
+
+    def memory_size(self) -> int:
+        return sum(len(b) for b in self.left_index.values()) + sum(
+            len(b) for b in self.right_index.values()
+        )
+
+
+    def memory_cells(self) -> int:
+        return sum(
+            len(row)
+            for index in (self.left_index, self.right_index)
+            for bucket in index.values()
+            for row in bucket
+        )
+
+
+class AntiJoinNode(Node):
+    """▷ — left rows whose key has no right partner.
+
+    Right memory stores aggregate multiplicity per key; left rows toggle
+    in or out of the result when that count crosses zero."""
+
+    def __init__(self, schema, left_key: list[int], right_key: list[int]):
+        super().__init__(schema)
+        self.left_key = left_key
+        self.right_key = right_key
+        self.left_index: Index = {}
+        self.right_counts: dict[tuple, int] = {}
+
+    def apply(self, delta: Delta, side: int) -> None:
+        out = Delta()
+        if side == LEFT:
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.left_key)
+                if self.right_counts.get(key, 0) == 0:
+                    out.add(row, multiplicity)
+                index_insert(self.left_index, key, row, multiplicity)
+        else:
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.right_key)
+                before = self.right_counts.get(key, 0)
+                after = before + multiplicity
+                if after:
+                    self.right_counts[key] = after
+                else:
+                    self.right_counts.pop(key, None)
+                if before == 0 and after > 0:
+                    for left_row, m in self.left_index.get(key, {}).items():
+                        out.add(left_row, -m)
+                elif before > 0 and after == 0:
+                    for left_row, m in self.left_index.get(key, {}).items():
+                        out.add(left_row, m)
+        self.emit(out)
+
+    def memory_size(self) -> int:
+        return sum(len(b) for b in self.left_index.values()) + len(self.right_counts)
+
+
+class LeftOuterJoinNode(Node):
+    """⟕ — natural join plus null-padded rows for unmatched left rows."""
+
+    def __init__(
+        self,
+        schema,
+        left_key: list[int],
+        right_key: list[int],
+        right_extra: list[int],
+    ):
+        super().__init__(schema)
+        self.left_key = left_key
+        self.right_key = right_key
+        self.right_extra = right_extra
+        self.left_index: Index = {}
+        self.right_index: Index = {}
+        self.right_counts: dict[tuple, int] = {}
+        self._nulls = ()  # set by network builder via configure_nulls
+
+    def configure_nulls(self, width: int) -> None:
+        self._nulls = (None,) * width
+
+    def _merge(self, left_row: tuple, right_row: tuple) -> tuple:
+        return left_row + tuple(right_row[i] for i in self.right_extra)
+
+    def apply(self, delta: Delta, side: int) -> None:
+        out = Delta()
+        if side == LEFT:
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.left_key)
+                matches = self.right_index.get(key)
+                if matches:
+                    for other, m2 in matches.items():
+                        out.add(self._merge(row, other), multiplicity * m2)
+                else:
+                    out.add(row + self._nulls, multiplicity)
+                index_insert(self.left_index, key, row, multiplicity)
+        else:
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.right_key)
+                left_rows = self.left_index.get(key, {})
+                for left_row, m in left_rows.items():
+                    out.add(self._merge(left_row, row), multiplicity * m)
+                before = self.right_counts.get(key, 0)
+                after = before + multiplicity
+                if after:
+                    self.right_counts[key] = after
+                else:
+                    self.right_counts.pop(key, None)
+                index_insert(self.right_index, key, row, multiplicity)
+                if before == 0 and after > 0:
+                    for left_row, m in left_rows.items():
+                        out.add(left_row + self._nulls, -m)
+                elif before > 0 and after == 0:
+                    for left_row, m in left_rows.items():
+                        out.add(left_row + self._nulls, m)
+        self.emit(out)
+
+    def memory_size(self) -> int:
+        return (
+            sum(len(b) for b in self.left_index.values())
+            + sum(len(b) for b in self.right_index.values())
+            + len(self.right_counts)
+        )
+
+
+    def memory_cells(self) -> int:
+        return sum(
+            len(row)
+            for index in (self.left_index, self.right_index)
+            for bucket in index.values()
+            for row in bucket
+        )
+
+
+class UnionNode(Node):
+    """∪ — bag union; the right side is permuted into the left layout."""
+
+    def __init__(self, schema, right_permutation: tuple[int, ...]):
+        super().__init__(schema)
+        self.right_permutation = right_permutation
+
+    def apply(self, delta: Delta, side: int) -> None:
+        if side == LEFT:
+            out = Delta(delta.items())
+        else:
+            out = Delta()
+            for row, multiplicity in delta.items():
+                out.add(
+                    tuple(row[i] for i in self.right_permutation), multiplicity
+                )
+        self.emit(out)

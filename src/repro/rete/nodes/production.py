@@ -1,0 +1,46 @@
+"""Production node: the materialised view at the network's root."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..deltas import Delta, bag_insert
+from .base import Node
+
+ChangeCallback = Callable[[Delta], None]
+
+
+class ProductionNode(Node):
+    """Holds the view's bag of result rows and notifies subscribers."""
+
+    def __init__(self, schema):
+        super().__init__(schema)
+        self.results: dict[tuple, int] = {}
+        self._callbacks: list[ChangeCallback] = []
+
+    def on_change(self, callback: ChangeCallback) -> None:
+        self._callbacks.append(callback)
+
+    def apply(self, delta: Delta, side: int) -> None:
+        real = Delta()
+        for row, multiplicity in delta.items():
+            before = self.results.get(row, 0)
+            after = bag_insert(self.results, row, multiplicity)
+            if after < 0:
+                raise AssertionError(
+                    f"view multiplicity went negative for row {row!r}"
+                )
+            if after != before:
+                real.add(row, after - before)
+        if real:
+            for callback in self._callbacks:
+                callback(real)
+
+    def multiset(self) -> dict[tuple, int]:
+        return dict(self.results)
+
+    def memory_size(self) -> int:
+        return len(self.results)
+
+    def memory_cells(self) -> int:
+        return sum(len(row) for row in self.results)

@@ -1,0 +1,92 @@
+"""Stateless and lightly-stateful unary nodes: σ, π, δ (dedup), unwind."""
+
+from __future__ import annotations
+
+from ...algebra.expressions import CompiledExpr, EvalContext
+from ...graph.values import ListValue
+from ..deltas import Delta, bag_insert
+from .base import Node
+
+
+class SelectionNode(Node):
+    """σ — forwards rows whose predicate is exactly ``true``.
+
+    Stateless: deltas filter the same way in both directions, so a
+    retraction of a previously-passed row passes again and cancels
+    downstream (counting maintenance of σ)."""
+
+    def __init__(self, schema, predicate: CompiledExpr, ctx: EvalContext):
+        super().__init__(schema)
+        self.predicate = predicate
+        self.ctx = ctx
+
+    def apply(self, delta: Delta, side: int) -> None:
+        out = Delta()
+        for row, multiplicity in delta.items():
+            if self.predicate(row, self.ctx) is True:
+                out.add(row, multiplicity)
+        self.emit(out)
+
+
+class ProjectionNode(Node):
+    """π — maps each row through compiled item expressions (bag π:
+    multiplicities are preserved, collisions accumulate)."""
+
+    def __init__(self, schema, items: list[CompiledExpr], ctx: EvalContext):
+        super().__init__(schema)
+        self.items = items
+        self.ctx = ctx
+
+    def apply(self, delta: Delta, side: int) -> None:
+        out = Delta()
+        for row, multiplicity in delta.items():
+            out.add(tuple(fn(row, self.ctx) for fn in self.items), multiplicity)
+        self.emit(out)
+
+
+class DedupNode(Node):
+    """δ — collapses multiplicities to one; emits only 0↔positive edges."""
+
+    def __init__(self, schema):
+        super().__init__(schema)
+        self.counts: dict[tuple, int] = {}
+
+    def apply(self, delta: Delta, side: int) -> None:
+        out = Delta()
+        for row, multiplicity in delta.items():
+            before = self.counts.get(row, 0)
+            after = bag_insert(self.counts, row, multiplicity)
+            if before == 0 and after > 0:
+                out.add(row, 1)
+            elif before > 0 and after == 0:
+                out.add(row, -1)
+            elif after < 0:
+                raise AssertionError(f"negative multiplicity for {row}")
+        self.emit(out)
+
+    def memory_size(self) -> int:
+        return len(self.counts)
+
+    def memory_cells(self) -> int:
+        return sum(len(row) for row in self.counts)
+
+
+class UnwindNode(Node):
+    """ω — one output row per element of the list value (null/empty: none;
+    scalars pass through as a single row, per openCypher)."""
+
+    def __init__(self, schema, expression: CompiledExpr, ctx: EvalContext):
+        super().__init__(schema)
+        self.expression = expression
+        self.ctx = ctx
+
+    def apply(self, delta: Delta, side: int) -> None:
+        out = Delta()
+        for row, multiplicity in delta.items():
+            value = self.expression(row, self.ctx)
+            if value is None:
+                continue
+            elements = list(value) if isinstance(value, ListValue) else [value]
+            for element in elements:
+                out.add(row + (element,), multiplicity)
+        self.emit(out)

@@ -1,0 +1,142 @@
+"""Cross-view input-node sharing (classic Rete subnetwork sharing).
+
+Within one network, identical base relations already share an input node.
+This module extends the idea across *views*: an engine-owned
+:class:`SharedInputLayer` caches input nodes by their base-relation
+signature — two views over ``(p:Post {lang})`` feed from one
+:class:`~.nodes.input.VertexInputNode`, so each graph event is translated
+into tuples **once per distinct signature** instead of once per view.
+ingraph and Viatra (the paper's lineage, refs [31, 33]) both rely on this
+to keep many-view workloads affordable; ablation E11 quantifies it.
+
+Late registration is handled by *targeted activation*: when a view joins a
+live input node, the current-state delta is applied only to the new view's
+subscription edges, never re-emitted to existing subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra import ops
+from ..graph import events as ev
+from ..graph.graph import PropertyGraph
+from .nodes.input import EdgeInputNode, UnitNode, VertexInputNode
+
+
+@dataclass(slots=True)
+class SharingStats:
+    """Cache effectiveness counters for the ablation report."""
+
+    vertex_requests: int = 0
+    vertex_nodes: int = 0
+    edge_requests: int = 0
+    edge_nodes: int = 0
+    unit_requests: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.vertex_requests + self.edge_requests + self.unit_requests
+
+    @property
+    def nodes(self) -> int:
+        return self.vertex_nodes + self.edge_nodes + (1 if self.unit_requests else 0)
+
+
+def vertex_signature(op: ops.GetVertices) -> tuple:
+    """Cache key for a © operator: tuple layout depends only on this."""
+    return (op.labels, op.projections)
+
+
+def edge_signature(op: ops.GetEdges) -> tuple:
+    """Cache key for a ⇑ operator; projections keyed by role, not name."""
+    roles = tuple(
+        (
+            "src" if p.subject == op.src else "edge" if p.subject == op.edge else "tgt",
+            p.kind,
+            p.key,
+        )
+        for p in op.projections
+    )
+    return (op.types, op.src_labels, op.tgt_labels, op.directed, roles)
+
+
+@dataclass
+class SharedInputLayer:
+    """Engine-owned cache of live input nodes, keyed by signature."""
+
+    graph: PropertyGraph
+    stats: SharingStats = field(default_factory=SharingStats)
+
+    def __post_init__(self) -> None:
+        self._vertex_nodes: dict[tuple, VertexInputNode] = {}
+        self._edge_nodes: dict[tuple, EdgeInputNode] = {}
+        self._unit_node: UnitNode | None = None
+
+    # -- node acquisition ----------------------------------------------------
+
+    def vertex_node(self, op: ops.GetVertices) -> VertexInputNode:
+        self.stats.vertex_requests += 1
+        key = vertex_signature(op)
+        node = self._vertex_nodes.get(key)
+        if node is None:
+            node = VertexInputNode(op, self.graph)
+            self._vertex_nodes[key] = node
+            self.stats.vertex_nodes += 1
+        return node
+
+    def edge_node(self, op: ops.GetEdges) -> EdgeInputNode:
+        self.stats.edge_requests += 1
+        key = edge_signature(op)
+        node = self._edge_nodes.get(key)
+        if node is None:
+            node = EdgeInputNode(op, self.graph)
+            self._edge_nodes[key] = node
+            self.stats.edge_nodes += 1
+        return node
+
+    def unit_node(self, schema) -> UnitNode:
+        self.stats.unit_requests += 1
+        if self._unit_node is None:
+            self._unit_node = UnitNode(schema)
+        return self._unit_node
+
+    # -- event routing -----------------------------------------------------------
+
+    def dispatch(self, event: ev.GraphEvent) -> None:
+        """Translate one graph event, once per distinct input signature."""
+        if isinstance(event, (ev.VertexAdded, ev.VertexRemoved)):
+            for node in self._vertex_nodes.values():
+                node.on_event(event)
+        elif isinstance(
+            event,
+            (ev.VertexLabelAdded, ev.VertexLabelRemoved, ev.VertexPropertySet),
+        ):
+            for node in self._vertex_nodes.values():
+                node.on_event(event)
+            for edge_node in self._edge_nodes.values():
+                edge_node.on_event(event)
+        elif isinstance(event, (ev.EdgeAdded, ev.EdgeRemoved, ev.EdgePropertySet)):
+            for edge_node in self._edge_nodes.values():
+                edge_node.on_event(event)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def prune(self) -> int:
+        """Drop input nodes with no remaining subscribers; returns count."""
+        removed = 0
+        for cache in (self._vertex_nodes, self._edge_nodes):
+            for key in [k for k, n in cache.items() if n.subscriber_count == 0]:
+                del cache[key]
+                removed += 1
+        if self._unit_node is not None and self._unit_node.subscriber_count == 0:
+            self._unit_node = None
+        return removed
+
+    @property
+    def node_count(self) -> int:
+        return (
+            len(self._vertex_nodes)
+            + len(self._edge_nodes)
+            + (1 if self._unit_node is not None else 0)
+        )

@@ -1,0 +1,5 @@
+"""Benchmark and test workloads: Train Benchmark, social network, random."""
+
+from . import random_graphs, social, trainbenchmark
+
+__all__ = ["trainbenchmark", "social", "random_graphs"]

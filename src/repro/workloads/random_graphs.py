@@ -1,0 +1,151 @@
+"""Seeded random graphs and update streams for property-based testing.
+
+The differential test harness (incremental view ≡ full recomputation after
+arbitrary update sequences) needs adversarial inputs: random labels, random
+property churn, edge/vertex lifecycle events, detach-deletes.  This module
+provides a reproducible generator for them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..graph.graph import PropertyGraph
+
+DEFAULT_LABELS = ("Post", "Comm", "Person")
+DEFAULT_TYPES = ("REPLY", "KNOWS", "LIKES")
+#: Per-key value pools.  ``lang`` stays string-typed and ``score`` stays
+#: numeric so aggregate queries (``sum(p.score)``) are well-typed — mixing
+#: types there is a query error in Cypher, not an engine property to test.
+#: ``flag`` carries the deliberately-mixed values (incl. None = absent).
+DEFAULT_KEY_VALUES: dict[str, tuple] = {
+    "lang": ("en", "de", "fr", None),
+    "score": (1, 2, 3, 2.5, None),
+    "flag": (True, False, "x", 0, None),
+}
+
+
+@dataclass
+class RandomGraphConfig:
+    labels: tuple[str, ...] = DEFAULT_LABELS
+    edge_types: tuple[str, ...] = DEFAULT_TYPES
+    key_values: dict[str, tuple] = field(default_factory=lambda: dict(DEFAULT_KEY_VALUES))
+    max_labels_per_vertex: int = 2
+
+    @property
+    def property_keys(self) -> tuple[str, ...]:
+        return tuple(self.key_values)
+
+
+@dataclass
+class RandomGraphState:
+    graph: PropertyGraph
+    vertices: list[int] = field(default_factory=list)
+    edges: list[int] = field(default_factory=list)
+
+
+def random_graph(
+    vertices: int,
+    edges: int,
+    seed: int = 0,
+    config: RandomGraphConfig | None = None,
+) -> RandomGraphState:
+    """A random property graph with the given vertex/edge counts."""
+    cfg = config or RandomGraphConfig()
+    rng = random.Random(seed)
+    state = RandomGraphState(PropertyGraph())
+    for _ in range(vertices):
+        _add_vertex(state, rng, cfg)
+    for _ in range(edges):
+        _add_edge(state, rng, cfg)
+    return state
+
+
+def _random_properties(rng: random.Random, cfg: RandomGraphConfig) -> dict:
+    out = {}
+    for key, values in cfg.key_values.items():
+        if rng.random() < 0.8:
+            value = rng.choice(values)
+            if value is not None:
+                out[key] = value
+    return out
+
+
+def _add_vertex(state, rng: random.Random, cfg: RandomGraphConfig) -> None:
+    label_count = rng.randint(0, cfg.max_labels_per_vertex)
+    labels = rng.sample(cfg.labels, min(label_count, len(cfg.labels)))
+    vertex = state.graph.add_vertex(
+        labels=labels, properties=_random_properties(rng, cfg)
+    )
+    state.vertices.append(vertex)
+
+
+def _add_edge(state, rng: random.Random, cfg: RandomGraphConfig) -> None:
+    if not state.vertices:
+        return
+    source = rng.choice(state.vertices)
+    target = rng.choice(state.vertices)
+    edge = state.graph.add_edge(
+        source,
+        target,
+        rng.choice(cfg.edge_types),
+        properties=_random_properties(rng, cfg),
+    )
+    state.edges.append(edge)
+
+
+def random_updates(
+    state: RandomGraphState,
+    operations: int,
+    seed: int = 0,
+    config: RandomGraphConfig | None = None,
+) -> Iterator[str]:
+    """Apply a random update stream in place; yields each operation kind.
+
+    Covers every event type the engine handles: vertex/edge add/remove
+    (incl. detach-delete), label add/remove, vertex/edge property set and
+    removal (``None``).
+    """
+    cfg = config or RandomGraphConfig()
+    rng = random.Random(seed)
+    graph = state.graph
+    for _ in range(operations):
+        roll = rng.random()
+        if roll < 0.22 or len(state.vertices) < 2:
+            _add_vertex(state, rng, cfg)
+            yield "add_vertex"
+        elif roll < 0.42:
+            _add_edge(state, rng, cfg)
+            yield "add_edge"
+        elif roll < 0.52 and state.edges:
+            edge = rng.choice(state.edges)
+            state.edges.remove(edge)
+            graph.remove_edge(edge)
+            yield "remove_edge"
+        elif roll < 0.64:
+            vertex = rng.choice(state.vertices)
+            key = rng.choice(cfg.property_keys)
+            graph.set_vertex_property(vertex, key, rng.choice(cfg.key_values[key]))
+            yield "set_vertex_property"
+        elif roll < 0.72 and state.edges:
+            edge = rng.choice(state.edges)
+            key = rng.choice(cfg.property_keys)
+            graph.set_edge_property(edge, key, rng.choice(cfg.key_values[key]))
+            yield "set_edge_property"
+        elif roll < 0.82:
+            vertex = rng.choice(state.vertices)
+            graph.add_label(vertex, rng.choice(cfg.labels))
+            yield "add_label"
+        elif roll < 0.90:
+            vertex = rng.choice(state.vertices)
+            graph.remove_label(vertex, rng.choice(cfg.labels))
+            yield "remove_label"
+        else:
+            vertex = rng.choice(state.vertices)
+            incident = set(graph.incident_edges(vertex))
+            graph.remove_vertex(vertex, detach=True)
+            state.vertices.remove(vertex)
+            state.edges = [e for e in state.edges if e not in incident]
+            yield "remove_vertex"

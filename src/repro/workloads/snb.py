@@ -1,0 +1,269 @@
+"""LDBC-SNB-inspired workload (paper reference [17]).
+
+The paper grounds its motivation in the LDBC Social Network Benchmark
+domain; the running example (Posts and transitively replying Comments in
+the same language) is drawn from it.  This module provides a scaled-down
+generator for the SNB core schema —
+
+    Person  —KNOWS→  Person
+    Person  —LIKES→  Post|Comment
+    Forum   —HAS_MEMBER→ Person,  Forum —CONTAINER_OF→ Post
+    Post    ←REPLY_OF— Comment ←REPLY_OF— Comment …
+    Message —HAS_CREATOR→ Person,  Message —HAS_TAG→ Tag
+
+— plus a query mix adapted from the SNB interactive workload to the
+paper's incrementally maintainable fragment (bags, no ORDER BY/top-k; the
+SNB queries' ordering/limit decoration is dropped, their pattern cores are
+kept), and a seeded update stream mirroring SNB's insert-heavy interactive
+updates with deletes mixed in.
+
+Everything is deterministic per seed so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.graph import PropertyGraph
+
+LANGS = ("en", "de", "fr", "hu", "es")
+TAG_NAMES = (
+    "graphs", "databases", "cypher", "rete", "ivm",
+    "benchmarks", "papers", "python", "music", "travel",
+)
+
+#: SNB-inspired queries, adapted to the maintainable fragment.  Keys are
+#: short stable identifiers used by tests and the E12 bench table.
+SNB_QUERIES: dict[str, str] = {
+    # IS1: person profile attributes
+    "is1_profile": (
+        "MATCH (p:Person) WHERE p.name = $name "
+        "RETURN p.name AS name, p.city AS city"
+    ),
+    # IS3: a person's friends
+    "is3_friends": (
+        "MATCH (p:Person)-[:KNOWS]->(f:Person) "
+        "RETURN p.name AS person, f.name AS friend"
+    ),
+    # IC1-core: friends and friends-of-friends (2 hops, distinct)
+    "ic1_fof": (
+        "MATCH (p:Person)-[:KNOWS*1..2]->(f:Person) "
+        "WHERE p.name = $name AND p <> f "
+        "RETURN DISTINCT f.name AS friend"
+    ),
+    # IC2-core: recent messages by friends (recency modelled as a property filter)
+    "ic2_friend_messages": (
+        "MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(m:Post) "
+        "WHERE m.recent = TRUE "
+        "RETURN f.name AS friend, m.content AS content"
+    ),
+    # IC4-core: tags on posts created by friends
+    "ic4_friend_tags": (
+        "MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(m:Post)"
+        "-[:HAS_TAG]->(t:Tag) "
+        "RETURN t.name AS tag, count(*) AS posts"
+    ),
+    # IC5-core: forums whose members created contained posts
+    "ic5_forum_posts": (
+        "MATCH (f:Forum)-[:HAS_MEMBER]->(pe:Person)"
+        "<-[:HAS_CREATOR]-(po:Post)<-[:CONTAINER_OF]-(f) "
+        "RETURN f.title AS forum, count(*) AS posts"
+    ),
+    # IC7-core: who likes a person's messages
+    "ic7_likers": (
+        "MATCH (fan:Person)-[:LIKES]->(m:Post)-[:HAS_CREATOR]->(auth:Person) "
+        "RETURN auth.name AS author, count(*) AS likes"
+    ),
+    # IC8-core: replies (direct) to a person's posts
+    "ic8_replies": (
+        "MATCH (c:Comment)-[:REPLY_OF]->(m:Post)-[:HAS_CREATOR]->(p:Person) "
+        "RETURN p.name AS author, count(*) AS replies"
+    ),
+    # the paper's running example on the SNB schema: whole reply threads
+    # in the post's language, with the path returned
+    "thread_same_lang": (
+        "MATCH t = (m:Post)<-[:REPLY_OF*]-(c:Comment) "
+        "WHERE m.lang = c.lang "
+        "RETURN m, t"
+    ),
+}
+
+#: Queries outside the fragment (ordering/top-k) — evaluated one-shot
+#: in the bench to document the paper's trade-off on SNB shapes.
+SNB_TOPK_QUERIES: dict[str, str] = {
+    "topk_liked_posts": (
+        "MATCH (fan:Person)-[:LIKES]->(m:Post) "
+        "RETURN m.content AS content, count(*) AS likes "
+        "ORDER BY likes DESC LIMIT 3"
+    ),
+}
+
+
+@dataclass
+class SnbNetwork:
+    """A generated SNB-style network plus id registries for updates."""
+
+    graph: PropertyGraph
+    persons: list[int] = field(default_factory=list)
+    forums: list[int] = field(default_factory=list)
+    tags: list[int] = field(default_factory=list)
+    posts: list[int] = field(default_factory=list)
+    comments: list[int] = field(default_factory=list)
+    #: message id → language (for reply generation)
+    lang_of: dict[int, str] = field(default_factory=dict)
+
+
+def generate_snb(
+    persons: int = 20,
+    forums: int = 4,
+    posts_per_forum: int = 8,
+    comments_per_post: int = 4,
+    knows_degree: int = 3,
+    seed: int = 1,
+) -> SnbNetwork:
+    """Generate a deterministic SNB-style social network."""
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    net = SnbNetwork(graph)
+
+    for name in TAG_NAMES:
+        net.tags.append(graph.add_vertex(labels=["Tag"], properties={"name": name}))
+
+    for index in range(persons):
+        person = graph.add_vertex(
+            labels=["Person"],
+            properties={
+                "name": f"person-{index}",
+                "city": f"city-{index % 5}",
+            },
+        )
+        net.persons.append(person)
+    for person in net.persons:
+        for friend in rng.sample(net.persons, min(knows_degree, persons)):
+            if friend != person:
+                graph.add_edge(person, friend, "KNOWS")
+
+    for forum_index in range(forums):
+        forum = graph.add_vertex(
+            labels=["Forum"], properties={"title": f"forum-{forum_index}"}
+        )
+        net.forums.append(forum)
+        members = rng.sample(net.persons, max(2, persons // forums))
+        for member in members:
+            graph.add_edge(forum, member, "HAS_MEMBER")
+        for _ in range(posts_per_forum):
+            creator = rng.choice(members)
+            lang = rng.choice(LANGS)
+            post = graph.add_vertex(
+                labels=["Post"],
+                properties={
+                    "lang": lang,
+                    "content": f"post-{len(net.posts)}",
+                    "recent": rng.random() < 0.5,
+                },
+            )
+            net.posts.append(post)
+            net.lang_of[post] = lang
+            graph.add_edge(forum, post, "CONTAINER_OF")
+            graph.add_edge(post, creator, "HAS_CREATOR")
+            for tag in rng.sample(net.tags, rng.randint(1, 3)):
+                graph.add_edge(post, tag, "HAS_TAG")
+            parent = post
+            for _ in range(comments_per_post):
+                parent = _add_comment(net, rng, parent)
+
+    # likes: each person likes a few random posts
+    for person in net.persons:
+        for post in rng.sample(net.posts, min(3, len(net.posts))):
+            graph.add_edge(person, post, "LIKES")
+    return net
+
+
+def _add_comment(net: SnbNetwork, rng: random.Random, parent: int) -> int:
+    """Append one comment replying to *parent*; same-lang with bias 0.7."""
+    graph = net.graph
+    parent_lang = net.lang_of.get(parent, LANGS[0])
+    lang = parent_lang if rng.random() < 0.7 else rng.choice(LANGS)
+    comment = graph.add_vertex(
+        labels=["Comment"],
+        properties={"lang": lang, "content": f"comment-{len(net.comments)}"},
+    )
+    net.comments.append(comment)
+    net.lang_of[comment] = lang
+    graph.add_edge(comment, parent, "REPLY_OF")
+    graph.add_edge(comment, rng.choice(net.persons), "HAS_CREATOR")
+    return comment
+
+
+def update_stream(net: SnbNetwork, operations: int = 100, seed: int = 2):
+    """Yield ``operations`` SNB-interactive-style update thunks.
+
+    Mix (weights roughly following SNB interactive): new comments 40%,
+    new likes 25%, new posts 10%, membership changes 10%, language edits
+    10%, unlikes/deletes 5%.  Each yielded item is ``(kind, callable)``;
+    calling it applies the update to ``net.graph``.
+    """
+    rng = random.Random(seed)
+    graph = net.graph
+
+    def new_comment():
+        parent = rng.choice(net.posts + net.comments)
+        _add_comment(net, rng, parent)
+
+    def new_like():
+        person = rng.choice(net.persons)
+        post = rng.choice(net.posts)
+        graph.add_edge(person, post, "LIKES")
+
+    def new_post():
+        forum = rng.choice(net.forums)
+        creator = rng.choice(net.persons)
+        lang = rng.choice(LANGS)
+        post = graph.add_vertex(
+            labels=["Post"],
+            properties={
+                "lang": lang,
+                "content": f"post-{len(net.posts)}",
+                "recent": True,
+            },
+        )
+        net.posts.append(post)
+        net.lang_of[post] = lang
+        graph.add_edge(forum, post, "CONTAINER_OF")
+        graph.add_edge(post, creator, "HAS_CREATOR")
+
+    def membership_change():
+        forum = rng.choice(net.forums)
+        person = rng.choice(net.persons)
+        existing = [
+            e
+            for e in graph.out_edges(forum, "HAS_MEMBER")
+            if graph.target_of(e) == person
+        ]
+        if existing:
+            graph.remove_edge(existing[0])
+        else:
+            graph.add_edge(forum, person, "HAS_MEMBER")
+
+    def lang_edit():
+        message = rng.choice(net.posts + net.comments)
+        lang = rng.choice(LANGS)
+        net.lang_of[message] = lang
+        graph.set_vertex_property(message, "lang", lang)
+
+    def unlike():
+        likes = list(graph.edges("LIKES"))
+        if likes:
+            graph.remove_edge(rng.choice(likes))
+
+    weighted = (
+        [("comment", new_comment)] * 40
+        + [("like", new_like)] * 25
+        + [("post", new_post)] * 10
+        + [("membership", membership_change)] * 10
+        + [("lang", lang_edit)] * 10
+        + [("unlike", unlike)] * 5
+    )
+    for _ in range(operations):
+        yield rng.choice(weighted)

@@ -1,0 +1,185 @@
+"""Social-network workload — the paper's running-example domain.
+
+The paper's motivating example (§2) is drawn from an LDBC SNB-like social
+network (paper ref [17]): ``Post``s with transitive ``REPLY`` threads of
+``Comm``ents, each message carrying a ``lang`` property.  This module
+generates such networks plus a live update stream, so the running-example
+query (and richer SNB-flavoured queries) can be benchmarked under
+maintenance.
+
+Schema:
+
+* ``Person {name}`` —KNOWS→ ``Person``
+* ``Post {lang, content}`` —HAS_CREATOR→ ``Person``
+* ``Comm {lang}`` —REPLY→ ``Post``/``Comm`` (reply trees hang *off* the
+  message they reply to: edge direction follows the paper's example, i.e.
+  parent —REPLY→ child)
+* ``Person`` —LIKES→ ``Post``
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..graph.graph import PropertyGraph
+
+LANGS = ("en", "de", "fr", "es", "hu")
+
+#: The paper's running example query, verbatim (modulo whitespace).
+RUNNING_EXAMPLE_QUERY = (
+    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) "
+    "WHERE p.lang = c.lang "
+    "RETURN p, t"
+)
+
+#: Companion queries for the social workload benchmarks.
+QUERIES: dict[str, str] = {
+    "running_example": RUNNING_EXAMPLE_QUERY,
+    "thread_sizes": (
+        "MATCH (p:Post)-[:REPLY*]->(c:Comm) "
+        "RETURN p, count(c) AS replies"
+    ),
+    "posts_per_person": (
+        "MATCH (person:Person)<-[:HAS_CREATOR]-(post:Post) "
+        "RETURN person, count(post) AS posts"
+    ),
+    "popular_posts": (
+        "MATCH (fan:Person)-[:LIKES]->(post:Post) "
+        "RETURN post, count(fan) AS fans"
+    ),
+    "friends_langs": (
+        "MATCH (a:Person)-[:KNOWS]->(b:Person)<-[:HAS_CREATOR]-(post:Post) "
+        "RETURN a, collect(DISTINCT post.lang) AS langs"
+    ),
+}
+
+
+@dataclass
+class SocialNetwork:
+    """A generated social network plus id registries for the update stream."""
+
+    graph: PropertyGraph
+    persons: list[int] = field(default_factory=list)
+    posts: list[int] = field(default_factory=list)
+    comments: list[int] = field(default_factory=list)
+    #: message id → ids of direct replies (for subtree deletes)
+    replies_of: dict[int, list[int]] = field(default_factory=dict)
+
+
+def generate_social(
+    persons: int = 20,
+    posts_per_person: int = 2,
+    comments_per_post: int = 5,
+    reply_depth: float = 0.6,
+    seed: int = 1,
+) -> SocialNetwork:
+    """Generate a social network.
+
+    ``reply_depth`` is the probability that a new comment replies to an
+    existing comment rather than to the post itself, producing the deep
+    threads the running example exercises.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    net = SocialNetwork(graph)
+
+    for index in range(persons):
+        person = graph.add_vertex(
+            labels=["Person"], properties={"name": f"person-{index}"}
+        )
+        net.persons.append(person)
+
+    for a in net.persons:
+        for b in rng.sample(net.persons, min(3, len(net.persons))):
+            if a != b:
+                graph.add_edge(a, b, "KNOWS")
+
+    for person in net.persons:
+        for _ in range(posts_per_person):
+            post = graph.add_vertex(
+                labels=["Post"],
+                properties={"lang": rng.choice(LANGS), "content": "..."},
+            )
+            net.posts.append(post)
+            graph.add_edge(post, person, "HAS_CREATOR")
+            thread: list[int] = [post]
+            for _ in range(comments_per_post):
+                if len(thread) > 1 and rng.random() < reply_depth:
+                    parent = rng.choice(thread[1:])
+                else:
+                    parent = post
+                comment = add_comment(net, parent, rng.choice(LANGS))
+                thread.append(comment)
+
+    for person in net.persons:
+        for post in rng.sample(net.posts, min(3, len(net.posts))):
+            graph.add_edge(person, post, "LIKES")
+
+    return net
+
+
+def add_comment(net: SocialNetwork, parent: int, lang: str) -> int:
+    """Attach a new comment replying to *parent* (post or comment)."""
+    comment = net.graph.add_vertex(labels=["Comm"], properties={"lang": lang})
+    net.comments.append(comment)
+    net.graph.add_edge(parent, comment, "REPLY")
+    net.replies_of.setdefault(parent, []).append(comment)
+    return comment
+
+
+def delete_comment_subtree(net: SocialNetwork, comment: int) -> int:
+    """Delete a comment and its entire reply subtree; returns count removed."""
+    removed = 0
+    for child in list(net.replies_of.get(comment, ())):
+        removed += delete_comment_subtree(net, child)
+    net.replies_of.pop(comment, None)
+    if net.graph.has_vertex(comment):
+        net.graph.remove_vertex(comment, detach=True)
+        removed += 1
+    if comment in net.comments:
+        net.comments.remove(comment)
+    for children in net.replies_of.values():
+        if comment in children:
+            children.remove(comment)
+    return removed
+
+
+def update_stream(
+    net: SocialNetwork, operations: int, seed: int = 7
+) -> Iterator[str]:
+    """Apply a mixed update stream; yields the kind of each operation.
+
+    Mix (roughly SNB-interactive-flavoured): 50% new comments, 15% language
+    edits, 15% likes, 10% comment deletions, 10% new posts.
+    """
+    rng = random.Random(seed)
+    graph = net.graph
+    for _ in range(operations):
+        roll = rng.random()
+        if roll < 0.50 or not net.comments:
+            parent = rng.choice(net.posts + net.comments)
+            add_comment(net, parent, rng.choice(LANGS))
+            yield "add_comment"
+        elif roll < 0.65:
+            message = rng.choice(net.posts + net.comments)
+            graph.set_vertex_property(message, "lang", rng.choice(LANGS))
+            yield "change_lang"
+        elif roll < 0.80:
+            person = rng.choice(net.persons)
+            post = rng.choice(net.posts)
+            graph.add_edge(person, post, "LIKES")
+            yield "like"
+        elif roll < 0.90 and net.comments:
+            delete_comment_subtree(net, rng.choice(net.comments))
+            yield "delete_subtree"
+        else:
+            person = rng.choice(net.persons)
+            post = graph.add_vertex(
+                labels=["Post"],
+                properties={"lang": rng.choice(LANGS), "content": "..."},
+            )
+            net.posts.append(post)
+            graph.add_edge(post, person, "HAS_CREATOR")
+            yield "add_post"

@@ -1,0 +1,377 @@
+"""Train Benchmark workload (paper ref [30]).
+
+The Train Benchmark is the continuous model-validation benchmark by
+Szárnyas et al. that grounds the paper's evaluation methodology: a railway
+network model, six well-formedness constraint queries, and two update
+scenarios — **inject** (introduce faults) and **repair** (fix them) — with
+query re-evaluation after every transformation batch.
+
+This module reproduces it on our substrate:
+
+* a seeded generator for railway models of parameterised size with the
+  benchmark's error percentages,
+* the six standard queries expressed in the supported openCypher fragment
+  (negative application conditions use ``OPTIONAL MATCH … WHERE x IS
+  NULL``, the fragment's antijoin idiom),
+* inject and repair transformation streams for each query.
+
+Schema (vertex labels / edge types / properties):
+
+* ``Route`` —entry→ ``Semaphore``, —exit→ ``Semaphore``,
+  —follows→ ``SwitchPosition``, —requires→ ``Sensor``
+* ``SwitchPosition`` —target→ ``Switch``; ``position`` property
+* ``Switch`` (also ``TrackElement``); ``currentPosition`` property
+* ``Segment`` (also ``TrackElement``); ``length`` property
+* ``TrackElement`` —connectsTo→ ``TrackElement``, —monitoredBy→ ``Sensor``
+* ``Semaphore``; ``signal`` property
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..graph.graph import PropertyGraph
+
+SIGNAL_GO = "GO"
+SIGNAL_STOP = "STOP"
+POSITIONS = ("STRAIGHT", "DIVERGING")
+
+#: Error injection rates at generation time, mirroring the Train Benchmark's
+#: published defaults (a few percent of instances are born invalid so the
+#: batch phase already returns matches).
+ERROR_RATES = {
+    "PosLength": 0.05,
+    "SwitchMonitored": 0.05,
+    "RouteSensor": 0.10,
+    "SwitchSet": 0.08,
+    "ConnectedSegments": 0.05,
+    "SemaphoreNeighbor": 0.07,
+}
+
+
+@dataclass
+class RailwayModel:
+    """A generated railway instance plus id registries for transformations."""
+
+    graph: PropertyGraph
+    routes: list[int] = field(default_factory=list)
+    semaphores: list[int] = field(default_factory=list)
+    switches: list[int] = field(default_factory=list)
+    switch_positions: list[int] = field(default_factory=list)
+    segments: list[int] = field(default_factory=list)
+    sensors: list[int] = field(default_factory=list)
+    #: (route, sensor) pairs whose requires edge was removed at generation
+    missing_requires: list[tuple[int, int]] = field(default_factory=list)
+    #: switches left unmonitored at generation
+    unmonitored_switches: list[int] = field(default_factory=list)
+
+
+def generate_railway(
+    routes: int = 20, seed: int = 1, error_rates: dict[str, float] | None = None
+) -> RailwayModel:
+    """Generate a railway model with ``routes`` routes.
+
+    Size scales linearly: each route has 2 semaphores, ~4 switch positions
+    (with switches and sensors) and ~8 connected segments, so vertex count
+    is roughly ``20 × routes``.
+    """
+    rates = dict(ERROR_RATES)
+    if error_rates:
+        rates.update(error_rates)
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    model = RailwayModel(graph)
+
+    previous_exit: int | None = None
+    previous_last_segment: int | None = None
+    for _ in range(routes):
+        # Routes chain: each route's entry semaphore is the previous
+        # route's exit semaphore (that is what SemaphoreNeighbor checks).
+        if previous_exit is None:
+            entry = graph.add_vertex(
+                labels=["Semaphore"],
+                properties={"signal": rng.choice((SIGNAL_GO, SIGNAL_STOP))},
+            )
+            model.semaphores.append(entry)
+        else:
+            entry = previous_exit
+        exit_ = graph.add_vertex(
+            labels=["Semaphore"],
+            properties={"signal": rng.choice((SIGNAL_GO, SIGNAL_STOP))},
+        )
+        model.semaphores.append(exit_)
+        route = graph.add_vertex(labels=["Route"], properties={"active": True})
+        model.routes.append(route)
+        if not (previous_exit is not None and rng.random() < rates["SemaphoreNeighbor"]):
+            graph.add_edge(route, entry, "entry")
+        graph.add_edge(route, exit_, "exit")
+        previous_exit = exit_
+
+        # switches followed by this route
+        for _ in range(rng.randint(3, 5)):
+            position = rng.choice(POSITIONS)
+            switch_position = graph.add_vertex(
+                labels=["SwitchPosition"], properties={"position": position}
+            )
+            model.switch_positions.append(switch_position)
+            graph.add_edge(route, switch_position, "follows")
+
+            if rng.random() < rates["SwitchSet"]:
+                current = (
+                    POSITIONS[0] if position == POSITIONS[1] else POSITIONS[1]
+                )
+            else:
+                current = position
+            switch = graph.add_vertex(
+                labels=["Switch", "TrackElement"],
+                properties={"currentPosition": current},
+            )
+            model.switches.append(switch)
+            graph.add_edge(switch_position, switch, "target")
+
+            sensor = graph.add_vertex(labels=["Sensor"])
+            model.sensors.append(sensor)
+            if rng.random() < rates["SwitchMonitored"]:
+                model.unmonitored_switches.append(switch)
+            else:
+                graph.add_edge(switch, sensor, "monitoredBy")
+            if rng.random() < rates["RouteSensor"]:
+                model.missing_requires.append((route, sensor))
+            else:
+                graph.add_edge(route, sensor, "requires")
+
+        # a chain of connected segments sharing one sensor, required by the
+        # route; consecutive routes' chains are linked so SemaphoreNeighbor's
+        # cross-route pattern has instances
+        chain_sensor = graph.add_vertex(labels=["Sensor"])
+        model.sensors.append(chain_sensor)
+        graph.add_edge(route, chain_sensor, "requires")
+        previous = None
+        # ConnectedSegments flags runs of *six* same-sensor segments, so a
+        # clean chain has five; the error rate occasionally emits six.
+        chain_length = 6 if rng.random() < rates["ConnectedSegments"] else 5
+        for position_in_chain in range(chain_length):
+            if rng.random() < rates["PosLength"]:
+                length = 0
+            else:
+                length = rng.randint(1, 100)
+            segment = graph.add_vertex(
+                labels=["Segment", "TrackElement"], properties={"length": length}
+            )
+            model.segments.append(segment)
+            graph.add_edge(segment, chain_sensor, "monitoredBy")
+            if previous is None and previous_last_segment is not None:
+                graph.add_edge(previous_last_segment, segment, "connectsTo")
+            if previous is not None:
+                graph.add_edge(previous, segment, "connectsTo")
+            previous = segment
+        previous_last_segment = previous
+
+    return model
+
+
+# ---------------------------------------------------------------------------
+# the six constraint queries
+# ---------------------------------------------------------------------------
+
+#: Query name → openCypher text.  Negative application conditions are
+#: expressed with ``OPTIONAL MATCH`` + ``IS NULL``, which compiles to a
+#: left outer join + selection — an incrementally maintainable antijoin.
+QUERIES: dict[str, str] = {
+    "PosLength": (
+        "MATCH (s:Segment) WHERE s.length <= 0 RETURN s"
+    ),
+    "SwitchMonitored": (
+        "MATCH (sw:Switch) "
+        "OPTIONAL MATCH (sw)-[m:monitoredBy]->(s:Sensor) "
+        "WITH sw, m WHERE m IS NULL "
+        "RETURN sw"
+    ),
+    "RouteSensor": (
+        "MATCH (r:Route)-[:follows]->(swp:SwitchPosition)"
+        "-[:target]->(sw:Switch)-[:monitoredBy]->(s:Sensor) "
+        "OPTIONAL MATCH (r)-[req:requires]->(s) "
+        "WITH r, s, swp, sw, req WHERE req IS NULL "
+        "RETURN r, s, swp, sw"
+    ),
+    "SwitchSet": (
+        "MATCH (sem:Semaphore)<-[:entry]-(r:Route)"
+        "-[:follows]->(swp:SwitchPosition)-[:target]->(sw:Switch) "
+        "WHERE sem.signal = 'GO' AND sw.currentPosition <> swp.position "
+        "RETURN sem, r, swp, sw"
+    ),
+    "ConnectedSegments": (
+        "MATCH (s:Sensor)<-[:monitoredBy]-(s1:Segment)-[:connectsTo]->"
+        "(s2:Segment)-[:connectsTo]->(s3:Segment)-[:connectsTo]->"
+        "(s4:Segment)-[:connectsTo]->(s5:Segment)-[:connectsTo]->(s6:Segment), "
+        "(s2)-[:monitoredBy]->(s), (s3)-[:monitoredBy]->(s), "
+        "(s4)-[:monitoredBy]->(s), (s5)-[:monitoredBy]->(s), "
+        "(s6)-[:monitoredBy]->(s) "
+        "RETURN s, s1, s2, s3, s4, s5, s6"
+    ),
+    "SemaphoreNeighbor": (
+        "MATCH (r1:Route)-[:exit]->(sem:Semaphore), "
+        "(r1)-[:requires]->(s1:Sensor)<-[:monitoredBy]-(te1:TrackElement)"
+        "-[:connectsTo]->(te2:TrackElement)-[:monitoredBy]->(s2:Sensor)"
+        "<-[:requires]-(r2:Route) "
+        "OPTIONAL MATCH (r2)-[entry:entry]->(sem) "
+        "WITH r1, r2, sem, s1, s2, te1, te2, entry "
+        "WHERE entry IS NULL AND r1 <> r2 "
+        "RETURN sem, r1, r2, s1, s2, te1, te2"
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# transformation phases (inject faults / repair matches)
+# ---------------------------------------------------------------------------
+
+
+def inject(model: RailwayModel, query: str, count: int, rng: random.Random) -> int:
+    """Introduce up to *count* new violations for *query*; returns how many
+    elementary operations were applied."""
+    graph = model.graph
+    applied = 0
+    if query == "PosLength":
+        for segment in rng.sample(model.segments, min(count, len(model.segments))):
+            graph.set_vertex_property(segment, "length", 0)
+            applied += 1
+    elif query == "SwitchMonitored":
+        candidates = [
+            sw
+            for sw in model.switches
+            if any(True for _ in graph.out_edges(sw, "monitoredBy"))
+        ]
+        for switch in rng.sample(candidates, min(count, len(candidates))):
+            for edge in list(graph.out_edges(switch, "monitoredBy")):
+                graph.remove_edge(edge)
+                applied += 1
+    elif query == "RouteSensor":
+        candidates = []
+        for route in model.routes:
+            candidates.extend(list(graph.out_edges(route, "requires")))
+        for edge in rng.sample(candidates, min(count, len(candidates))):
+            route, sensor = graph.endpoints(edge)
+            graph.remove_edge(edge)
+            model.missing_requires.append((route, sensor))
+            applied += 1
+    elif query == "SwitchSet":
+        for switch in rng.sample(model.switches, min(count, len(model.switches))):
+            # guarantee a violation: mismatch the switch against its
+            # position and make sure the route's entry semaphore shows GO
+            position_edges = list(graph.in_edges(switch, "target"))
+            if not position_edges:
+                continue
+            switch_position = graph.source_of(position_edges[0])
+            wanted = graph.vertex_property(switch_position, "position")
+            flipped = POSITIONS[0] if wanted == POSITIONS[1] else POSITIONS[1]
+            graph.set_vertex_property(switch, "currentPosition", flipped)
+            for follows in graph.in_edges(switch_position, "follows"):
+                route = graph.source_of(follows)
+                for entry in graph.out_edges(route, "entry"):
+                    graph.set_vertex_property(
+                        graph.target_of(entry), "signal", SIGNAL_GO
+                    )
+            applied += 1
+    elif query == "ConnectedSegments":
+        # Insert an extra segment into a chain (creating a 7-long run).
+        chains = [
+            s
+            for s in model.segments
+            if any(True for _ in graph.out_edges(s, "connectsTo"))
+        ]
+        for segment in rng.sample(chains, min(count, len(chains))):
+            sensor = next(iter(graph.out_edges(segment, "monitoredBy")), None)
+            nxt_edge = next(iter(graph.out_edges(segment, "connectsTo")), None)
+            if sensor is None or nxt_edge is None:
+                continue
+            sensor_vertex = graph.target_of(sensor)
+            nxt = graph.target_of(nxt_edge)
+            extra = graph.add_vertex(
+                labels=["Segment", "TrackElement"],
+                properties={"length": rng.randint(1, 100)},
+            )
+            model.segments.append(extra)
+            graph.add_edge(extra, sensor_vertex, "monitoredBy")
+            graph.remove_edge(nxt_edge)
+            graph.add_edge(segment, extra, "connectsTo")
+            graph.add_edge(extra, nxt, "connectsTo")
+            applied += 1
+    elif query == "SemaphoreNeighbor":
+        candidates = []
+        for route in model.routes:
+            candidates.extend(list(graph.out_edges(route, "entry")))
+        for edge in rng.sample(candidates, min(count, len(candidates))):
+            graph.remove_edge(edge)
+            applied += 1
+    else:
+        raise ValueError(f"unknown query {query!r}")
+    return applied
+
+
+def repair(
+    model: RailwayModel,
+    query: str,
+    matches: list[tuple],
+    count: int,
+    rng: random.Random,
+) -> int:
+    """Fix up to *count* violations found by *query* (Train Benchmark's
+    repair phase operates on the previous revalidation's match set)."""
+    if query not in QUERIES:
+        raise ValueError(f"unknown query {query!r}")
+    graph = model.graph
+    todo = matches[:count] if len(matches) > count else list(matches)
+    applied = 0
+    for match in todo:
+        if query == "PosLength":
+            (segment,) = match[:1]
+            if graph.has_vertex(segment):
+                graph.set_vertex_property(segment, "length", rng.randint(1, 100))
+                applied += 1
+        elif query == "SwitchMonitored":
+            (switch,) = match[:1]
+            if graph.has_vertex(switch):
+                sensor = graph.add_vertex(labels=["Sensor"])
+                model.sensors.append(sensor)
+                graph.add_edge(switch, sensor, "monitoredBy")
+                applied += 1
+        elif query == "RouteSensor":
+            route, sensor = match[0], match[1]
+            if graph.has_vertex(route) and graph.has_vertex(sensor):
+                graph.add_edge(route, sensor, "requires")
+                applied += 1
+        elif query == "SwitchSet":
+            switch_position, switch = match[2], match[3]
+            if graph.has_vertex(switch) and graph.has_vertex(switch_position):
+                graph.set_vertex_property(
+                    switch,
+                    "currentPosition",
+                    graph.vertex_property(switch_position, "position"),
+                )
+                applied += 1
+        elif query == "ConnectedSegments":
+            # remove the middle segment from the over-long run
+            segment2 = match[2]
+            if graph.has_vertex(segment2):
+                ins = [graph.source_of(e) for e in graph.in_edges(segment2, "connectsTo")]
+                outs = [graph.target_of(e) for e in graph.out_edges(segment2, "connectsTo")]
+                graph.remove_vertex(segment2, detach=True)
+                model.segments = [s for s in model.segments if s != segment2]
+                for a in ins:
+                    for b in outs:
+                        graph.add_edge(a, b, "connectsTo")
+                applied += 1
+        elif query == "SemaphoreNeighbor":
+            semaphore, _, route2 = match[0], match[1], match[2]
+            if graph.has_vertex(route2) and graph.has_vertex(semaphore):
+                graph.add_edge(route2, semaphore, "entry")
+                applied += 1
+        else:
+            raise ValueError(f"unknown query {query!r}")
+    return applied
+
+
+TransformationFn = Callable[[RailwayModel, str, int, random.Random], int]

@@ -1,0 +1,190 @@
+"""Unit tests for incremental aggregate state machines (insert AND remove —
+the deletion path is what distinguishes IVM aggregation)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import (
+    AggregateSpec,
+    AvgAggregator,
+    CollectAggregator,
+    CountAggregator,
+    DistinctAggregator,
+    MaxAggregator,
+    MinAggregator,
+    SumAggregator,
+)
+from repro.errors import CompilerError, EvaluationError
+from repro.graph.values import ListValue
+
+
+class TestCount:
+    def test_counts_non_null(self):
+        agg = CountAggregator()
+        agg.insert(1, 2)
+        agg.insert(None, 5)  # nulls don't count
+        assert agg.result() == 2
+        agg.remove(1, 1)
+        assert agg.result() == 1
+
+    def test_empty_is_zero(self):
+        assert CountAggregator().result() == 0
+
+
+class TestSumAvg:
+    def test_sum(self):
+        agg = SumAggregator()
+        agg.insert(2, 3)
+        agg.insert(0.5, 2)
+        assert agg.result() == 7.0
+        agg.remove(2, 3)
+        assert agg.result() == 1.0
+
+    def test_sum_of_nothing_is_zero(self):
+        assert SumAggregator().result() == 0
+
+    def test_sum_rejects_non_numbers(self):
+        with pytest.raises(EvaluationError):
+            SumAggregator().insert("x", 1)
+
+    def test_avg(self):
+        agg = AvgAggregator()
+        agg.insert(1, 1)
+        agg.insert(3, 1)
+        assert agg.result() == 2.0
+        agg.remove(3, 1)
+        assert agg.result() == 1.0
+
+    def test_avg_of_nothing_is_null(self):
+        assert AvgAggregator().result() is None
+
+    def test_float_drift_reset_on_empty(self):
+        agg = SumAggregator()
+        agg.insert(0.1, 1)
+        agg.remove(0.1, 1)
+        assert agg.result() == 0
+
+
+class TestMinMax:
+    def test_min_max_track_deletions(self):
+        low, high = MinAggregator(), MaxAggregator()
+        for value in (5, 1, 9):
+            low.insert(value, 1)
+            high.insert(value, 1)
+        assert low.result() == 1
+        assert high.result() == 9
+        low.remove(1, 1)
+        high.remove(9, 1)
+        assert low.result() == 5
+        assert high.result() == 5
+
+    def test_empty_is_null(self):
+        assert MinAggregator().result() is None
+
+    def test_duplicates_counted(self):
+        agg = MinAggregator()
+        agg.insert(1, 2)
+        agg.remove(1, 1)
+        assert agg.result() == 1  # one copy remains
+        agg.remove(1, 1)
+        assert agg.result() is None
+
+    def test_underflow_raises(self):
+        agg = MinAggregator()
+        agg.insert(1, 1)
+        with pytest.raises(EvaluationError):
+            agg.remove(1, 2)
+
+    def test_strings(self):
+        agg = MaxAggregator()
+        agg.insert("a", 1)
+        agg.insert("b", 1)
+        assert agg.result() == "b"
+
+
+class TestCollect:
+    def test_collect_is_canonically_ordered_bag(self):
+        agg = CollectAggregator()
+        agg.insert(3, 1)
+        agg.insert(1, 2)
+        assert agg.result() == ListValue((1, 1, 3))
+        agg.remove(1, 1)
+        assert agg.result() == ListValue((1, 3))
+
+    def test_nulls_skipped(self):
+        agg = CollectAggregator()
+        agg.insert(None, 3)
+        assert agg.result() == ListValue(())
+
+
+class TestDistinct:
+    def test_distinct_count(self):
+        agg = DistinctAggregator(CountAggregator())
+        agg.insert("a", 1)
+        agg.insert("a", 2)
+        agg.insert("b", 1)
+        assert agg.result() == 2
+        agg.remove("a", 3)
+        assert agg.result() == 1
+
+    def test_distinct_sum(self):
+        agg = DistinctAggregator(SumAggregator())
+        agg.insert(5, 10)
+        agg.insert(3, 1)
+        assert agg.result() == 8
+
+    def test_distinct_underflow(self):
+        agg = DistinctAggregator(CountAggregator())
+        with pytest.raises(EvaluationError):
+            agg.remove("never", 1)
+
+    @given(st.lists(st.integers(0, 5), max_size=30))
+    def test_distinct_matches_set_semantics(self, values):
+        agg = DistinctAggregator(CountAggregator())
+        for value in values:
+            agg.insert(value, 1)
+        assert agg.result() == len(set(values))
+
+
+class TestAggregateSpec:
+    def test_factory(self):
+        spec = AggregateSpec("sum", None, False, "out")
+        assert isinstance(spec.make_aggregator(), SumAggregator)
+
+    def test_distinct_wrapping(self):
+        spec = AggregateSpec("count", None, True, "out")
+        assert isinstance(spec.make_aggregator(), DistinctAggregator)
+
+    def test_unknown_function(self):
+        with pytest.raises(CompilerError):
+            AggregateSpec("median", None, False, "out").make_aggregator()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 3)),
+        min_size=0,
+        max_size=25,
+    )
+)
+def test_insert_remove_round_trip_restores_initial_state(operations):
+    """Inserting a bag then removing it must restore every aggregate to
+    its empty-state result (the IVM reversibility invariant)."""
+    aggregators = [
+        CountAggregator(),
+        SumAggregator(),
+        AvgAggregator(),
+        MinAggregator(),
+        MaxAggregator(),
+        CollectAggregator(),
+        DistinctAggregator(CountAggregator()),
+    ]
+    empty = [a.result() for a in aggregators]
+    for value, multiplicity in operations:
+        for aggregator in aggregators:
+            aggregator.insert(value, multiplicity)
+    for value, multiplicity in operations:
+        for aggregator in aggregators:
+            aggregator.remove(value, multiplicity)
+    assert [a.result() for a in aggregators] == empty

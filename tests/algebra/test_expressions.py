@@ -1,0 +1,309 @@
+"""Unit tests for expression compilation: 3-valued logic, arithmetic,
+functions — the semantics the whole engine rests on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import (
+    EvalContext,
+    arith_binary,
+    compile_expr,
+    cypher_in,
+    ternary_and,
+    ternary_not,
+    ternary_or,
+    ternary_xor,
+)
+from repro.algebra.schema import AttrKind, Attribute, Schema
+from repro.cypher import parse_expression
+from repro.errors import CompilerError, EvaluationError
+from repro.graph.values import ListValue, MapValue, PathValue
+
+SCHEMA = Schema(
+    [
+        Attribute("x", AttrKind.VALUE),
+        Attribute("y", AttrKind.VALUE),
+        Attribute("s", AttrKind.VALUE),
+        Attribute("xs", AttrKind.VALUE),
+        Attribute("m", AttrKind.VALUE),
+        Attribute("t", AttrKind.PATH),
+    ]
+)
+
+
+def run(text, x=None, y=None, s=None, xs=None, m=None, t=None, params=None):
+    expr = parse_expression(text)
+    fn = compile_expr(expr, SCHEMA)
+    return fn((x, y, s, xs, m, t), EvalContext(params or {}))
+
+
+LIST = ListValue((1, 2, 3))
+PATH = PathValue((1, 2, 3), (10, 11))
+
+
+class TestTernaryLogic:
+    def test_and_truth_table(self):
+        assert ternary_and([True, True]) is True
+        assert ternary_and([True, False]) is False
+        assert ternary_and([False, None]) is False  # false dominates unknown
+        assert ternary_and([True, None]) is None
+
+    def test_or_truth_table(self):
+        assert ternary_or([False, False]) is False
+        assert ternary_or([False, True]) is True
+        assert ternary_or([True, None]) is True  # true dominates unknown
+        assert ternary_or([False, None]) is None
+
+    def test_xor(self):
+        assert ternary_xor([True, False]) is True
+        assert ternary_xor([True, True]) is False
+        assert ternary_xor([True, None]) is None
+
+    def test_not(self):
+        assert ternary_not(True) is False
+        assert ternary_not(None) is None
+
+    def test_end_to_end(self):
+        assert run("x = 1 AND y = 2", x=1, y=2) is True
+        assert run("x = 1 AND y = 2", x=1, y=None) is None
+        assert run("x = 1 OR y = 2", x=1, y=None) is True
+        assert run("NOT (x = 1)", x=None) is None
+
+    def test_non_boolean_operand_raises(self):
+        with pytest.raises(EvaluationError):
+            run("x AND TRUE", x=5)
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert run("x = y", x=1, y=1.0) is True
+        assert run("x <> y", x=1, y=2) is True
+        assert run("x = y", x=None, y=1) is None
+
+    def test_ordering(self):
+        assert run("x < y", x=1, y=2) is True
+        assert run("x >= y", x=2, y=2) is True
+
+    def test_incomparable_is_unknown(self):
+        assert run("x < y", x=1, y="a") is None
+
+    def test_chained(self):
+        assert run("1 < x < 10", x=5) is True
+        assert run("1 < x < 10", x=10) is False
+        assert run("1 < x < 10", x=None) is None
+
+
+class TestArithmetic:
+    def test_numbers(self):
+        assert run("x + y", x=2, y=3) == 5
+        assert run("x - y", x=2, y=3) == -1
+        assert run("x * y", x=2, y=3) == 6
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert run("x / y", x=3, y=2) == 1
+        assert run("x / y", x=-3, y=2) == -1
+
+    def test_float_division(self):
+        assert run("x / y", x=3.0, y=2) == 1.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            run("x / y", x=1, y=0)
+
+    def test_modulo_java_semantics(self):
+        assert run("x % y", x=7, y=3) == 1
+        assert run("x % y", x=-7, y=3) == -1
+
+    def test_power_is_float(self):
+        assert run("x ^ y", x=2, y=3) == 8.0
+
+    def test_null_propagation(self):
+        assert run("x + y", x=None, y=1) is None
+
+    def test_string_concat(self):
+        assert run("s + 'b'", s="a") == "ab"
+        assert run("s + x", s="n=", x=1) == "n=1"
+
+    def test_list_concat_and_append(self):
+        assert run("xs + [4]", xs=LIST) == ListValue((1, 2, 3, 4))
+        assert run("xs + 4", xs=LIST) == ListValue((1, 2, 3, 4))
+        assert run("0 + xs", xs=LIST) == ListValue((0, 1, 2, 3))
+
+    def test_type_error_raises(self):
+        with pytest.raises(EvaluationError):
+            run("x - s", x=1, s="a")
+
+    def test_unary_minus(self):
+        assert run("-x", x=5) == -5
+        assert run("-x", x=None) is None
+
+    @given(st.integers(-100, 100), st.integers(-100, 100).filter(lambda v: v != 0))
+    def test_div_mod_identity(self, a, b):
+        q = arith_binary("/", a, b)
+        r = arith_binary("%", a, b)
+        assert q * b + r == a
+
+
+class TestStringAndListOperators:
+    def test_starts_ends_contains(self):
+        assert run("s STARTS WITH 'ab'", s="abc") is True
+        assert run("s ENDS WITH 'bc'", s="abc") is True
+        assert run("s CONTAINS 'b'", s="abc") is True
+        assert run("s CONTAINS 'z'", s="abc") is False
+
+    def test_string_predicate_on_null_or_nonstring(self):
+        assert run("s STARTS WITH 'a'", s=None) is None
+        assert run("s STARTS WITH 'a'", s=1) is None
+
+    def test_in(self):
+        assert run("x IN xs", x=2, xs=LIST) is True
+        assert run("x IN xs", x=9, xs=LIST) is False
+        assert run("x IN xs", x=None, xs=LIST) is None
+        assert run("x IN xs", x=1, xs=None) is None
+
+    def test_in_empty_list_is_false_even_for_null(self):
+        assert cypher_in(None, ListValue(())) is False
+
+    def test_in_with_unknown_element(self):
+        assert cypher_in(1, ListValue((None, 2))) is None
+        assert cypher_in(2, ListValue((None, 2))) is True
+
+    def test_is_null(self):
+        assert run("x IS NULL", x=None) is True
+        assert run("x IS NOT NULL", x=None) is False
+
+    def test_subscript(self):
+        assert run("xs[0]", xs=LIST) == 1
+        assert run("xs[-1]", xs=LIST) == 3
+        assert run("xs[9]", xs=LIST) is None  # out of bounds → null
+        assert run("m['k']", m=MapValue({"k": 7})) == 7
+        assert run("m['missing']", m=MapValue({"k": 7})) is None
+
+    def test_slice(self):
+        assert run("xs[1..3]", xs=LIST) == ListValue((2, 3))
+        assert run("xs[..2]", xs=LIST) == ListValue((1, 2))
+        assert run("xs[1..]", xs=LIST) == ListValue((2, 3))
+
+    def test_subscript_type_errors(self):
+        with pytest.raises(EvaluationError):
+            run("x[0]", x=5)
+        with pytest.raises(EvaluationError):
+            run("xs[s]", xs=LIST, s="k")
+
+
+class TestFunctions:
+    def test_coalesce(self):
+        assert run("coalesce(x, y, 3)", x=None, y=None) == 3
+        assert run("coalesce(x, 2)", x=1) == 1
+
+    def test_conversions(self):
+        assert run("toInteger(s)", s="42") == 42
+        assert run("toInteger(s)", s="nope") is None
+        assert run("toInteger(x)", x=3.7) == 3
+        assert run("toFloat(s)", s="2.5") == 2.5
+        assert run("toString(x)", x=True) == "true"
+        assert run("toBoolean(s)", s="TRUE") is True
+
+    def test_size_and_length(self):
+        assert run("size(xs)", xs=LIST) == 3
+        assert run("size(s)", s="abc") == 3
+        assert run("size(x)", x=None) is None
+        assert run("length(t)", t=PATH) == 2
+
+    def test_path_functions(self):
+        assert run("nodes(t)", t=PATH) == ListValue((1, 2, 3))
+        assert run("relationships(t)", t=PATH) == ListValue((10, 11))
+        with pytest.raises(EvaluationError):
+            run("nodes(xs)", xs=LIST)
+
+    def test_list_functions(self):
+        assert run("head(xs)", xs=LIST) == 1
+        assert run("last(xs)", xs=LIST) == 3
+        assert run("head(xs)", xs=ListValue(())) is None
+        assert run("tail(xs)", xs=LIST) == ListValue((2, 3))
+        assert run("reverse(xs)", xs=LIST) == ListValue((3, 2, 1))
+        assert run("reverse(s)", s="ab") == "ba"
+
+    def test_range(self):
+        assert run("range(1, 3)") == ListValue((1, 2, 3))
+        assert run("range(3, 1, -1)") == ListValue((3, 2, 1))
+        assert run("range(1, 10, 3)") == ListValue((1, 4, 7, 10))
+        with pytest.raises(EvaluationError):
+            run("range(1, 3, 0)")
+
+    def test_numeric_functions(self):
+        assert run("abs(x)", x=-2) == 2
+        assert run("sign(x)", x=-5) == -1
+        assert run("floor(x)", x=1.7) == 1
+        assert run("ceil(x)", x=1.2) == 2
+        assert run("sqrt(x)", x=9) == 3.0
+        assert run("sqrt(x)", x=-1) is None  # NaN guarded to null
+        assert run("round(x)", x=1.5) == 2.0
+
+    def test_string_functions(self):
+        assert run("toUpper(s)", s="ab") == "AB"
+        assert run("toLower(s)", s="AB") == "ab"
+        assert run("trim(s)", s="  a ") == "a"
+        assert run("replace(s, 'a', 'o')", s="banana") == "bonono"
+        assert run("substring(s, 1, 2)", s="hello") == "el"
+        assert run("split(s, ',')", s="a,b") == ListValue(("a", "b"))
+        assert run("left(s, 2)", s="hello") == "he"
+        assert run("right(s, 2)", s="hello") == "lo"
+
+    def test_exists(self):
+        assert run("exists(x)", x=1) is True
+        assert run("exists(x)", x=None) is False
+
+    def test_keys_on_map(self):
+        assert run("keys(m)", m=MapValue({"b": 1, "a": 2})) == ListValue(("a", "b"))
+
+    def test_case(self):
+        text = "CASE WHEN x > 10 THEN 'big' WHEN x > 1 THEN 'mid' ELSE 'small' END"
+        assert run(text, x=50) == "big"
+        assert run(text, x=5) == "mid"
+        assert run(text, x=0) == "small"
+        assert run(text, x=None) == "small"  # unknown WHEN falls through
+
+    def test_case_without_else_yields_null(self):
+        assert run("CASE WHEN x > 1 THEN 'big' END", x=0) is None
+
+    def test_unknown_function_rejected_at_compile_time(self):
+        with pytest.raises(CompilerError):
+            compile_expr(parse_expression("frobnicate(x)"), SCHEMA)
+
+    def test_wrong_arity_rejected_at_compile_time(self):
+        with pytest.raises(CompilerError):
+            compile_expr(parse_expression("size(x, y)"), SCHEMA)
+
+    def test_unknown_variable_rejected_at_compile_time(self):
+        with pytest.raises(CompilerError):
+            compile_expr(parse_expression("zzz"), SCHEMA)
+
+    def test_aggregate_in_scalar_position_rejected(self):
+        with pytest.raises(CompilerError):
+            compile_expr(parse_expression("count(x)"), SCHEMA)
+
+
+class TestParametersAndLiterals:
+    def test_parameter_lookup(self):
+        assert run("$p + 1", params={"p": 2}) == 3
+
+    def test_parameter_frozen(self):
+        assert run("$p", params={"p": [1, 2]}) == ListValue((1, 2))
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(EvaluationError):
+            run("$missing")
+
+    def test_list_and_map_literals(self):
+        assert run("[x, 2]", x=1) == ListValue((1, 2))
+        assert run("{a: x}", x=1) == MapValue({"a": 1})
+
+    def test_property_access_on_map_value(self):
+        assert run("m.k", m=MapValue({"k": 5})) == 5
+        assert run("m.k", m=None) is None
+
+    def test_property_access_on_scalar_raises(self):
+        with pytest.raises(EvaluationError):
+            run("x.k", x=5)

@@ -1,0 +1,235 @@
+"""Unit tests for schemas and operator construction/validation."""
+
+import pytest
+
+from repro.algebra import ops
+from repro.algebra.fra import check_incremental_fragment, validate_fra
+from repro.algebra.gra import validate_gra
+from repro.algebra.nra import validate_nra
+from repro.algebra.printer import format_compact, format_plan
+from repro.algebra.schema import AttrKind, Attribute, Schema
+from repro.cypher import ast, parse_expression
+from repro.errors import CompilerError, UnsupportedForIncrementalError
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema([Attribute("a", AttrKind.VERTEX), Attribute("b", AttrKind.VALUE)])
+        assert schema.index_of("b") == 1
+        assert schema.kind_of("a") is AttrKind.VERTEX
+        assert "a" in schema and "z" not in schema
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(CompilerError):
+            Schema([Attribute("a", AttrKind.VALUE), Attribute("a", AttrKind.VALUE)])
+
+    def test_missing_raises(self):
+        with pytest.raises(CompilerError):
+            Schema(()).index_of("a")
+
+    def test_join_with(self):
+        left = Schema([Attribute("a", AttrKind.VERTEX), Attribute("b", AttrKind.VALUE)])
+        right = Schema([Attribute("b", AttrKind.VALUE), Attribute("c", AttrKind.EDGE)])
+        joined, common = left.join_with(right)
+        assert joined.names == ("a", "b", "c")
+        assert common == ("b",)
+
+    def test_join_with_kind_mismatch(self):
+        left = Schema([Attribute("a", AttrKind.VERTEX)])
+        right = Schema([Attribute("a", AttrKind.EDGE)])
+        with pytest.raises(CompilerError):
+            left.join_with(right)
+
+    def test_project_and_concat(self):
+        schema = Schema([Attribute("a", AttrKind.VALUE), Attribute("b", AttrKind.VALUE)])
+        assert schema.project(["b"]).names == ("b",)
+        combined = schema.concat(Schema([Attribute("c", AttrKind.VALUE)]))
+        assert combined.names == ("a", "b", "c")
+
+
+class TestBaseOperators:
+    def test_get_vertices_schema(self):
+        op = ops.GetVertices(
+            "p",
+            ("Post",),
+            (ops.PropertyProjection("p", "property", "lang"),),
+        )
+        assert op.schema.names == ("p", "p.lang")
+        assert op.schema.kind_of("p") is AttrKind.VERTEX
+        assert op.schema.kind_of("p.lang") is AttrKind.VALUE
+
+    def test_get_vertices_rejects_foreign_projection(self):
+        with pytest.raises(CompilerError):
+            ops.GetVertices("p", (), (ops.PropertyProjection("q", "labels"),))
+
+    def test_get_edges_schema(self):
+        op = ops.GetEdges("a", "e", "b", ("T",))
+        assert op.schema.names == ("a", "e", "b")
+        assert op.schema.kind_of("e") is AttrKind.EDGE
+
+    def test_get_edges_requires_distinct_vars(self):
+        with pytest.raises(CompilerError):
+            ops.GetEdges("a", "e", "a")
+
+    def test_projection_output_names(self):
+        assert ops.PropertyProjection("p", "property", "lang").output == "p.lang"
+        assert ops.PropertyProjection("p", "labels").output == "labels(p)"
+        assert ops.PropertyProjection("e", "type").output == "type(e)"
+        assert ops.PropertyProjection("p", "properties").output == "properties(p)"
+
+    def test_projection_validation(self):
+        with pytest.raises(CompilerError):
+            ops.PropertyProjection("p", "labels", key="oops")
+        with pytest.raises(CompilerError):
+            ops.PropertyProjection("p", "property")
+
+    def test_unit(self):
+        assert len(ops.Unit().schema) == 0
+
+
+def _vertices(var="n", labels=()):
+    return ops.GetVertices(var, labels)
+
+
+class TestComposites:
+    def test_join_schema_and_common(self):
+        left = ops.GetEdges("a", "e1", "b")
+        right = ops.GetEdges("b", "e2", "c")
+        join = ops.Join(left, right)
+        assert join.schema.names == ("a", "e1", "b", "e2", "c")
+        assert join.common == ("b",)
+
+    def test_antijoin_keeps_left_schema(self):
+        anti = ops.AntiJoin(ops.GetEdges("a", "e1", "b"), _vertices("b"))
+        assert anti.schema.names == ("a", "e1", "b")
+
+    def test_project_kind_inference(self):
+        project = ops.Project(
+            _vertices(),
+            (
+                ("n", ast.Variable("n")),
+                ("k", parse_expression("1 + 1")),
+            ),
+        )
+        assert project.schema.kind_of("n") is AttrKind.VERTEX
+        assert project.schema.kind_of("k") is AttrKind.VALUE
+
+    def test_unwind_adds_value_attr(self):
+        unwound = ops.Unwind(_vertices(), parse_expression("[1,2]"), "x")
+        assert unwound.schema.names == ("n", "x")
+        with pytest.raises(CompilerError):
+            ops.Unwind(_vertices(), parse_expression("[1]"), "n")
+
+    def test_union_requires_matching_columns(self):
+        with pytest.raises(CompilerError):
+            ops.Union(_vertices("a"), _vertices("b"))
+
+    def test_union_permutation(self):
+        left = ops.Project(_vertices(), (("x", ast.Literal(1)), ("y", ast.Literal(2))))
+        right = ops.Project(_vertices(), (("y", ast.Literal(3)), ("x", ast.Literal(4))))
+        union = ops.Union(left, right)
+        assert union.right_permutation == (1, 0)
+
+    def test_transitive_join_schema(self):
+        tj = ops.TransitiveJoin(
+            _vertices("p", ("Post",)),
+            ops.GetEdges("_s", "_e", "_t", ("REPLY",)),
+            source="p",
+            target="c",
+            path_alias="t",
+        )
+        assert tj.schema.names == ("p", "c", "t")
+        assert tj.schema.kind_of("t") is AttrKind.PATH
+
+    def test_transitive_join_rejects_labelled_edges(self):
+        with pytest.raises(CompilerError):
+            ops.TransitiveJoin(
+                _vertices("p"),
+                ops.GetEdges("_s", "_e", "_t", ("T",), tgt_labels=("X",)),
+                source="p",
+                target="c",
+            )
+
+    def test_transitive_join_rejects_bound_target(self):
+        with pytest.raises(CompilerError):
+            ops.TransitiveJoin(
+                _vertices("p"),
+                ops.GetEdges("_s", "_e", "_t"),
+                source="p",
+                target="p",
+            )
+
+    def test_expand_out_schema(self):
+        expand = ops.ExpandOut(_vertices("a"), "a", "e", "b")
+        assert expand.schema.names == ("a", "e", "b")
+        var_len = ops.ExpandOut(
+            _vertices("a"), "a", "e", "b", min_hops=1, max_hops=None, path_alias="p"
+        )
+        assert var_len.schema.names == ("a", "b", "p")
+
+    def test_operators_are_immutable(self):
+        op = _vertices()
+        with pytest.raises(AttributeError):
+            op.var = "other"  # type: ignore[misc]
+
+
+class TestStageValidators:
+    def test_gra_rejects_get_edges(self):
+        with pytest.raises(CompilerError):
+            validate_gra(ops.GetEdges("a", "e", "b"))
+
+    def test_gra_rejects_projections(self):
+        with pytest.raises(CompilerError):
+            validate_gra(
+                ops.GetVertices("p", (), (ops.PropertyProjection("p", "labels"),))
+            )
+
+    def test_nra_rejects_expand(self):
+        with pytest.raises(CompilerError):
+            validate_nra(ops.ExpandOut(_vertices("a"), "a", "e", "b"))
+
+    def test_nra_rejects_pushdown(self):
+        with pytest.raises(CompilerError):
+            validate_nra(
+                ops.GetVertices("p", (), (ops.PropertyProjection("p", "labels"),))
+            )
+
+    def test_fra_rejects_unnest(self):
+        unnest = ops.PropertyUnnest(
+            _vertices("p"), ops.PropertyProjection("p", "property", "lang")
+        )
+        with pytest.raises(CompilerError):
+            validate_fra(unnest)
+
+    def test_fra_rejects_entity_property_access(self):
+        select = ops.Select(_vertices("p"), parse_expression("p.lang = 'en'"))
+        with pytest.raises(CompilerError):
+            validate_fra(select)
+
+    def test_fragment_check_rejects_ordering(self):
+        sorted_plan = ops.Sort(_vertices(), ((ast.Variable("n"), True),))
+        with pytest.raises(UnsupportedForIncrementalError):
+            check_incremental_fragment(sorted_plan)
+        with pytest.raises(UnsupportedForIncrementalError):
+            check_incremental_fragment(ops.Limit(_vertices(), ast.Literal(1)))
+
+    def test_fragment_check_accepts_bag_plan(self):
+        check_incremental_fragment(ops.Dedup(_vertices()))
+
+
+class TestPrinter:
+    def test_format_plan_is_indented_tree(self):
+        plan = ops.Select(_vertices("p", ("Post",)), parse_expression("1 = 1"))
+        text = format_plan(plan)
+        assert "σ" in text and "©(p:Post)" in text
+        assert text.splitlines()[1].startswith("  ")
+
+    def test_format_compact_binary(self):
+        join = ops.Join(_vertices("a"), _vertices("b"))
+        assert "⋈" in format_compact(join)
+
+    def test_pushdown_annotation_rendered(self):
+        op = ops.GetVertices(
+            "p", ("Post",), (ops.PropertyProjection("p", "property", "lang"),)
+        )
+        assert "{lang}" in format_plan(op)

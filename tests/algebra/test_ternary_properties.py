@@ -1,0 +1,131 @@
+"""Algebraic property tests for Cypher's three-valued logic and the global
+value order (hypothesis).
+
+These are the laws the Rete selection nodes and the canonical result
+ordering silently rely on; pinning them algebraically guards refactors of
+the expression layer.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import (
+    ternary_and,
+    ternary_not,
+    ternary_or,
+    ternary_xor,
+)
+from repro.graph.values import (
+    ListValue,
+    MapValue,
+    cypher_compare,
+    cypher_eq,
+    freeze_value,
+    order_key,
+)
+
+truth = st.sampled_from([True, False, None])
+truth_lists = st.lists(truth, min_size=2, max_size=4)
+
+scalars = st.one_of(
+    st.integers(-50, 50),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet="abcxyz", max_size=5),
+    st.booleans(),
+    st.none(),
+)
+values = st.one_of(
+    scalars,
+    st.lists(scalars, max_size=3),
+    st.dictionaries(st.sampled_from(["k1", "k2"]), scalars, max_size=2),
+)
+
+
+class TestTernaryLogic:
+    @given(values=truth_lists)
+    @settings(max_examples=100)
+    def test_and_or_duality(self, values):
+        # De Morgan under 3VL: ¬(a ∧ b ∧ …) = (¬a ∨ ¬b ∨ …)
+        negated = [ternary_not(v) for v in values]
+        assert ternary_not(ternary_and(values)) == ternary_or(negated)
+
+    @given(values=truth_lists)
+    @settings(max_examples=100)
+    def test_commutativity(self, values):
+        assert ternary_and(values) == ternary_and(list(reversed(values)))
+        assert ternary_or(values) == ternary_or(list(reversed(values)))
+        assert ternary_xor(values) == ternary_xor(list(reversed(values)))
+
+    @given(a=truth)
+    def test_identity_elements(self, a):
+        assert ternary_and([a, True]) == a
+        assert ternary_or([a, False]) == a
+
+    @given(a=truth)
+    def test_dominant_elements(self, a):
+        assert ternary_and([a, False]) is False
+        assert ternary_or([a, True]) is True
+
+    @given(a=truth)
+    def test_double_negation(self, a):
+        assert ternary_not(ternary_not(a)) == a
+
+    def test_null_propagation(self):
+        assert ternary_and([True, None]) is None
+        assert ternary_or([False, None]) is None
+        assert ternary_xor([True, None]) is None
+        assert ternary_not(None) is None
+
+
+class TestValueEquality:
+    @given(a=values, b=values)
+    @settings(max_examples=150)
+    def test_eq_symmetry(self, a, b):
+        fa, fb = freeze_value(a), freeze_value(b)
+        assert cypher_eq(fa, fb) == cypher_eq(fb, fa)
+
+    @given(a=values)
+    @settings(max_examples=100)
+    def test_eq_reflexive_or_null(self, a):
+        frozen = freeze_value(a)
+        result = cypher_eq(frozen, frozen)
+        # null (or any value containing null) compares to null, else True
+        assert result in (True, None)
+
+    @given(a=values)
+    def test_null_comparison_is_null(self, a):
+        assert cypher_eq(freeze_value(a), None) is None
+        assert cypher_eq(None, freeze_value(a)) is None
+
+
+class TestGlobalOrder:
+    @given(items=st.lists(values, max_size=8))
+    @settings(max_examples=150)
+    def test_sorting_is_idempotent(self, items):
+        frozen = [freeze_value(v) for v in items]
+        once = sorted(frozen, key=order_key)
+        assert sorted(once, key=order_key) == once
+
+    @given(a=values, b=values)
+    @settings(max_examples=150)
+    def test_order_keys_totally_ordered(self, a, b):
+        ka, kb = order_key(freeze_value(a)), order_key(freeze_value(b))
+        assert (ka < kb) or (kb < ka) or (ka == kb)
+
+    @given(a=values, b=values)
+    @settings(max_examples=100)
+    def test_compare_antisymmetric_when_comparable(self, a, b):
+        fa, fb = freeze_value(a), freeze_value(b)
+        ab = cypher_compare(fa, fb)
+        ba = cypher_compare(fb, fa)
+        if ab is None or ba is None:
+            return  # incomparable under Cypher comparison rules
+        assert ab == -ba
+
+    def test_nested_values_hashable_and_orderable(self):
+        nested = freeze_value({"a": [1, {"b": None}], "c": "x"})
+        assert isinstance(nested, MapValue)
+        hash(nested)
+        order_key(nested)
+        inner = nested.get("a")
+        assert isinstance(inner, ListValue)

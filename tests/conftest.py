@@ -1,0 +1,50 @@
+"""Shared fixtures: the paper's running-example graph and engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+
+#: The paper's §2 running-example query, verbatim.
+PAPER_QUERY = (
+    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) "
+    "WHERE p.lang = c.lang "
+    "RETURN p, t"
+)
+
+
+@pytest.fixture
+def paper_graph():
+    """The §2 example graph: Post 1 —REPLY→ Comm 2 —REPLY→ Comm 3.
+
+    All three messages are English, so both threads [1,2] and [1,2,3]
+    satisfy the language filter.
+    """
+    graph = PropertyGraph()
+    post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+    comment2 = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+    comment3 = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+    graph.add_edge(post, comment2, "REPLY")
+    graph.add_edge(comment2, comment3, "REPLY")
+    return graph
+
+
+@pytest.fixture
+def paper_engine(paper_graph):
+    return QueryEngine(paper_graph)
+
+
+@pytest.fixture
+def empty_graph():
+    return PropertyGraph()
+
+
+@pytest.fixture
+def empty_engine(empty_graph):
+    return QueryEngine(empty_graph)
+
+
+def assert_view_matches_oracle(engine: QueryEngine, view, query: str) -> None:
+    """The IVM correctness criterion: view contents == full recomputation."""
+    assert view.multiset() == engine.evaluate(query).multiset()

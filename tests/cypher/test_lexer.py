@@ -1,0 +1,135 @@
+"""Unit tests for the openCypher lexer."""
+
+import pytest
+
+from repro.cypher import Token, TokenType, tokenize
+from repro.errors import CypherSyntaxError
+
+
+def types(text):
+    return [t.type for t in tokenize(text)[:-1]]  # strip EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_case_insensitive_and_uppercased(self):
+        for spelling in ("match", "MATCH", "Match", "mAtCh"):
+            token = tokenize(spelling)[0]
+            assert token.type is TokenType.KEYWORD
+            assert token.text == "MATCH"
+
+    def test_identifier_not_keyword(self):
+        token = tokenize("matcher")[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "matcher"
+
+    def test_backtick_identifier(self):
+        token = tokenize("`weird name`")[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "weird name"
+
+    def test_backtick_escape(self):
+        token = tokenize("`a``b`")[0]
+        assert token.text == "a`b"
+
+    def test_parameter(self):
+        token = tokenize("$minAge")[0]
+        assert token.type is TokenType.PARAMETER
+        assert token.text == "minAge"
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("MATCH\n  (n)")
+        lparen = tokens[1]
+        assert (lparen.line, lparen.column) == (2, 3)
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.INTEGER
+        assert token.value == 42
+
+    def test_float(self):
+        token = tokenize("3.5")[0]
+        assert token.type is TokenType.FLOAT
+        assert token.value == 3.5
+
+    def test_scientific(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-1")[0].value == 0.25
+
+    def test_range_not_float(self):
+        # "1..3" must lex as INTEGER DOTDOT INTEGER (hop ranges)
+        assert types("1..3") == [
+            TokenType.INTEGER,
+            TokenType.DOTDOT,
+            TokenType.INTEGER,
+        ]
+
+    def test_property_access_after_int_var(self):
+        assert types("a.b") == [TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+
+
+class TestStrings:
+    def test_single_and_double_quotes(self):
+        assert tokenize("'hi'")[0].value == "hi"
+        assert tokenize('"hi"')[0].value == "hi"
+
+    def test_escapes(self):
+        assert tokenize(r"'a\n\t\\\' '")[0].value == "a\n\t\\' "
+
+    def test_unicode_escape(self):
+        assert tokenize(r"'A'")[0].value == "A"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'oops")
+
+    def test_bad_escape_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize(r"'\q'")
+
+
+class TestOperatorsAndComments:
+    def test_arrows_and_comparisons(self):
+        assert types("-> <- <> <= >= < >") == [
+            TokenType.ARROW_RIGHT,
+            TokenType.ARROW_LEFT,
+            TokenType.NEQ,
+            TokenType.LE,
+            TokenType.GE,
+            TokenType.LT,
+            TokenType.GT,
+        ]
+
+    def test_pattern_fragment(self):
+        assert texts("-[:REPLY*1..2]->") == [
+            "-", "[", ":", "REPLY", "*", "1", "..", "2", "]", "->",
+        ]
+
+    def test_line_comment_skipped(self):
+        assert types("1 // comment\n2") == [TokenType.INTEGER, TokenType.INTEGER]
+
+    def test_block_comment_skipped(self):
+        assert types("1 /* x\ny */ 2") == [TokenType.INTEGER, TokenType.INTEGER]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("/* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("@")
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "MATCH", 1, 1)
+        assert token.is_keyword("MATCH")
+        assert not token.is_keyword("RETURN")

@@ -1,0 +1,327 @@
+"""Unit tests for the openCypher parser: clauses, patterns, expressions."""
+
+import pytest
+
+from repro.cypher import ast, parse, parse_expression
+from repro.cypher.parser import UnionQuery
+from repro.errors import CypherSyntaxError, UnsupportedFeatureError
+
+
+def single_match(query):
+    parsed = parse(query)
+    assert isinstance(parsed, ast.Query)
+    clause = parsed.clauses[0]
+    assert isinstance(clause, ast.MatchClause)
+    return clause
+
+
+class TestClauses:
+    def test_minimal_query(self):
+        q = parse("MATCH (n) RETURN n")
+        assert isinstance(q, ast.Query)
+        assert len(q.clauses) == 1
+        assert q.return_clause.body.items[0].expression == ast.Variable("n")
+
+    def test_match_where(self):
+        clause = single_match("MATCH (n) WHERE n.x = 1 RETURN n")
+        assert clause.where is not None
+
+    def test_optional_match(self):
+        clause = single_match("OPTIONAL MATCH (n) RETURN n")
+        assert clause.optional
+
+    def test_unwind(self):
+        q = parse("UNWIND [1,2] AS x RETURN x")
+        clause = q.clauses[0]
+        assert isinstance(clause, ast.UnwindClause)
+        assert clause.alias == "x"
+
+    def test_with_where(self):
+        q = parse("MATCH (n) WITH n.x AS x WHERE x > 1 RETURN x")
+        with_clause = q.clauses[1]
+        assert isinstance(with_clause, ast.WithClause)
+        assert with_clause.where is not None
+        assert with_clause.body.items[0].alias == "x"
+
+    def test_return_distinct(self):
+        q = parse("MATCH (n) RETURN DISTINCT n")
+        assert q.return_clause.body.distinct
+
+    def test_order_skip_limit(self):
+        q = parse("MATCH (n) RETURN n ORDER BY n.x DESC, n.y SKIP 1 LIMIT 2")
+        body = q.return_clause.body
+        assert len(body.order_by) == 2
+        assert body.order_by[0].ascending is False
+        assert body.order_by[1].ascending is True
+        assert body.skip == ast.Literal(1)
+        assert body.limit == ast.Literal(2)
+
+    def test_aliases(self):
+        q = parse("MATCH (n) RETURN n.x AS foo, n.y")
+        items = q.return_clause.body.items
+        assert items[0].alias == "foo"
+        assert items[1].alias is None
+
+    def test_union(self):
+        q = parse("MATCH (a:X) RETURN a UNION MATCH (a:Y) RETURN a")
+        assert isinstance(q, UnionQuery)
+        assert not q.all
+        assert len(q.queries) == 2
+
+    def test_union_all(self):
+        q = parse("RETURN 1 AS x UNION ALL RETURN 2 AS x")
+        assert isinstance(q, UnionQuery)
+        assert q.all
+
+    def test_mixed_union_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("RETURN 1 AS x UNION RETURN 2 AS x UNION ALL RETURN 3 AS x")
+
+    def test_return_star_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("MATCH (n) RETURN *")
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n) RETURN n n")
+
+    def test_trailing_semicolon_allowed(self):
+        parse("RETURN 1 AS one;")
+
+
+class TestNodePatterns:
+    def test_anonymous_node(self):
+        clause = single_match("MATCH () RETURN 1 AS one")
+        node = clause.pattern.parts[0].elements[0]
+        assert node.variable is None
+        assert node.labels == ()
+
+    def test_labels(self):
+        clause = single_match("MATCH (n:Post:Pinned) RETURN n")
+        node = clause.pattern.parts[0].elements[0]
+        assert node.labels == ("Post", "Pinned")
+
+    def test_property_map(self):
+        clause = single_match("MATCH (n:Post {lang: 'en', score: 1}) RETURN n")
+        node = clause.pattern.parts[0].elements[0]
+        assert dict(node.properties) == {
+            "lang": ast.Literal("en"),
+            "score": ast.Literal(1),
+        }
+
+    def test_multiple_parts(self):
+        clause = single_match("MATCH (a), (b) RETURN a")
+        assert len(clause.pattern.parts) == 2
+
+    def test_named_path(self):
+        clause = single_match("MATCH p = (a)-[:T]->(b) RETURN p")
+        assert clause.pattern.parts[0].variable == "p"
+
+
+class TestRelationshipPatterns:
+    def rel(self, query):
+        clause = single_match(query)
+        return clause.pattern.parts[0].elements[1]
+
+    def test_directions(self):
+        assert self.rel("MATCH (a)-[:T]->(b) RETURN a").direction == "out"
+        assert self.rel("MATCH (a)<-[:T]-(b) RETURN a").direction == "in"
+        assert self.rel("MATCH (a)-[:T]-(b) RETURN a").direction == "both"
+
+    def test_bare_relationships(self):
+        assert self.rel("MATCH (a)-->(b) RETURN a").direction == "out"
+        assert self.rel("MATCH (a)<--(b) RETURN a").direction == "in"
+        assert self.rel("MATCH (a)--(b) RETURN a").direction == "both"
+
+    def test_variable_and_types(self):
+        rel = self.rel("MATCH (a)-[e:T|U]->(b) RETURN a")
+        assert rel.variable == "e"
+        assert rel.types == ("T", "U")
+
+    def test_alternative_types_with_colons(self):
+        rel = self.rel("MATCH (a)-[:T|:U]->(b) RETURN a")
+        assert rel.types == ("T", "U")
+
+    def test_var_length_default(self):
+        rel = self.rel("MATCH (a)-[:T*]->(b) RETURN a")
+        assert rel.var_length
+        assert (rel.min_hops, rel.max_hops) == (1, None)
+
+    def test_var_length_exact(self):
+        rel = self.rel("MATCH (a)-[:T*3]->(b) RETURN a")
+        assert (rel.min_hops, rel.max_hops) == (3, 3)
+
+    def test_var_length_range(self):
+        rel = self.rel("MATCH (a)-[:T*1..4]->(b) RETURN a")
+        assert (rel.min_hops, rel.max_hops) == (1, 4)
+
+    def test_var_length_open_low(self):
+        rel = self.rel("MATCH (a)-[:T*..4]->(b) RETURN a")
+        assert (rel.min_hops, rel.max_hops) == (1, 4)
+
+    def test_var_length_open_high(self):
+        rel = self.rel("MATCH (a)-[:T*2..]->(b) RETURN a")
+        assert (rel.min_hops, rel.max_hops) == (2, None)
+
+    def test_var_length_zero(self):
+        rel = self.rel("MATCH (a)-[:T*0..2]->(b) RETURN a")
+        assert (rel.min_hops, rel.max_hops) == (0, 2)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (a)-[:T*3..1]->(b) RETURN a")
+
+    def test_rel_property_map(self):
+        rel = self.rel("MATCH (a)-[e:T {w: 2}]->(b) RETURN a")
+        assert dict(rel.properties) == {"w": ast.Literal(2)}
+
+    def test_chain(self):
+        clause = single_match("MATCH (a)-[:T]->(b)<-[:U]-(c) RETURN a")
+        elements = clause.pattern.parts[0].elements
+        assert len(elements) == 5
+        assert elements[3].direction == "in"
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert parse_expression("1") == ast.Literal(1)
+        assert parse_expression("1.5") == ast.Literal(1.5)
+        assert parse_expression("'x'") == ast.Literal("x")
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("null") == ast.Literal(None)
+
+    def test_negative_literal_folded(self):
+        assert parse_expression("-3") == ast.Literal(-3)
+
+    def test_list_and_map(self):
+        assert parse_expression("[1, 2]") == ast.ListLiteral(
+            (ast.Literal(1), ast.Literal(2))
+        )
+        assert parse_expression("{a: 1}") == ast.MapLiteral((("a", ast.Literal(1)),))
+
+    def test_parameter(self):
+        assert parse_expression("$p") == ast.Parameter("p")
+
+    def test_precedence_arithmetic(self):
+        # 1 + 2 * 3 parses as 1 + (2 * 3)
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.Arithmetic) and expr.op == "+"
+        assert isinstance(expr.right, ast.Arithmetic) and expr.right.op == "*"
+
+    def test_power_right_associative(self):
+        expr = parse_expression("2 ^ 3 ^ 2")
+        assert expr.op == "^"
+        assert isinstance(expr.right, ast.Arithmetic) and expr.right.op == "^"
+
+    def test_boolean_precedence(self):
+        # a OR b AND c parses as a OR (b AND c)
+        expr = parse_expression("a OR b AND c")
+        assert isinstance(expr, ast.BooleanOp) and expr.op == "OR"
+        assert isinstance(expr.operands[1], ast.BooleanOp)
+        assert expr.operands[1].op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a")
+        assert isinstance(expr, ast.Not)
+
+    def test_chained_comparison(self):
+        expr = parse_expression("1 < x <= 10")
+        assert isinstance(expr, ast.Comparison)
+        assert expr.ops == ("<", "<=")
+
+    def test_string_predicates(self):
+        for kind, text in [
+            ("STARTS WITH", "a STARTS WITH 'x'"),
+            ("ENDS WITH", "a ENDS WITH 'x'"),
+            ("CONTAINS", "a CONTAINS 'x'"),
+        ]:
+            expr = parse_expression(text)
+            assert isinstance(expr, ast.StringPredicate)
+            assert expr.kind == kind
+
+    def test_in(self):
+        expr = parse_expression("x IN [1, 2]")
+        assert isinstance(expr, ast.In)
+
+    def test_is_null(self):
+        assert parse_expression("x IS NULL") == ast.IsNull(ast.Variable("x"))
+        assert parse_expression("x IS NOT NULL") == ast.IsNull(
+            ast.Variable("x"), negated=True
+        )
+
+    def test_property_chain(self):
+        expr = parse_expression("a.b.c")
+        assert isinstance(expr, ast.Property)
+        assert expr.key == "c"
+        assert isinstance(expr.subject, ast.Property)
+
+    def test_subscript_and_slice(self):
+        assert isinstance(parse_expression("xs[0]"), ast.Subscript)
+        sliced = parse_expression("xs[1..3]")
+        assert isinstance(sliced, ast.Slice)
+        open_slice = parse_expression("xs[..2]")
+        assert isinstance(open_slice, ast.Slice)
+        assert open_slice.low is None
+
+    def test_function_call(self):
+        expr = parse_expression("size(xs)")
+        assert expr == ast.FunctionCall("size", (ast.Variable("xs"),))
+
+    def test_function_name_lowercased(self):
+        assert parse_expression("SIZE(xs)").name == "size"
+
+    def test_count_star(self):
+        assert isinstance(parse_expression("count(*)"), ast.CountStar)
+
+    def test_count_distinct(self):
+        expr = parse_expression("count(DISTINCT x)")
+        assert expr.distinct
+
+    def test_exists(self):
+        expr = parse_expression("exists(n.p)")
+        assert expr.name == "exists"
+
+    def test_label_predicate(self):
+        expr = parse_expression("n:Post:Pinned")
+        assert expr == ast.HasLabel(ast.Variable("n"), ("Post", "Pinned"))
+
+    def test_case_generic(self):
+        expr = parse_expression("CASE WHEN x > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.default == ast.Literal("small")
+
+    def test_case_simple_normalised(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 'one' END")
+        condition, _ = expr.whens[0]
+        assert isinstance(condition, ast.Comparison)
+
+    def test_case_without_when_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_parenthesised(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.Arithmetic)
+
+    def test_unary_plus_dropped(self):
+        assert parse_expression("+5") == ast.Literal(5)
+
+
+class TestAstHelpers:
+    def test_free_variables(self):
+        expr = parse_expression("a.x + b > size(c)")
+        assert ast.free_variables(expr) == {"a", "b", "c"}
+
+    def test_property_accesses(self):
+        expr = parse_expression("a.x = b.y AND a.z IS NULL")
+        assert ast.property_accesses(expr) == {("a", "x"), ("b", "y"), ("a", "z")}
+
+    def test_walk_visits_pattern_properties(self):
+        clause = single_match("MATCH (n {k: $v}) RETURN n")
+        nodes = list(ast.walk(clause))
+        assert any(isinstance(n, ast.Parameter) for n in nodes)

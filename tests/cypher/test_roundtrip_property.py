@@ -1,0 +1,172 @@
+"""Property-based parser ↔ unparser round-trip.
+
+The unparser's contract: its output reparses to an *equal* AST.  A
+hypothesis generator builds random (conservative, unambiguous) expression
+and query trees; any normalisation drift between the two directions is a
+bug in one of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import ast
+from repro.cypher.parser import parse, parse_expression
+from repro.cypher.unparser import unparse, unparse_expr
+
+VARIABLES = ("a", "b", "c", "n", "m")
+KEYS = ("lang", "name", "size_", "k1")
+LABELS = ("Post", "Comm", "Tag")
+TYPES = ("REPLY", "KNOWS")
+FUNCTIONS = ("size", "head", "toupper", "tostring", "coalesce")
+
+literals = st.one_of(
+    st.integers(min_value=-100, max_value=100).map(ast.Literal),
+    st.sampled_from([True, False, None]).map(ast.Literal),
+    st.text(alphabet="abc xyz", min_size=0, max_size=6).map(ast.Literal),
+)
+
+variables = st.sampled_from(VARIABLES).map(ast.Variable)
+
+
+def expressions(depth=2):
+    base = st.one_of(
+        literals,
+        variables,
+        st.builds(
+            ast.Property, variables, st.sampled_from(KEYS)
+        ),
+        st.builds(ast.Parameter, st.sampled_from(("p1", "p2"))),
+    )
+    if depth == 0:
+        return base
+    sub = expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(
+            lambda op, items: ast.BooleanOp(op, tuple(items)),
+            st.sampled_from(("AND", "OR", "XOR")),
+            st.lists(sub, min_size=2, max_size=3),
+        ),
+        st.builds(ast.Not, sub),
+        st.builds(
+            lambda left, op, right: ast.Comparison((left, right), (op,)),
+            sub,
+            st.sampled_from(("=", "<>", "<", ">", "<=", ">=")),
+            sub,
+        ),
+        st.builds(
+            ast.Arithmetic, st.sampled_from(("+", "-", "*", "/", "%")), sub, sub
+        ),
+        st.builds(lambda items: ast.ListLiteral(tuple(items)), st.lists(sub, max_size=3)),
+        st.builds(
+            lambda keys, values: ast.MapLiteral(
+                tuple(zip(dict.fromkeys(keys), values))
+            ),
+            st.lists(st.sampled_from(KEYS), min_size=1, max_size=3, unique=True),
+            st.lists(sub, min_size=3, max_size=3),
+        ),
+        st.builds(
+            lambda name, args: ast.FunctionCall(name, tuple(args)),
+            st.sampled_from(FUNCTIONS),
+            st.lists(sub, min_size=1, max_size=2),
+        ),
+        st.builds(ast.In, sub, sub),
+        st.builds(ast.IsNull, sub, st.booleans()),
+        st.builds(
+            lambda whens, default: ast.CaseExpr(tuple(whens), default),
+            st.lists(st.tuples(sub, sub), min_size=1, max_size=2),
+            st.one_of(st.none(), sub),
+        ),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=expressions())
+def test_expression_roundtrip(expr):
+    assert parse_expression(unparse_expr(expr)) == expr
+
+
+node_patterns = st.builds(
+    ast.NodePattern,
+    st.one_of(st.none(), st.sampled_from(VARIABLES)),
+    st.lists(st.sampled_from(LABELS), max_size=2, unique=True).map(tuple),
+    st.just(()),
+)
+
+relationship_patterns = st.builds(
+    ast.RelationshipPattern,
+    st.one_of(st.none(), st.sampled_from(("r", "e"))),
+    st.lists(st.sampled_from(TYPES), max_size=2, unique=True).map(tuple),
+    st.sampled_from(("out", "in", "both")),
+)
+
+
+@st.composite
+def pattern_parts(draw):
+    length = draw(st.integers(0, 2))
+    elements = [draw(node_patterns)]
+    used = {elements[0].variable} if elements[0].variable else set()
+    for _ in range(length):
+        rel = draw(relationship_patterns)
+        if rel.variable in used:
+            rel = ast.RelationshipPattern(None, rel.types, rel.direction)
+        elif rel.variable:
+            used.add(rel.variable)
+        node = draw(node_patterns)
+        if node.variable in used:
+            node = ast.NodePattern(None, node.labels, node.properties)
+        elif node.variable:
+            used.add(node.variable)
+        elements.extend([rel, node])
+    variable = draw(st.one_of(st.none(), st.just("t")))
+    if variable in used:
+        variable = None
+    return ast.PatternPart(variable, tuple(elements))
+
+
+@settings(max_examples=150, deadline=None)
+@given(part=pattern_parts(), where=st.one_of(st.none(), expressions(1)))
+def test_match_return_roundtrip(part, where):
+    bound = [
+        e.variable
+        for e in part.elements
+        if getattr(e, "variable", None)
+    ] or None
+    items = tuple(
+        ast.ReturnItem(ast.Variable(v), None) for v in (bound or ["x"])
+    )
+    query = ast.Query(
+        (ast.MatchClause(ast.Pattern((part,)), optional=False, where=where),),
+        ast.ReturnClause(ast.ProjectionBody(items, False, (), None, None)),
+    )
+    if bound is None:
+        return  # RETURN x with x unbound is fine syntactically, still parses
+    assert parse(unparse(query)) == query
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    part=pattern_parts(),
+    detach=st.booleans(),
+    set_value=expressions(1),
+)
+def test_updating_query_roundtrip(part, detach, set_value):
+    bound = [e.variable for e in part.elements if getattr(e, "variable", None)]
+    if not bound:
+        return
+    target = bound[0]
+    query = ast.UpdatingQuery(
+        (
+            ast.MatchClause(ast.Pattern((part,))),
+            ast.SetClause(
+                (
+                    ast.SetProperty(
+                        ast.Property(ast.Variable(target), "lang"), set_value
+                    ),
+                )
+            ),
+            ast.DeleteClause((ast.Variable(target),), detach=detach),
+        ),
+        None,
+    )
+    assert parse(unparse(query)) == query

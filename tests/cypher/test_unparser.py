@@ -1,0 +1,46 @@
+"""Round-trip tests: unparse(parse(q)) reparses to an equal AST."""
+
+import pytest
+
+from repro.cypher import parse, unparse
+
+ROUND_TRIP_QUERIES = [
+    "MATCH (n) RETURN n",
+    "MATCH (n:Post:Pinned {lang: 'en'}) RETURN n.lang AS l",
+    "MATCH (a)-[e:T|U]->(b) WHERE a.x > 1 RETURN a, e, b",
+    "MATCH (a)<-[:T*2..4]-(b) RETURN b",
+    "MATCH t = (a)-[:T*]->(b) RETURN t",
+    "MATCH (a)-[:T]-(b) RETURN a",
+    "OPTIONAL MATCH (a)-[:T]->(b) RETURN b",
+    "MATCH (n) WHERE n.x IN [1, 2, 3] RETURN n",
+    "MATCH (n) WHERE n.name STARTS WITH 'a' AND NOT (n.x IS NULL) RETURN n",
+    "MATCH (n) RETURN DISTINCT n.x AS x ORDER BY x DESC SKIP 1 LIMIT 2",
+    "MATCH (n) WITH n.x AS x WHERE x > 0 RETURN x",
+    "UNWIND [1, 2] AS v RETURN v * 2 AS doubled",
+    "MATCH (n) RETURN count(*) AS c, collect(DISTINCT n.x) AS xs",
+    "MATCH (n) RETURN CASE WHEN n.x > 1 THEN 'big' ELSE 'small' END AS size",
+    "MATCH (n) RETURN n.x + 1 AS a, -n.y AS b, n.z % 2 AS c",
+    "MATCH (n) WHERE n:Post RETURN n",
+    "MATCH (n) RETURN {k: n.x, l: [1, n.y]} AS m",
+    "MATCH (n) RETURN n.list[0] AS head, n.list[1..2] AS mid",
+    "RETURN $param AS p",
+    "RETURN 1 AS x UNION ALL RETURN 2 AS x",
+    "RETURN 1 AS x UNION RETURN 2 AS x",
+    "MATCH (a), (b) WHERE a.x = b.x XOR a.y = b.y RETURN a",
+]
+
+
+@pytest.mark.parametrize("query", ROUND_TRIP_QUERIES)
+def test_round_trip(query):
+    first = parse(query)
+    rendered = unparse(first)
+    second = parse(rendered)
+    assert first == second, f"unparsed form {rendered!r} changed the AST"
+
+
+def test_unparse_is_stable():
+    """unparse ∘ parse is idempotent on its own output."""
+    for query in ROUND_TRIP_QUERIES:
+        once = unparse(parse(query))
+        twice = unparse(parse(once))
+        assert once == twice

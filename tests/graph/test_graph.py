@@ -1,0 +1,277 @@
+"""Unit tests for the property graph store: mutations, indices, events."""
+
+import pytest
+
+from repro.errors import DanglingEdgeError, EntityNotFoundError, GraphError
+from repro.graph import (
+    EdgeAdded,
+    EdgePropertySet,
+    EdgeRemoved,
+    PropertyGraph,
+    VertexAdded,
+    VertexLabelAdded,
+    VertexLabelRemoved,
+    VertexPropertySet,
+    VertexRemoved,
+    graph_from_dicts,
+)
+from repro.graph.values import ListValue
+
+
+@pytest.fixture
+def graph():
+    return PropertyGraph()
+
+
+class TestVertices:
+    def test_add_returns_sequential_ids(self, graph):
+        assert graph.add_vertex() == 1
+        assert graph.add_vertex() == 2
+
+    def test_labels_indexed(self, graph):
+        a = graph.add_vertex(labels=["Post"])
+        b = graph.add_vertex(labels=["Post", "Pinned"])
+        graph.add_vertex(labels=["Comm"])
+        assert set(graph.vertices("Post")) == {a, b}
+        assert set(graph.vertices("Pinned")) == {b}
+
+    def test_vertices_without_label_iterates_all(self, graph):
+        graph.add_vertex()
+        graph.add_vertex(labels=["X"])
+        assert len(list(graph.vertices())) == 2
+
+    def test_properties_frozen_on_insert(self, graph):
+        v = graph.add_vertex(properties={"tags": ["a", "b"]})
+        assert isinstance(graph.vertex_property(v, "tags"), ListValue)
+
+    def test_none_valued_properties_dropped(self, graph):
+        v = graph.add_vertex(properties={"x": None})
+        assert graph.vertex_properties(v) == {}
+
+    def test_remove_vertex(self, graph):
+        v = graph.add_vertex(labels=["Post"])
+        graph.remove_vertex(v)
+        assert not graph.has_vertex(v)
+        assert list(graph.vertices("Post")) == []
+
+    def test_remove_vertex_with_edges_requires_detach(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        graph.add_edge(a, b, "T")
+        with pytest.raises(DanglingEdgeError):
+            graph.remove_vertex(a)
+        graph.remove_vertex(a, detach=True)
+        assert graph.edge_count == 0
+
+    def test_missing_vertex_raises(self, graph):
+        with pytest.raises(EntityNotFoundError):
+            graph.labels_of(99)
+
+    def test_add_remove_label(self, graph):
+        v = graph.add_vertex()
+        graph.add_label(v, "X")
+        assert graph.has_label(v, "X")
+        graph.remove_label(v, "X")
+        assert not graph.has_label(v, "X")
+        assert list(graph.vertices("X")) == []
+
+    def test_set_property_none_removes(self, graph):
+        v = graph.add_vertex(properties={"k": 1})
+        graph.set_vertex_property(v, "k", None)
+        assert "k" not in graph.vertex_properties(v)
+
+    def test_counts(self, graph):
+        graph.add_vertex()
+        a, b = graph.add_vertex(), graph.add_vertex()
+        graph.add_edge(a, b, "T")
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 1
+
+
+class TestEdges:
+    def test_add_edge_checks_endpoints(self, graph):
+        a = graph.add_vertex()
+        with pytest.raises(EntityNotFoundError):
+            graph.add_edge(a, 99, "T")
+
+    def test_type_index_and_triples(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        e1 = graph.add_edge(a, b, "T")
+        graph.add_edge(b, a, "U")
+        assert set(graph.edges("T")) == {e1}
+        assert list(graph.edge_triples("T")) == [(a, e1, b)]
+
+    def test_adjacency(self, graph):
+        a, b, c = (graph.add_vertex() for _ in range(3))
+        e1 = graph.add_edge(a, b, "T")
+        e2 = graph.add_edge(a, c, "U")
+        e3 = graph.add_edge(c, a, "T")
+        assert set(graph.out_edges(a)) == {e1, e2}
+        assert set(graph.out_edges(a, "T")) == {e1}
+        assert set(graph.in_edges(a)) == {e3}
+        assert set(graph.incident_edges(a)) == {e1, e2, e3}
+        assert graph.degree(a) == 3
+
+    def test_endpoints_and_type(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        e = graph.add_edge(a, b, "T")
+        assert graph.endpoints(e) == (a, b)
+        assert graph.source_of(e) == a
+        assert graph.target_of(e) == b
+        assert graph.type_of(e) == "T"
+
+    def test_remove_edge_cleans_indices(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        e = graph.add_edge(a, b, "T")
+        graph.remove_edge(e)
+        assert not graph.has_edge(e)
+        assert list(graph.out_edges(a)) == []
+        assert list(graph.edges("T")) == []
+
+    def test_self_loop(self, graph):
+        a = graph.add_vertex()
+        e = graph.add_edge(a, a, "T")
+        assert set(graph.out_edges(a)) == {e}
+        assert set(graph.in_edges(a)) == {e}
+        assert graph.degree(a) == 2
+
+    def test_edge_properties(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        e = graph.add_edge(a, b, "T", properties={"w": 2})
+        assert graph.edge_property(e, "w") == 2
+        graph.set_edge_property(e, "w", 3)
+        assert graph.edge_property(e, "w") == 3
+
+    def test_labels_and_types_summaries(self, graph):
+        a = graph.add_vertex(labels=["X"])
+        b = graph.add_vertex()
+        graph.add_edge(a, b, "T")
+        assert graph.labels() == {"X"}
+        assert graph.edge_types() == {"T"}
+
+
+class TestEvents:
+    def collect(self, graph):
+        events = []
+        graph.subscribe(events.append)
+        return events
+
+    def test_vertex_lifecycle_events(self, graph):
+        events = self.collect(graph)
+        v = graph.add_vertex(labels=["X"], properties={"k": 1})
+        graph.remove_vertex(v)
+        assert isinstance(events[0], VertexAdded)
+        assert events[0].labels == {"X"}
+        assert events[0].properties == {"k": 1}
+        assert isinstance(events[1], VertexRemoved)
+        assert events[1].properties == {"k": 1}
+
+    def test_edge_lifecycle_events(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        events = self.collect(graph)
+        e = graph.add_edge(a, b, "T", properties={"w": 1})
+        graph.remove_edge(e)
+        assert isinstance(events[0], EdgeAdded)
+        assert (events[0].source, events[0].target) == (a, b)
+        assert isinstance(events[1], EdgeRemoved)
+        assert events[1].properties == {"w": 1}
+
+    def test_detach_delete_emits_edge_removals_first(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        graph.add_edge(a, b, "T")
+        events = self.collect(graph)
+        graph.remove_vertex(a, detach=True)
+        assert isinstance(events[0], EdgeRemoved)
+        assert isinstance(events[1], VertexRemoved)
+
+    def test_label_events(self, graph):
+        v = graph.add_vertex()
+        events = self.collect(graph)
+        graph.add_label(v, "X")
+        graph.add_label(v, "X")  # idempotent: no second event
+        graph.remove_label(v, "X")
+        graph.remove_label(v, "X")
+        assert [type(e) for e in events] == [VertexLabelAdded, VertexLabelRemoved]
+
+    def test_property_event_carries_old_and_new(self, graph):
+        v = graph.add_vertex(properties={"k": 1})
+        events = self.collect(graph)
+        graph.set_vertex_property(v, "k", 2)
+        event = events[0]
+        assert isinstance(event, VertexPropertySet)
+        assert (event.old_value, event.new_value) == (1, 2)
+
+    def test_noop_property_set_emits_nothing(self, graph):
+        v = graph.add_vertex(properties={"k": 1})
+        events = self.collect(graph)
+        graph.set_vertex_property(v, "k", 1)
+        assert events == []
+
+    def test_property_removal_event(self, graph):
+        v = graph.add_vertex(properties={"k": 1})
+        events = self.collect(graph)
+        graph.set_vertex_property(v, "k", None)
+        assert events[0].new_value is None
+
+    def test_edge_property_event(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        e = graph.add_edge(a, b, "T")
+        events = self.collect(graph)
+        graph.set_edge_property(e, "w", 5)
+        assert isinstance(events[0], EdgePropertySet)
+        assert events[0].new_value == 5
+
+    def test_unsubscribe(self, graph):
+        events = []
+        graph.subscribe(events.append)
+        graph.unsubscribe(events.append)
+        graph.add_vertex()
+        assert events == []
+
+
+class TestCopyAndBuild:
+    def test_copy_is_deep_and_id_preserving(self, graph):
+        a = graph.add_vertex(labels=["X"], properties={"k": 1})
+        b = graph.add_vertex()
+        graph.add_edge(a, b, "T")
+        clone = graph.copy()
+        graph.set_vertex_property(a, "k", 2)
+        graph.add_vertex()
+        assert clone.vertex_property(a, "k") == 1
+        assert clone.vertex_count == 2
+        assert set(clone.vertices("X")) == {a}
+        # id counters continue past the originals
+        assert clone.add_vertex() not in (a, b)
+
+    def test_copy_does_not_copy_listeners(self, graph):
+        events = []
+        graph.subscribe(events.append)
+        clone = graph.copy()
+        clone.add_vertex()
+        assert events == []
+
+    def test_graph_from_dicts(self):
+        graph, ids = graph_from_dicts(
+            [
+                {"key": "p", "labels": ["Post"], "lang": "en"},
+                {"key": "c", "labels": ["Comm"], "lang": "en"},
+            ],
+            [{"src": "p", "tgt": "c", "type": "REPLY", "since": 2020}],
+        )
+        assert graph.vertex_property(ids["p"], "lang") == "en"
+        edge = next(iter(graph.edges("REPLY")))
+        assert graph.edge_property(edge, "since") == 2020
+
+    def test_graph_from_dicts_duplicate_key(self):
+        with pytest.raises(GraphError):
+            graph_from_dicts([{"key": "a"}, {"key": "a"}], [])
+
+    def test_stats(self, graph):
+        a = graph.add_vertex(labels=["X"])
+        b = graph.add_vertex()
+        graph.add_edge(a, b, "T")
+        assert graph.stats() == {
+            "vertices": 2,
+            "edges": 1,
+            "labels": 1,
+            "edge_types": 1,
+        }

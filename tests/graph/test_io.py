@@ -1,0 +1,126 @@
+"""Round-trip tests for graph serialisation (JSON lines and CSV)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import PropertyGraph
+from repro.graph.io import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.workloads.random_graphs import random_graph
+
+
+def sample_graph():
+    graph = PropertyGraph()
+    a = graph.add_vertex(labels=["Post"], properties={"lang": "en", "tags": ["x", "y"]})
+    b = graph.add_vertex(labels=["Comm", "Pinned"], properties={"meta": {"depth": 1}})
+    graph.add_vertex()  # bare vertex
+    graph.add_edge(a, b, "REPLY", properties={"weight": 1.5})
+    graph.add_edge(b, a, "BACK")
+    return graph
+
+
+def graphs_equal(a: PropertyGraph, b: PropertyGraph) -> bool:
+    if a.stats() != b.stats():
+        return False
+    # Property values are heterogeneous (str/int/list/...), so canonicalise
+    # each vertex/edge to a repr string before sorting across elements.
+    def vertex_key(g, v):
+        props = sorted(g.vertex_properties(v).items())
+        return repr((sorted(g.labels_of(v)), props))
+
+    a_vertices = sorted(vertex_key(a, v) for v in a.vertices())
+    b_vertices = sorted(vertex_key(b, v) for v in b.vertices())
+    if a_vertices != b_vertices:
+        return False
+
+    def edge_key(g, e):
+        s, t = g.endpoints(e)
+        return repr((g.type_of(e), s, t, sorted(g.edge_properties(e).items())))
+
+    return sorted(edge_key(a, e) for e in a.edges()) == sorted(
+        edge_key(b, e) for e in b.edges()
+    )
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        graph = sample_graph()
+        path = tmp_path / "graph.jsonl"
+        save_jsonl(graph, path)
+        loaded = load_jsonl(path)
+        assert graphs_equal(graph, loaded)
+
+    def test_nested_values_survive(self, tmp_path):
+        graph = sample_graph()
+        path = tmp_path / "graph.jsonl"
+        save_jsonl(graph, path)
+        loaded = load_jsonl(path)
+        post = next(iter(loaded.vertices("Post")))
+        assert list(loaded.vertex_property(post, "tags")) == ["x", "y"]
+        pinned = next(iter(loaded.vertices("Pinned")))
+        assert loaded.vertex_property(pinned, "meta")["depth"] == 1
+
+    def test_random_graph_round_trip(self, tmp_path):
+        graph = random_graph(vertices=20, edges=30, seed=4).graph
+        path = tmp_path / "graph.jsonl"
+        save_jsonl(graph, path)
+        assert graphs_equal(graph, load_jsonl(path))
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        path.write_text('{"kind": "header", "version": 99}\n')
+        with pytest.raises(GraphError):
+            load_jsonl(path)
+
+    def test_dangling_edge_rejected(self, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        path.write_text(
+            '{"kind": "header", "version": 1}\n'
+            '{"kind": "edge", "id": 1, "source": 5, "target": 6, "type": "T", "properties": {}}\n'
+        )
+        with pytest.raises(GraphError):
+            load_jsonl(path)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(GraphError):
+            load_jsonl(path)
+
+    def test_loaded_graph_queryable(self, tmp_path):
+        from repro import QueryEngine
+
+        graph = sample_graph()
+        path = tmp_path / "graph.jsonl"
+        save_jsonl(graph, path)
+        loaded = load_jsonl(path)
+        engine = QueryEngine(loaded)
+        view = engine.register("MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        assert len(view.rows()) == 1
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        graph = sample_graph()
+        save_csv(graph, tmp_path / "out")
+        loaded = load_csv(tmp_path / "out")
+        assert graphs_equal(graph, loaded)
+
+    def test_files_created(self, tmp_path):
+        save_csv(sample_graph(), tmp_path / "out")
+        assert (tmp_path / "out" / "vertices.csv").exists()
+        assert (tmp_path / "out" / "edges.csv").exists()
+
+    def test_random_graph_round_trip(self, tmp_path):
+        graph = random_graph(vertices=15, edges=25, seed=8).graph
+        save_csv(graph, tmp_path / "out")
+        assert graphs_equal(graph, load_csv(tmp_path / "out"))
+
+    def test_dangling_edge_rejected(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        (out / "vertices.csv").write_text("id,labels,properties\n")
+        (out / "edges.csv").write_text(
+            'id,source,target,type,properties\n1,7,8,T,{}\n'
+        )
+        with pytest.raises(GraphError):
+            load_csv(out)

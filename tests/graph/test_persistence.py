@@ -1,0 +1,256 @@
+"""WAL, snapshot and crash-recovery tests."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import GraphError
+from repro.graph.persistence import (
+    DurableGraph,
+    WriteAheadLog,
+    load_snapshot,
+    read_wal,
+    replay_wal,
+    save_snapshot,
+)
+
+
+def mutate(graph):
+    """A little bit of everything: every event type at least once."""
+    a = graph.add_vertex(labels=["Post"], properties={"lang": "en", "tags": ["x"]})
+    b = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+    c = graph.add_vertex()
+    e = graph.add_edge(a, b, "REPLY", properties={"w": 1})
+    graph.add_edge(b, c, "REPLY")
+    graph.set_vertex_property(a, "lang", "de")
+    graph.set_edge_property(e, "w", 2)
+    graph.add_label(c, "Tag")
+    graph.remove_label(b, "Comm")
+    graph.set_vertex_property(b, "lang", None)
+    graph.remove_edge(e)
+    graph.remove_vertex(a)
+    return graph
+
+
+def graph_state(graph):
+    vertices = {
+        v: (sorted(graph.labels_of(v)), sorted(graph.vertex_properties(v).items()))
+        for v in graph.vertices()
+    }
+    edges = {
+        e: (graph.endpoints(e), graph.type_of(e), sorted(graph.edge_properties(e).items()))
+        for e in graph.edges()
+    }
+    return vertices, edges
+
+
+class TestWal:
+    def test_replay_reproduces_state(self, tmp_path):
+        graph = PropertyGraph()
+        with WriteAheadLog(graph, tmp_path / "wal.jsonl"):
+            mutate(graph)
+        replayed = replay_wal(tmp_path / "wal.jsonl")
+        assert graph_state(replayed) == graph_state(graph)
+
+    def test_ids_preserved_exactly(self, tmp_path):
+        graph = PropertyGraph()
+        with WriteAheadLog(graph, tmp_path / "wal.jsonl"):
+            mutate(graph)
+        replayed = replay_wal(tmp_path / "wal.jsonl")
+        assert sorted(replayed.vertices()) == sorted(graph.vertices())
+        assert sorted(replayed.edges()) == sorted(graph.edges())
+
+    def test_close_stops_logging(self, tmp_path):
+        graph = PropertyGraph()
+        wal = WriteAheadLog(graph, tmp_path / "wal.jsonl")
+        graph.add_vertex()
+        wal.close()
+        graph.add_vertex()
+        assert wal.records_written == 1
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        graph = PropertyGraph()
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(graph, path):
+            graph.add_vertex(labels=["A"])
+            graph.add_vertex(labels=["B"])
+        with path.open("a") as handle:
+            handle.write('{"k": "v+", "id": 3, "lab')  # crash mid-write
+        replayed = replay_wal(path)
+        assert replayed.vertex_count == 2
+
+    def test_interior_corruption_rejected(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('garbage\n{"k": "v+", "id": 1, "labels": [], "props": {}}\n')
+        with pytest.raises(GraphError):
+            list(read_wal(path))
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"k": "??"}\n')
+        with pytest.raises(GraphError):
+            replay_wal(path)
+
+    def test_nested_values_roundtrip(self, tmp_path):
+        graph = PropertyGraph()
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(graph, path):
+            graph.add_vertex(properties={"meta": {"depth": [1, 2]}})
+        replayed = replay_wal(path)
+        (vertex,) = replayed.vertices()
+        assert replayed.vertex_property(vertex, "meta")["depth"][1] == 2
+
+
+class TestSnapshot:
+    def test_roundtrip(self, tmp_path):
+        graph = mutate(PropertyGraph())
+        save_snapshot(graph, tmp_path / "snap.jsonl")
+        loaded = load_snapshot(tmp_path / "snap.jsonl")
+        assert graph_state(loaded) == graph_state(graph)
+
+    def test_id_counters_restored(self, tmp_path):
+        graph = PropertyGraph()
+        a = graph.add_vertex()
+        b = graph.add_vertex()
+        graph.remove_vertex(b)  # highest id gone; counter must not reuse it
+        save_snapshot(graph, tmp_path / "snap.jsonl")
+        loaded = load_snapshot(tmp_path / "snap.jsonl")
+        assert loaded.add_vertex() == b + 1
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        path.write_text(
+            '{"k": "header", "version": 99, "next_vertex_id": 1, "next_edge_id": 1}\n'
+        )
+        with pytest.raises(GraphError):
+            load_snapshot(path)
+
+
+class TestDurableGraph:
+    def test_fresh_directory(self, tmp_path):
+        durable = DurableGraph(tmp_path / "db")
+        assert durable.graph.vertex_count == 0
+        assert not durable.recovered_from_snapshot
+        durable.close()
+
+    def test_recovery_from_wal_only(self, tmp_path):
+        durable = DurableGraph(tmp_path / "db")
+        mutate(durable.graph)
+        state = graph_state(durable.graph)
+        durable.close()
+        recovered = DurableGraph(tmp_path / "db")
+        assert graph_state(recovered.graph) == state
+        assert recovered.recovered_wal_records > 0
+        recovered.close()
+
+    def test_recovery_from_snapshot_plus_tail(self, tmp_path):
+        durable = DurableGraph(tmp_path / "db")
+        mutate(durable.graph)
+        durable.checkpoint()
+        post_checkpoint = durable.graph.add_vertex(labels=["AfterCheckpoint"])
+        state = graph_state(durable.graph)
+        durable.close()
+        recovered = DurableGraph(tmp_path / "db")
+        assert recovered.recovered_from_snapshot
+        assert recovered.recovered_wal_records == 1
+        assert graph_state(recovered.graph) == state
+        assert recovered.graph.has_label(post_checkpoint, "AfterCheckpoint")
+        recovered.close()
+
+    def test_checkpoint_truncates_wal(self, tmp_path):
+        durable = DurableGraph(tmp_path / "db")
+        mutate(durable.graph)
+        durable.checkpoint()
+        assert (tmp_path / "db" / "wal.jsonl").read_text() == ""
+        durable.close()
+
+    def test_writes_continue_after_checkpoint(self, tmp_path):
+        durable = DurableGraph(tmp_path / "db")
+        durable.graph.add_vertex()
+        durable.checkpoint()
+        durable.graph.add_vertex()
+        assert durable.wal_records == 1
+        durable.close()
+
+    def test_crash_simulation_torn_tail(self, tmp_path):
+        durable = DurableGraph(tmp_path / "db")
+        durable.graph.add_vertex(labels=["Kept"])
+        durable.close()
+        with (tmp_path / "db" / "wal.jsonl").open("a") as handle:
+            handle.write('{"k": "v+", "id": 99,')  # torn append
+        recovered = DurableGraph(tmp_path / "db")
+        assert recovered.graph.vertex_count == 1
+        recovered.close()
+
+    def test_recovered_graph_supports_views_and_updates(self, tmp_path):
+        durable = DurableGraph(tmp_path / "db")
+        engine = QueryEngine(durable.graph)
+        engine.execute("CREATE (p:Post {lang: 'en'})-[:REPLY]->(c:Comm {lang: 'en'})")
+        durable.close()
+
+        recovered = DurableGraph(tmp_path / "db")
+        engine2 = QueryEngine(recovered.graph)
+        view = engine2.register(
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+        )
+        assert len(view.rows()) == 1
+        engine2.execute("MATCH (c:Comm) SET c.lang = 'de'")
+        assert view.rows() == []
+        recovered.close()
+        # third generation sees the update too
+        third = DurableGraph(tmp_path / "db")
+        engine3 = QueryEngine(third.graph)
+        assert engine3.evaluate("MATCH (c:Comm) RETURN c.lang AS l").rows() == [("de",)]
+        third.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 4), st.integers(0, 4)),
+        min_size=0,
+        max_size=25,
+    )
+)
+def test_wal_replay_equivalence_property(ops, tmp_path_factory):
+    """Any mutation stream replayed from its WAL reproduces the graph."""
+    tmp_path = tmp_path_factory.mktemp("wal")
+    graph = PropertyGraph()
+    path = tmp_path / "wal.jsonl"
+    with WriteAheadLog(graph, path):
+        vertices: list[int] = []
+        edges: list[int] = []
+        for kind, x, y in ops:
+            if kind == 0 or not vertices:
+                vertices.append(graph.add_vertex(labels=["L%d" % (x % 3)]))
+            elif kind == 1 and len(vertices) >= 2:
+                edges.append(
+                    graph.add_edge(
+                        vertices[x % len(vertices)],
+                        vertices[y % len(vertices)],
+                        "T",
+                    )
+                )
+            elif kind == 2:
+                graph.set_vertex_property(
+                    vertices[x % len(vertices)], "p", y if y else None
+                )
+            elif kind == 3 and edges:
+                edge = edges.pop(x % len(edges))
+                graph.remove_edge(edge)
+            elif kind == 4:
+                vertex = vertices[x % len(vertices)]
+                if not any(True for _ in graph.incident_edges(vertex)):
+                    vertices.remove(vertex)
+                    graph.remove_vertex(vertex)
+            elif kind == 5:
+                vertex = vertices[x % len(vertices)]
+                if y % 2:
+                    graph.add_label(vertex, "Extra")
+                else:
+                    graph.remove_label(vertex, "Extra")
+    replayed = replay_wal(path)
+    assert graph_state(replayed) == graph_state(graph)

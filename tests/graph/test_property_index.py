@@ -1,0 +1,163 @@
+"""Property-value indexes: maintenance, lookups, matcher/MERGE usage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import GraphError
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph()
+    g.create_index("Tag", "name")
+    return g
+
+
+class TestMaintenance:
+    def test_backfill_on_create(self):
+        g = PropertyGraph()
+        a = g.add_vertex(labels=["Tag"], properties={"name": "x"})
+        g.add_vertex(labels=["Tag"], properties={"name": "y"})
+        g.create_index("Tag", "name")
+        assert g.lookup_index("Tag", "name", "x") == {a}
+
+    def test_add_vertex_indexed(self, graph):
+        a = graph.add_vertex(labels=["Tag"], properties={"name": "x"})
+        assert graph.lookup_index("Tag", "name", "x") == {a}
+
+    def test_remove_vertex_deindexed(self, graph):
+        a = graph.add_vertex(labels=["Tag"], properties={"name": "x"})
+        graph.remove_vertex(a)
+        assert graph.lookup_index("Tag", "name", "x") == frozenset()
+
+    def test_property_change_moves_bucket(self, graph):
+        a = graph.add_vertex(labels=["Tag"], properties={"name": "x"})
+        graph.set_vertex_property(a, "name", "z")
+        assert graph.lookup_index("Tag", "name", "x") == frozenset()
+        assert graph.lookup_index("Tag", "name", "z") == {a}
+
+    def test_property_removal_deindexes(self, graph):
+        a = graph.add_vertex(labels=["Tag"], properties={"name": "x"})
+        graph.set_vertex_property(a, "name", None)
+        assert graph.lookup_index("Tag", "name", "x") == frozenset()
+
+    def test_label_changes_tracked(self, graph):
+        a = graph.add_vertex(properties={"name": "x"})
+        assert graph.lookup_index("Tag", "name", "x") == frozenset()
+        graph.add_label(a, "Tag")
+        assert graph.lookup_index("Tag", "name", "x") == {a}
+        graph.remove_label(a, "Tag")
+        assert graph.lookup_index("Tag", "name", "x") == frozenset()
+
+    def test_unindexed_lookup_raises(self, graph):
+        with pytest.raises(GraphError):
+            graph.lookup_index("Nope", "name", "x")
+
+    def test_drop_index(self, graph):
+        graph.drop_index("Tag", "name")
+        with pytest.raises(GraphError):
+            graph.lookup_index("Tag", "name", "x")
+
+    def test_create_index_idempotent(self, graph):
+        a = graph.add_vertex(labels=["Tag"], properties={"name": "x"})
+        graph.create_index("Tag", "name")
+        assert graph.lookup_index("Tag", "name", "x") == {a}
+
+    def test_indexes_listing(self, graph):
+        assert graph.indexes() == (("Tag", "name"),)
+
+    def test_rollback_restores_index(self, graph):
+        a = graph.add_vertex(labels=["Tag"], properties={"name": "x"})
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                graph.set_vertex_property(a, "name", "y")
+                graph.remove_vertex(a)
+                raise RuntimeError()
+        assert graph.lookup_index("Tag", "name", "x") == {a}
+
+
+class TestQueryUsage:
+    def test_match_uses_index_result_identical(self, graph):
+        engine = QueryEngine(graph)
+        engine.execute("UNWIND ['x', 'y', 'z'] AS n CREATE (t:Tag {name: n})")
+        with_index = engine.execute(
+            "MATCH (t:Tag {name: 'y'}) RETURN t.name AS n"
+        ).rows()
+        graph.drop_index("Tag", "name")
+        without_index = engine.execute(
+            "MATCH (t:Tag {name: 'y'}) RETURN t.name AS n"
+        ).rows()
+        assert with_index == without_index == [("y",)]
+
+    def test_merge_hits_index(self, graph):
+        engine = QueryEngine(graph)
+        for _ in range(3):
+            engine.execute("MERGE (t:Tag {name: 'only'})")
+        assert graph.vertex_count == 1
+
+    def test_index_with_parameterised_value(self, graph):
+        engine = QueryEngine(graph)
+        engine.execute("CREATE (t:Tag {name: 'p'})")
+        rows = engine.execute(
+            "MATCH (t:Tag {name: $name}) RETURN t.name AS n",
+            parameters={"name": "p"},
+        ).rows()
+        assert rows == [("p",)]
+
+    def test_null_valued_map_matches_nothing(self, graph):
+        engine = QueryEngine(graph)
+        engine.execute("CREATE (t:Tag {name: 'x'})")
+        rows = engine.execute(
+            "MATCH (t:Tag {name: $name}) RETURN t",
+            parameters={"name": None},
+        ).rows()
+        assert rows == []
+
+    def test_extra_constraints_still_verified(self, graph):
+        engine = QueryEngine(graph)
+        engine.execute("CREATE (t:Tag:Old {name: 'x', v: 1})")
+        engine.execute("CREATE (t:Tag {name: 'x', v: 2})")
+        rows = engine.execute(
+            "MATCH (t:Tag:Old {name: 'x', v: 1}) RETURN t.v AS v"
+        ).rows()
+        assert rows == [(1,)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 4), st.integers(0, 2)),
+        max_size=20,
+    )
+)
+def test_index_agrees_with_scan_property(ops):
+    """After any mutation stream, index lookups equal a full scan."""
+    graph = PropertyGraph()
+    graph.create_index("L", "k")
+    values = ["a", "b", "c"]
+    vertices: list[int] = []
+    for kind, x, y in ops:
+        if kind == 0 or not vertices:
+            vertices.append(
+                graph.add_vertex(labels=["L"], properties={"k": values[y]})
+            )
+        elif kind == 1:
+            graph.set_vertex_property(vertices[x % len(vertices)], "k", values[y])
+        elif kind == 2:
+            vertex = vertices[x % len(vertices)]
+            if graph.has_label(vertex, "L"):
+                graph.remove_label(vertex, "L")
+            else:
+                graph.add_label(vertex, "L")
+        else:
+            vertex = vertices.pop(x % len(vertices))
+            graph.remove_vertex(vertex)
+    for value in values:
+        expected = frozenset(
+            v
+            for v in graph.vertices("L")
+            if graph.vertex_property(v, "k") == value
+        )
+        assert graph.lookup_index("L", "k", value) == expected

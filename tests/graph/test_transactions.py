@@ -1,0 +1,182 @@
+"""Tests for compensating transactions on the property graph."""
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import TransactionError
+from repro.graph import events as ev
+
+
+def populated():
+    graph = PropertyGraph()
+    a = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+    b = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+    e = graph.add_edge(a, b, "REPLY", properties={"weight": 1})
+    return graph, a, b, e
+
+
+class TestCommit:
+    def test_commit_keeps_changes(self):
+        graph, a, b, e = populated()
+        with graph.transaction():
+            graph.add_vertex(labels=["Tag"])
+        assert graph.vertex_count == 3
+
+    def test_commit_is_noop_for_listeners(self):
+        graph, *_ = populated()
+        seen = []
+        graph.subscribe(seen.append)
+        with graph.transaction():
+            graph.add_vertex()
+        assert len(seen) == 1  # only the actual mutation, no extra events
+
+    def test_events_property_records_scope(self):
+        graph, a, b, e = populated()
+        with graph.transaction() as tx:
+            graph.set_vertex_property(a, "lang", "de")
+            assert len(tx.events) == 1
+            assert isinstance(tx.events[0], ev.VertexPropertySet)
+
+
+class TestRollback:
+    def test_vertex_add_rolled_back(self):
+        graph, *_ = populated()
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                graph.add_vertex(labels=["Tag"])
+                raise RuntimeError()
+        assert graph.vertex_count == 2
+        assert "Tag" not in graph.labels()
+
+    def test_vertex_remove_restored_with_id_and_state(self):
+        graph, a, b, e = populated()
+        graph.remove_edge(e)
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                graph.remove_vertex(a)
+                raise RuntimeError()
+        assert graph.has_vertex(a)
+        assert graph.labels_of(a) == frozenset({"Post"})
+        assert graph.vertex_property(a, "lang") == "en"
+
+    def test_edge_remove_restored(self):
+        graph, a, b, e = populated()
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                graph.remove_edge(e)
+                raise RuntimeError()
+        assert graph.has_edge(e)
+        assert graph.endpoints(e) == (a, b)
+        assert graph.edge_property(e, "weight") == 1
+
+    def test_property_change_reverted(self):
+        graph, a, *_ = populated()
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                graph.set_vertex_property(a, "lang", "de")
+                graph.set_vertex_property(a, "lang", "fr")
+                raise RuntimeError()
+        assert graph.vertex_property(a, "lang") == "en"
+
+    def test_property_creation_reverted_to_absent(self):
+        graph, a, *_ = populated()
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                graph.set_vertex_property(a, "new", 5)
+                raise RuntimeError()
+        assert graph.vertex_property(a, "new") is None
+
+    def test_label_changes_reverted(self):
+        graph, a, *_ = populated()
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                graph.add_label(a, "Pinned")
+                graph.remove_label(a, "Post")
+                raise RuntimeError()
+        assert graph.labels_of(a) == frozenset({"Post"})
+
+    def test_detach_delete_fully_restored(self):
+        graph, a, b, e = populated()
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                graph.remove_vertex(a, detach=True)
+                raise RuntimeError()
+        assert graph.has_vertex(a)
+        assert graph.has_edge(e)
+        assert graph.endpoints(e) == (a, b)
+
+    def test_add_then_remove_same_edge_in_tx(self):
+        graph, a, b, e = populated()
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                new_edge = graph.add_edge(b, a, "BACK")
+                graph.remove_edge(new_edge)
+                raise RuntimeError()
+        assert graph.edge_count == 1
+
+    def test_explicit_rollback(self):
+        graph, *_ = populated()
+        with graph.transaction() as tx:
+            graph.add_vertex()
+            tx.rollback()
+        assert graph.vertex_count == 2
+
+    def test_view_consistent_through_rollback(self):
+        graph, a, b, e = populated()
+        engine = QueryEngine(graph)
+        view = engine.register(
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+        )
+        assert view.rows() == [(a, b)]
+        with pytest.raises(RuntimeError):
+            with graph.transaction():
+                graph.set_vertex_property(b, "lang", "de")
+                assert view.rows() == []  # change visible inside the scope
+                graph.remove_edge(e)
+                raise RuntimeError()
+        assert view.rows() == [(a, b)]  # compensation propagated to the view
+
+
+class TestMisuse:
+    def test_nested_transactions_rejected(self):
+        graph = PropertyGraph()
+        with graph.transaction():
+            with pytest.raises(TransactionError):
+                with graph.transaction():
+                    pass
+
+    def test_transaction_cannot_be_reused(self):
+        graph = PropertyGraph()
+        tx = graph.transaction()
+        with tx:
+            pass
+        with pytest.raises(TransactionError):
+            with tx:
+                pass
+
+    def test_in_transaction_flag(self):
+        graph = PropertyGraph()
+        assert not graph.in_transaction
+        with graph.transaction():
+            assert graph.in_transaction
+        assert not graph.in_transaction
+
+    def test_restore_vertex_conflict_rejected(self):
+        graph, a, *_ = populated()
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            graph._restore_vertex(a, ["X"], {})
+
+    def test_restore_edge_conflict_rejected(self):
+        graph, a, b, e = populated()
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            graph._restore_edge(e, a, b, "REPLY", {})
+
+    def test_restore_bumps_id_counter(self):
+        graph, a, b, e = populated()
+        graph.remove_edge(e)
+        graph._restore_edge(e, a, b, "REPLY", {})
+        assert graph.add_edge(a, b, "OTHER") != e

@@ -1,0 +1,125 @@
+"""Full-stack integration: every subsystem in one scenario.
+
+A durable social store is driven exclusively through Cypher write
+statements, watched by incremental views (shared inputs), with a trigger,
+a property index, cost-based compilation, a checkpoint, a simulated
+crash, and recovery — asserting the IVM invariant (view ≡ recompute) at
+every stage.
+"""
+
+import pytest
+
+from repro import DurableGraph, QueryEngine
+from repro.compiler.pipeline import compile_query
+from repro.compiler.stats import GraphStatistics
+from repro.workloads.snb import SNB_QUERIES
+
+THREADS = SNB_QUERIES["thread_same_lang"]
+LIKES = "MATCH (fan:Person)-[:LIKES]->(m:Post) RETURN m, count(*) AS likes"
+HOT = "MATCH (m:Post:Hot) RETURN m"
+
+
+def consistent(engine, views):
+    for query, view in views.items():
+        assert sorted(view.rows(), key=repr) == sorted(
+            engine.evaluate(query).rows(), key=repr
+        ), query
+
+
+def test_full_stack_lifecycle(tmp_path):
+    directory = tmp_path / "db"
+
+    # --- generation 1: build through write statements -------------------
+    durable = DurableGraph(directory)
+    graph = durable.graph
+    graph.create_index("Person", "name")
+    engine = QueryEngine(graph)
+    views = {q: engine.register(q) for q in (THREADS, LIKES, HOT)}
+
+    # trigger: posts with >= 2 likes get :Hot
+    def promote(delta):
+        for (post, likes), multiplicity in delta.items():
+            if multiplicity > 0 and likes is not None and likes >= 2:
+                engine.execute(
+                    "MATCH (m:Post) WHERE m = $post SET m:Hot",
+                    parameters={"post": post},
+                )
+
+    views[LIKES].on_change(promote)
+
+    engine.execute_script(
+        """
+        MERGE (alice:Person {name: 'alice'});
+        MERGE (bob:Person {name: 'bob'});
+        CREATE (m:Post {lang: 'en', content: 'hello'});
+        MATCH (m:Post) CREATE (m)<-[:REPLY_OF]-(c:Comment {lang: 'en'});
+        MATCH (c:Comment) CREATE (c)<-[:REPLY_OF]-(d:Comment {lang: 'en'});
+        """
+    )
+    assert len(views[THREADS].rows()) == 2  # both reply chains
+    consistent(engine, views)
+
+    # likes arrive; the second one fires the trigger
+    engine.execute(
+        "MATCH (p:Person {name: 'alice'}), (m:Post) MERGE (p)-[:LIKES]->(m)"
+    )
+    assert views[HOT].rows() == []
+    engine.execute(
+        "MATCH (p:Person {name: 'bob'}), (m:Post) MERGE (p)-[:LIKES]->(m)"
+    )
+    assert len(views[HOT].rows()) == 1
+    consistent(engine, views)
+
+    # checkpoint, then a post-checkpoint write that only lives in the WAL
+    durable.checkpoint()
+    engine.execute("MATCH (c:Comment) SET c.lang = 'de'")
+    assert views[THREADS].rows() == []
+    consistent(engine, views)
+    durable.close()
+
+    # --- simulated crash: reopen from disk -------------------------------
+    recovered = DurableGraph(directory)
+    assert recovered.recovered_from_snapshot
+    assert recovered.recovered_wal_records > 0
+    graph2 = recovered.graph
+    engine2 = QueryEngine(graph2)
+    views2 = {q: engine2.register(q) for q in (THREADS, LIKES, HOT)}
+    assert views2[THREADS].rows() == []  # the lang edit survived
+    assert len(views2[HOT].rows()) == 1  # the trigger's label survived
+    consistent(engine2, views2)
+
+    # cost-based compilation still registers and agrees
+    stats = GraphStatistics.from_graph(graph2)
+    compiled = compile_query(LIKES, stats)
+    costed_view = engine2.register(compiled)
+    assert sorted(costed_view.rows(), key=repr) == sorted(
+        views2[LIKES].rows(), key=repr
+    )
+
+    # undo the language edit through a write statement; threads come back
+    engine2.execute("MATCH (c:Comment) SET c.lang = 'en'")
+    assert len(views2[THREADS].rows()) == 2
+    consistent(engine2, views2)
+
+    # profile output reflects live traffic on the recovered engine
+    profile = views2[THREADS].profile()
+    assert "TransitiveClosure" in profile
+    recovered.close()
+
+
+def test_failed_statement_leaves_durable_state_consistent(tmp_path):
+    directory = tmp_path / "db"
+    durable = DurableGraph(directory)
+    engine = QueryEngine(durable.graph)
+    engine.execute("CREATE (a:X)-[:R]->(b:Y)")
+    from repro.errors import DanglingEdgeError
+
+    with pytest.raises(DanglingEdgeError):
+        engine.execute("MATCH (a:X) DELETE a")  # still connected
+    durable.close()
+    # replaying the WAL (which contains the doomed writes AND their
+    # compensation) reproduces the consistent state
+    recovered = DurableGraph(directory)
+    assert recovered.graph.vertex_count == 2
+    assert recovered.graph.edge_count == 1
+    recovered.close()

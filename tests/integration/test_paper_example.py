@@ -1,0 +1,69 @@
+"""E1 — the paper's running example (§2), end to end.
+
+The paper's expected result table:
+
+    p | t
+    --+----------
+    1 | [1, 2]
+    1 | [1, 2, 3]
+"""
+
+from repro.graph.values import PathValue
+
+from ..conftest import PAPER_QUERY
+
+
+def expected_rows():
+    return [
+        (1, PathValue((1, 2), (1,))),
+        (1, PathValue((1, 2, 3), (1, 2))),
+    ]
+
+
+class TestOneShot:
+    def test_result_table_matches_paper(self, paper_engine):
+        table = paper_engine.evaluate(PAPER_QUERY)
+        assert table.columns == ("p", "t")
+        assert table.rows() == expected_rows()
+
+    def test_display_form_matches_paper_convention(self, paper_engine):
+        table = paper_engine.evaluate(PAPER_QUERY)
+        rendered = table.to_text()
+        assert "[1, 2]" in rendered
+        assert "[1, 2, 3]" in rendered
+
+    def test_language_filter_is_load_bearing(self, paper_graph, paper_engine):
+        paper_graph.set_vertex_property(2, "lang", "de")
+        table = paper_engine.evaluate(PAPER_QUERY)
+        # thread [1,2] now fails p.lang = c.lang; [1,2,3] still matches via 3
+        assert [r[1].vertices for r in table.rows()] == [(1, 2, 3)]
+
+
+class TestIncremental:
+    def test_view_equals_one_shot(self, paper_engine):
+        view = paper_engine.register(PAPER_QUERY)
+        assert view.multiset() == paper_engine.evaluate(PAPER_QUERY).multiset()
+
+    def test_full_update_cycle(self, paper_graph, paper_engine):
+        view = paper_engine.register(PAPER_QUERY)
+        # grow the thread
+        c4 = paper_graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+        e = paper_graph.add_edge(3, c4, "REPLY")
+        assert len(view.rows()) == 3
+        # shrink it back
+        paper_graph.remove_edge(e)
+        paper_graph.remove_vertex(c4)
+        assert view.rows() == expected_rows()
+
+    def test_example_graph_rebuild_from_scratch(self, empty_engine, empty_graph):
+        view = empty_engine.register(PAPER_QUERY)
+        post = empty_graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        c2 = empty_graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+        c3 = empty_graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+        empty_graph.add_edge(post, c2, "REPLY")
+        empty_graph.add_edge(c2, c3, "REPLY")
+        rows = view.rows()
+        assert [(r[0], r[1].vertices) for r in rows] == [
+            (post, (post, c2)),
+            (post, (post, c2, c3)),
+        ]

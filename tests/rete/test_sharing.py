@@ -1,0 +1,128 @@
+"""Cross-view input sharing: transparency, late joiners, detach, stats."""
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.rete.engine import IncrementalEngine
+from repro.workloads.social import generate_social
+
+QUERIES = [
+    "MATCH (p:Post) RETURN p.lang AS lang",
+    "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+]
+
+
+def small_graph():
+    graph = PropertyGraph()
+    p1 = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+    p2 = graph.add_vertex(labels=["Post"], properties={"lang": "de"})
+    c1 = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+    graph.add_edge(p1, c1, "REPLY")
+    return graph, p1, p2, c1
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("share", [True, False])
+    def test_rows_identical_under_both_modes(self, share):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph, share_inputs=share)
+        views = [engine.register(q) for q in QUERIES]
+        snapshots = [sorted(v.rows(), key=repr) for v in views]
+        other = IncrementalEngine(small_graph()[0], share_inputs=not share)
+        for view, query, snapshot in zip(
+            [other.register(q) for q in QUERIES], QUERIES, snapshots
+        ):
+            assert sorted(view.rows(), key=repr) == snapshot
+
+    def test_updates_propagate_identically(self):
+        results = {}
+        for share in (True, False):
+            graph, p1, p2, c1 = small_graph()
+            engine = IncrementalEngine(graph, share_inputs=share)
+            views = [engine.register(q) for q in QUERIES]
+            c2 = graph.add_vertex(labels=["Comm"], properties={"lang": "de"})
+            graph.add_edge(p2, c2, "REPLY")
+            graph.set_vertex_property(c1, "lang", "hu")
+            graph.remove_edge(next(iter(graph.edges("REPLY"))))
+            results[share] = [sorted(v.rows(), key=repr) for v in views]
+        assert results[True] == results[False]
+
+    def test_differential_on_social_workload(self):
+        bundle = generate_social(persons=8, posts_per_person=2, seed=7)
+        graph = bundle.graph
+        engine = QueryEngine(graph, share_inputs=True)
+        views = [engine.register(q) for q in QUERIES]
+        post = next(iter(graph.vertices("Post")))
+        graph.set_vertex_property(post, "lang", "zz")
+        for query, view in zip(QUERIES, views):
+            assert sorted(view.rows(), key=repr) == sorted(
+                engine.evaluate(query).rows(), key=repr
+            )
+
+
+class TestSharingMechanics:
+    def test_identical_views_share_all_inputs(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph, share_inputs=True)
+        engine.register(QUERIES[2])
+        stats_after_first = engine.input_layer.stats.nodes
+        engine.register(QUERIES[2])
+        assert engine.input_layer.stats.nodes == stats_after_first
+        assert engine.input_layer.stats.requests > engine.input_layer.stats.nodes
+
+    def test_late_view_sees_current_state_once(self):
+        graph, p1, p2, c1 = small_graph()
+        engine = IncrementalEngine(graph, share_inputs=True)
+        first = engine.register(QUERIES[0])
+        # register the same query again after the layer is already live
+        second = engine.register(QUERIES[0])
+        assert sorted(second.rows()) == sorted(first.rows())
+        assert second.multiset() == first.multiset()  # no double counting
+
+    def test_late_view_tracks_subsequent_updates(self):
+        graph, p1, *_ = small_graph()
+        engine = IncrementalEngine(graph, share_inputs=True)
+        engine.register(QUERIES[0])
+        late = engine.register(QUERIES[1])
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        assert dict(late.rows()) == {"en": 2, "de": 1}
+
+    def test_detach_stops_updates_and_prunes(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph, share_inputs=True)
+        view_a = engine.register(QUERIES[0])
+        view_b = engine.register(QUERIES[2])
+        assert engine.input_layer.node_count > 0
+        view_b.detach()
+        view_a.detach()
+        assert engine.input_layer.node_count == 0
+        # events after detach are harmless
+        graph.add_vertex(labels=["Post"], properties={"lang": "xx"})
+
+    def test_detach_leaves_other_views_live(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph, share_inputs=True)
+        doomed = engine.register(QUERIES[0])
+        survivor = engine.register(QUERIES[0])
+        doomed.detach()
+        graph.add_vertex(labels=["Post"], properties={"lang": "fr"})
+        assert ("fr",) in survivor.rows()
+
+    def test_unshared_engine_has_no_layer(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph, share_inputs=False)
+        engine.register(QUERIES[0])
+        assert engine.input_layer is None
+
+    def test_write_queries_drive_shared_views(self):
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, share_inputs=True)
+        view_a = engine.register(QUERIES[0])
+        view_b = engine.register(QUERIES[3])
+        engine.execute(
+            "CREATE (p:Post {lang: 'en'})-[:REPLY]->(c:Comm {lang: 'en'})"
+        )
+        assert view_a.rows() == [("en",)]
+        assert len(view_b.rows()) == 1

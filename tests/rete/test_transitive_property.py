@@ -1,0 +1,147 @@
+"""Property-based tests for the incremental transitive-closure node.
+
+The node's contract: after any interleaving of edge insertions and
+deletions, its trail store equals the from-scratch trail enumeration
+(`repro.eval.enumerate_trails`) over the surviving edges — for every
+direction mode and hop bound.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.schema import AttrKind, Attribute, Schema
+from repro.eval import enumerate_trails
+from repro.graph import PropertyGraph
+from repro.graph.values import PathValue
+from repro.rete.deltas import Delta
+from repro.rete.nodes.base import LEFT, Node
+from repro.rete.nodes.transitive import EDGES, TransitiveClosureNode
+
+
+class Sink(Node):
+    def __init__(self):
+        super().__init__(Schema(()))
+        self.bag: dict[tuple, int] = {}
+
+    def apply(self, delta: Delta, side: int) -> None:
+        for row, multiplicity in delta.items():
+            count = self.bag.get(row, 0) + multiplicity
+            if count:
+                self.bag[row] = count
+            else:
+                del self.bag[row]
+
+
+def make_node(direction="out", min_hops=1, max_hops=None):
+    schema = Schema(
+        [
+            Attribute("s", AttrKind.VERTEX),
+            Attribute("end", AttrKind.VERTEX),
+            Attribute("path", AttrKind.PATH),
+        ]
+    )
+    node = TransitiveClosureNode(schema, 0, direction, min_hops, max_hops, True)
+    sink = Sink()
+    node.subscribe(sink)
+    return node, sink
+
+
+#: An operation stream: each element inserts an edge between small vertex
+#: ids, or (when the second flag is high) deletes the i-th live edge.
+operations = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 9)),
+    min_size=0,
+    max_size=14,
+)
+
+
+def apply_operations(node, ops_list, direction):
+    """Drive the node and a shadow graph through the same edge stream."""
+    graph = PropertyGraph()
+    vertex_ids = [graph.add_vertex() for _ in range(5)]
+    live: list[tuple[int, int, int]] = []  # (edge_id, src, tgt)
+    next_edge = 100
+    for src_i, tgt_i, action in ops_list:
+        if action < 7 or not live:
+            src, tgt = vertex_ids[src_i], vertex_ids[tgt_i]
+            edge_id = next_edge
+            next_edge += 1
+            graph_edge = graph.add_edge(src, tgt, "T")
+            # keep the node's edge ids aligned with the graph's
+            delta = Delta()
+            delta.add((src, graph_edge, tgt), 1)
+            node.apply(delta, EDGES)
+            live.append((graph_edge, src, tgt))
+        else:
+            index = action % len(live)
+            edge_id, src, tgt = live.pop(index)
+            graph.remove_edge(edge_id)
+            delta = Delta()
+            delta.add((src, edge_id, tgt), -1)
+            node.apply(delta, EDGES)
+    return graph, vertex_ids
+
+
+def expected_rows(graph, sources, direction, min_hops, max_hops):
+    out: dict[tuple, int] = {}
+    for source in sources:
+        for end, path in enumerate_trails(
+            graph, source, ("T",), direction, min_hops, max_hops
+        ):
+            row = (source, end, path)
+            out[row] = out.get(row, 0) + 1
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_list=operations, direction=st.sampled_from(["out", "in", "both"]))
+def test_node_matches_trail_enumeration(ops_list, direction):
+    node, sink = make_node(direction=direction, max_hops=4)
+    # activate all five potential sources up front
+    left = Delta()
+    graph_probe = PropertyGraph()
+    probe_ids = [graph_probe.add_vertex() for _ in range(5)]
+    for vertex in probe_ids:
+        left.add((vertex,), 1)
+    node.apply(left, LEFT)
+    graph, vertex_ids = apply_operations(node, ops_list, direction)
+    assert vertex_ids == probe_ids  # same dense ids in both graphs
+    assert sink.bag == expected_rows(graph, vertex_ids, direction, 1, 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_list=operations)
+def test_min_zero_includes_self_rows(ops_list):
+    node, sink = make_node(min_hops=0, max_hops=3)
+    left = Delta()
+    graph_probe = PropertyGraph()
+    probe_ids = [graph_probe.add_vertex() for _ in range(5)]
+    for vertex in probe_ids:
+        left.add((vertex,), 1)
+    node.apply(left, LEFT)
+    graph, vertex_ids = apply_operations(node, ops_list, "out")
+    assert sink.bag == expected_rows(graph, vertex_ids, "out", 0, 3)
+    for vertex in vertex_ids:
+        assert sink.bag.get((vertex, vertex, PathValue((vertex,), ()))) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops_list=operations)
+def test_insert_then_delete_everything_leaves_empty_store(ops_list):
+    node, sink = make_node(max_hops=4)
+    left = Delta()
+    graph_probe = PropertyGraph()
+    for _ in range(5):
+        left.add((graph_probe.add_vertex(),), 1)
+    node.apply(left, LEFT)
+    graph, _ = apply_operations(node, ops_list, "out")
+    # retract every surviving edge
+    for edge in list(graph.edges()):
+        src, tgt = graph.endpoints(edge)
+        delta = Delta()
+        delta.add((src, edge, tgt), -1)
+        node.apply(delta, EDGES)
+        graph.remove_edge(edge)
+    assert sink.bag == {}
+    assert not any(node.trails_by_start.get(v) for v in node.trails_by_start)
+    assert not node.trails_by_edge

@@ -1,0 +1,33 @@
+"""Run the doctests embedded in public-API docstrings.
+
+The examples in module/class docstrings are part of the documentation
+contract; this keeps them executable without turning on doctest collection
+globally.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.api
+import repro.graph.graph
+import repro.graph.persistence
+import repro.graph.transactions
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro,
+        repro.api,
+        repro.graph.graph,
+        repro.graph.persistence,
+        repro.graph.transactions,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False, optionflags=doctest.ELLIPSIS)
+    assert result.failed == 0
+    assert result.attempted > 0  # every listed module must carry examples

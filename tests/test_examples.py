@@ -1,0 +1,39 @@
+"""Every example script must run cleanly end to end.
+
+Each example asserts its own IVM invariant (view ≡ recompute) internally,
+so a zero exit status means the scenario really worked.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout  # every example narrates what it does
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "social_feed",
+        "train_validation",
+        "fraud_detection",
+        "code_analysis",
+        "active_monitoring",
+    } <= names

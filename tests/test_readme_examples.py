@@ -1,0 +1,28 @@
+"""Execute the code blocks embedded in README.md.
+
+Documentation that silently rots is worse than none; every ```python
+block in the README must run as-is against the current API.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+@pytest.mark.parametrize("index", range(len(python_blocks())))
+def test_readme_block_executes(index, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # blocks may create ./mydb etc.
+    block = python_blocks()[index]
+    exec(compile(block, f"README block {index}", "exec"), {})
+
+
+def test_readme_has_code_blocks():
+    assert len(python_blocks()) >= 2

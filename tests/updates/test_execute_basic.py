@@ -1,0 +1,240 @@
+"""CREATE / DELETE / SET / REMOVE execution semantics."""
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import CypherSemanticError, DanglingEdgeError, EvaluationError
+from repro.graph.values import PathValue
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine(PropertyGraph())
+
+
+class TestCreate:
+    def test_single_node(self, engine):
+        result = engine.execute("CREATE (n:Post {lang: 'en'})")
+        assert result.summary.nodes_created == 1
+        assert result.summary.labels_added == 1
+        assert result.summary.properties_set == 1
+        assert engine.graph.vertex_count == 1
+
+    def test_create_returns_bindings(self, engine):
+        result = engine.execute("CREATE (n:Post {lang: 'en'}) RETURN n.lang AS l")
+        assert result.rows() == [("en",)]
+
+    def test_create_path(self, engine):
+        result = engine.execute(
+            "CREATE (a:X)-[:R]->(b:Y)<-[:S]-(c:Z) RETURN a, b, c"
+        )
+        assert result.summary.nodes_created == 3
+        assert result.summary.relationships_created == 2
+        graph = engine.graph
+        a, b, c = result.rows()[0]
+        assert {graph.target_of(e) for e in graph.out_edges(a)} == {b}
+        assert {graph.source_of(e) for e in graph.in_edges(b)} == {a, c}
+
+    def test_create_reuses_bound_variable(self, engine):
+        engine.execute("CREATE (a:X)")
+        result = engine.execute("MATCH (a:X) CREATE (a)-[:R]->(b:Y) RETURN a, b")
+        assert result.summary.nodes_created == 1
+        assert engine.graph.vertex_count == 2
+
+    def test_create_per_binding_row(self, engine):
+        engine.execute("CREATE (a:X) CREATE (b:X)")
+        result = engine.execute("MATCH (x:X) CREATE (c:C)-[:OF]->(x)")
+        assert result.summary.nodes_created == 2
+        assert result.summary.relationships_created == 2
+
+    def test_variable_shared_across_parts(self, engine):
+        result = engine.execute("CREATE (a:X), (a)-[:R]->(b:Y)")
+        assert result.summary.nodes_created == 2
+
+    def test_null_property_skipped(self, engine):
+        result = engine.execute("CREATE (n:Post {lang: NULL}) RETURN n")
+        assert result.summary.properties_set == 0
+        (vertex,) = result.rows()[0]
+        assert engine.graph.vertex_properties(vertex) == {}
+
+    def test_named_path_in_create(self, engine):
+        result = engine.execute("CREATE p = (a:X)-[:R]->(b:Y) RETURN p")
+        (path,) = result.rows()[0]
+        assert isinstance(path, PathValue)
+        assert len(path.vertices) == 2
+
+    def test_create_undirected_rejected(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.execute("CREATE (a)-[:R]-(b)")
+
+    def test_create_varlength_rejected(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.execute("CREATE (a)-[:R*2]->(b)")
+
+    def test_create_untyped_rejected(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.execute("CREATE (a)-[]->(b)")
+
+    def test_create_bound_single_node_rejected(self, engine):
+        engine.execute("CREATE (a:X)")
+        with pytest.raises(CypherSemanticError):
+            engine.execute("MATCH (a:X) CREATE (a)")
+
+    def test_bound_node_with_labels_rejected(self, engine):
+        engine.execute("CREATE (a:X)")
+        with pytest.raises(CypherSemanticError):
+            engine.execute("MATCH (a:X) CREATE (a:Y)-[:R]->(b)")
+
+    def test_create_with_parameters(self, engine):
+        result = engine.execute(
+            "CREATE (n:Post {lang: $lang}) RETURN n.lang AS l",
+            parameters={"lang": "fr"},
+        )
+        assert result.rows() == [("fr",)]
+
+
+class TestDelete:
+    @pytest.fixture
+    def populated(self, engine):
+        engine.execute("CREATE (a:X {k: 1})-[:R]->(b:Y)-[:R]->(c:Z)")
+        return engine
+
+    def test_delete_edge(self, populated):
+        result = populated.execute("MATCH (a:X)-[r:R]->() DELETE r")
+        assert result.summary.relationships_deleted == 1
+        assert populated.graph.edge_count == 1
+
+    def test_delete_vertex_with_edges_fails(self, populated):
+        with pytest.raises(DanglingEdgeError):
+            populated.execute("MATCH (a:X) DELETE a")
+
+    def test_failed_delete_rolls_back(self, populated):
+        before = populated.graph.stats()
+        with pytest.raises(DanglingEdgeError):
+            # the edge delete would succeed, then the vertex delete fails
+            populated.execute("MATCH (b:Y)-[r:R]->(c:Z) DELETE r, b")
+        assert populated.graph.stats() == before
+
+    def test_detach_delete(self, populated):
+        result = populated.execute("MATCH (b:Y) DETACH DELETE b")
+        assert result.summary.nodes_deleted == 1
+        assert result.summary.relationships_deleted == 2
+        assert populated.graph.edge_count == 0
+
+    def test_delete_same_entity_twice_counts_once(self, populated):
+        # relationship uniqueness is per MATCH clause, so two MATCHes can
+        # bind the same edge to r and r2; deleting both deletes it once
+        result = populated.execute(
+            "MATCH (a:X)-[r:R]->() MATCH (a2:X)-[r2:R]->() DELETE r, r2"
+        )
+        assert result.summary.relationships_deleted == 1
+
+    def test_edge_uniqueness_within_single_match(self, populated):
+        # within one MATCH, r and r2 cannot bind the same relationship
+        result = populated.execute(
+            "MATCH (a:X)-[r:R]->(), (a2:X)-[r2:R]->() DELETE r, r2"
+        )
+        assert result.summary.relationships_deleted == 0
+
+    def test_delete_null_is_noop(self, populated):
+        result = populated.execute(
+            "MATCH (a:X) OPTIONAL MATCH (a)-[r:MISSING]->() DELETE r"
+        )
+        assert result.summary.relationships_deleted == 0
+
+    def test_delete_path_deletes_members(self, populated):
+        result = populated.execute(
+            "MATCH p = (a:X)-[:R*2]->(c:Z) DETACH DELETE p"
+        )
+        assert result.summary.nodes_deleted == 3
+        assert populated.graph.vertex_count == 0
+
+    def test_delete_value_rejected(self, populated):
+        with pytest.raises(CypherSemanticError):
+            populated.execute("MATCH (a:X) DELETE a.k")
+
+
+class TestSet:
+    @pytest.fixture
+    def engine_with_node(self, engine):
+        engine.execute("CREATE (n:Post {lang: 'en', views: 1})")
+        return engine
+
+    def test_set_property(self, engine_with_node):
+        result = engine_with_node.execute("MATCH (n:Post) SET n.lang = 'de'")
+        assert result.summary.properties_set == 1
+        assert engine_with_node.evaluate(
+            "MATCH (n:Post) RETURN n.lang AS l"
+        ).rows() == [("de",)]
+
+    def test_set_computed_from_self(self, engine_with_node):
+        engine_with_node.execute("MATCH (n:Post) SET n.views = n.views + 10")
+        assert engine_with_node.evaluate(
+            "MATCH (n:Post) RETURN n.views AS v"
+        ).rows() == [(11,)]
+
+    def test_set_null_removes(self, engine_with_node):
+        engine_with_node.execute("MATCH (n:Post) SET n.lang = NULL")
+        assert engine_with_node.evaluate(
+            "MATCH (n:Post) RETURN n.lang AS l"
+        ).rows() == [(None,)]
+
+    def test_set_labels(self, engine_with_node):
+        result = engine_with_node.execute("MATCH (n:Post) SET n:Pinned:Hot")
+        assert result.summary.labels_added == 2
+        # re-setting is a no-op
+        again = engine_with_node.execute("MATCH (n:Post) SET n:Pinned")
+        assert again.summary.labels_added == 0
+
+    def test_set_replace_properties(self, engine_with_node):
+        engine_with_node.execute("MATCH (n:Post) SET n = {title: 'x'}")
+        graph = engine_with_node.graph
+        (vertex,) = graph.vertices("Post")
+        assert graph.vertex_properties(vertex) == {"title": "x"}
+
+    def test_set_merge_properties(self, engine_with_node):
+        engine_with_node.execute("MATCH (n:Post) SET n += {title: 'x'}")
+        graph = engine_with_node.graph
+        (vertex,) = graph.vertices("Post")
+        assert graph.vertex_properties(vertex) == {
+            "lang": "en",
+            "views": 1,
+            "title": "x",
+        }
+
+    def test_set_edge_property(self, engine):
+        engine.execute("CREATE (a:X)-[:R {w: 1}]->(b:Y)")
+        engine.execute("MATCH ()-[r:R]->() SET r.w = 2")
+        assert engine.evaluate("MATCH ()-[r:R]->() RETURN r.w AS w").rows() == [(2,)]
+
+    def test_set_on_null_target_is_noop(self, engine):
+        engine.execute("CREATE (a:X)")
+        result = engine.execute(
+            "MATCH (a:X) OPTIONAL MATCH (a)-[:R]->(m) SET m.x = 1"
+        )
+        assert result.summary.properties_set == 0
+
+    def test_set_non_map_replace_rejected(self, engine_with_node):
+        with pytest.raises(EvaluationError):
+            engine_with_node.execute("MATCH (n:Post) SET n = 5")
+
+
+class TestRemove:
+    def test_remove_property(self, engine):
+        engine.execute("CREATE (n:Post {lang: 'en'})")
+        result = engine.execute("MATCH (n:Post) REMOVE n.lang")
+        assert result.summary.properties_set == 1
+        (vertex,) = engine.graph.vertices("Post")
+        assert engine.graph.vertex_properties(vertex) == {}
+
+    def test_remove_label(self, engine):
+        engine.execute("CREATE (n:Post:Pinned)")
+        result = engine.execute("MATCH (n:Post) REMOVE n:Pinned")
+        assert result.summary.labels_removed == 1
+        (vertex,) = engine.graph.vertices("Post")
+        assert engine.graph.labels_of(vertex) == frozenset({"Post"})
+
+    def test_remove_missing_label_noop(self, engine):
+        engine.execute("CREATE (n:Post)")
+        result = engine.execute("MATCH (n:Post) REMOVE n:Nope")
+        assert result.summary.labels_removed == 0

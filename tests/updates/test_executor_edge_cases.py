@@ -1,0 +1,109 @@
+"""Edge cases of the update executor: scoping, renames, nulls, errors."""
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import CypherSemanticError, EvaluationError
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine(PropertyGraph())
+
+
+class TestWithScoping:
+    def test_with_renames_then_set(self, engine):
+        engine.execute("CREATE (a:X {v: 1})")
+        engine.execute("MATCH (a:X) WITH a AS renamed SET renamed.v = 2")
+        assert engine.evaluate("MATCH (a:X) RETURN a.v AS v").rows() == [(2,)]
+
+    def test_with_drops_out_of_scope_variables(self, engine):
+        engine.execute("CREATE (a:X {v: 1}), (b:Y)")
+        with pytest.raises(Exception):
+            # `b` is not carried through the WITH
+            engine.execute("MATCH (a:X), (b:Y) WITH a SET b.v = 2")
+
+    def test_with_computed_column_feeds_create(self, engine):
+        engine.execute(
+            "UNWIND [1, 2] AS i WITH i * i AS sq CREATE (n:Sq {v: sq})"
+        )
+        values = engine.evaluate("MATCH (n:Sq) RETURN n.v AS v").rows()
+        assert sorted(v for (v,) in values) == [1, 4]
+
+    def test_aggregate_then_merge(self, engine):
+        engine.execute("UNWIND ['a', 'a', 'b'] AS t CREATE (x:Item {tag: t})")
+        engine.execute(
+            "MATCH (x:Item) WITH x.tag AS tag, count(*) AS n "
+            "MERGE (s:Stat {tag: tag}) SET s.n = n"
+        )
+        rows = engine.evaluate(
+            "MATCH (s:Stat) RETURN s.tag AS t, s.n AS n"
+        ).rows()
+        assert sorted(rows) == [("a", 2), ("b", 1)]
+
+
+class TestNullHandling:
+    def test_set_via_null_binding_skips(self, engine):
+        engine.execute("CREATE (a:X)")
+        result = engine.execute(
+            "MATCH (a:X) OPTIONAL MATCH (a)-[:R]->(m) "
+            "SET m.v = 1 REMOVE m.v, m:Gone"
+        )
+        assert not result.summary.contains_updates
+
+    def test_merge_with_null_property_rejected(self, engine):
+        # {k: null} can never match; silently creating would grow the graph
+        # on every re-run, so MERGE errors out (Neo4j semantics)
+        engine.execute("CREATE (t:Tag)")
+        with pytest.raises(EvaluationError):
+            engine.execute("MERGE (t:Tag {name: $p}) RETURN t", {"p": None})
+        assert engine.graph.vertex_count == 1  # nothing created
+
+
+class TestErrorPaths:
+    def test_set_on_unbound_variable(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.execute("CREATE (a:X) SET zzz.v = 1")
+
+    def test_set_on_non_entity(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.execute("UNWIND [1] AS i SET i.v = 2")
+
+    def test_delete_scalar_rejected(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.execute("UNWIND [1] AS i DELETE i")
+
+    def test_error_in_later_row_rolls_back_earlier_rows(self, engine):
+        engine.execute("CREATE (a:X {v: 1}), (b:X {v: 'not-a-number'})")
+        before = {
+            row
+            for row in engine.evaluate("MATCH (x:X) RETURN x.v AS v").rows()
+        }
+        with pytest.raises(EvaluationError):
+            # v * 2 works for the first row, fails on the string row
+            engine.execute("MATCH (x:X) SET x.v = x.v * 2")
+        after = {
+            row for row in engine.evaluate("MATCH (x:X) RETURN x.v AS v").rows()
+        }
+        assert after == before
+
+    def test_missing_parameter_raises(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.execute("CREATE (n:X {v: $missing})")
+
+
+class TestReturnShapes:
+    def test_return_expression_column_names(self, engine):
+        result = engine.execute("CREATE (n:X {v: 3}) RETURN n.v + 1 AS w, n.v")
+        assert result.table.columns == ("w", "n.v")
+        assert result.rows() == [(4, 3)]
+
+    def test_duplicate_return_columns_rejected(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.execute("CREATE (n:X) RETURN n AS a, n AS a")
+
+    def test_count_star_on_empty_match(self, engine):
+        result = engine.execute(
+            "MERGE (x:Anchor) WITH x MATCH (y:Missing) RETURN count(*) AS n"
+        )
+        assert result.rows() == [(0,)]

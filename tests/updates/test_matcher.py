@@ -1,0 +1,238 @@
+"""Direct unit tests for the per-row pattern matcher.
+
+The matcher is also tested end-to-end through update statements; these
+tests pin its contract in isolation: candidate enumeration, bound-variable
+constraints, relationship uniqueness, variable-length semantics, and
+agreement with the compiled read pipeline on identical patterns.
+"""
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.algebra.expressions import EvalContext
+from repro.algebra.schema import AttrKind, Attribute, Schema
+from repro.cypher import ast
+from repro.cypher.parser import parse
+from repro.errors import CypherSemanticError
+from repro.eval.interpreter import GraphResolver
+from repro.graph.values import ListValue, PathValue
+from repro.updates.matcher import (
+    PatternMatcher,
+    binding_kind,
+    check_no_bound_reuse_conflicts,
+    pattern_bindings,
+)
+
+EMPTY = Schema(())
+CTX = EvalContext({})
+
+
+def pattern_of(query: str) -> ast.Pattern:
+    """The MATCH pattern of *query* (parse helper)."""
+    tree = parse(query + " RETURN 1 AS one" if "RETURN" not in query else query)
+    clause = tree.clauses[0]
+    assert isinstance(clause, ast.MatchClause)
+    return clause.pattern
+
+
+def where_of(query: str):
+    tree = parse(query + " RETURN 1 AS one")
+    return tree.clauses[0].where
+
+
+@pytest.fixture
+def diamond():
+    """a -> b -> d, a -> c -> d plus labels and properties."""
+    graph = PropertyGraph()
+    a = graph.add_vertex(labels=["Start"], properties={"k": 1})
+    b = graph.add_vertex(labels=["Mid"], properties={"k": 2})
+    c = graph.add_vertex(labels=["Mid"], properties={"k": 3})
+    d = graph.add_vertex(labels=["Leaf"], properties={"k": 4})
+    e1 = graph.add_edge(a, b, "R", properties={"w": 1})
+    e2 = graph.add_edge(a, c, "R", properties={"w": 2})
+    e3 = graph.add_edge(b, d, "R")
+    e4 = graph.add_edge(c, d, "R")
+    return graph, (a, b, c, d), (e1, e2, e3, e4)
+
+
+def expand(graph, pattern_text, schema=EMPTY, row=(), where=None):
+    matcher = PatternMatcher(
+        graph, pattern_of(pattern_text), schema, GraphResolver(graph), where
+    )
+    return matcher, sorted(matcher.expand(row, CTX), key=repr)
+
+
+class TestBindingHelpers:
+    def test_binding_kinds(self):
+        pattern = pattern_of("MATCH p = (a)-[r:R]->(b)-[rs:R*]->(c)")
+        part = pattern.parts[0]
+        kinds = {e.variable: binding_kind(e) for e in part.elements if e.variable}
+        assert kinds["a"] is AttrKind.VERTEX
+        assert kinds["r"] is AttrKind.EDGE
+        assert kinds["rs"] is AttrKind.VALUE  # list of edges
+        names = [a.name for a in pattern_bindings(pattern, frozenset())]
+        assert names == ["a", "r", "b", "rs", "c", "p"]
+
+    def test_bound_names_excluded(self):
+        pattern = pattern_of("MATCH (a)-[r:R]->(b)")
+        names = [a.name for a in pattern_bindings(pattern, frozenset({"a"}))]
+        assert names == ["r", "b"]
+
+    def test_reuse_conflict_detected(self):
+        pattern = pattern_of("MATCH (r)-[x:R]->(b)")
+        with pytest.raises(CypherSemanticError):
+            check_no_bound_reuse_conflicts(pattern, {"r": AttrKind.EDGE})
+
+
+class TestNodeMatching:
+    def test_label_scan(self, diamond):
+        graph, (a, b, c, d), _ = diamond
+        _, rows = expand(graph, "MATCH (m:Mid)")
+        assert rows == sorted([(b,), (c,)], key=repr)
+
+    def test_property_map_filter(self, diamond):
+        graph, (a, b, c, d), _ = diamond
+        _, rows = expand(graph, "MATCH (m:Mid {k: 3})")
+        assert rows == [(c,)]
+
+    def test_unlabeled_scan(self, diamond):
+        graph, vertices, _ = diamond
+        _, rows = expand(graph, "MATCH (x)")
+        assert len(rows) == 4
+
+    def test_bound_variable_restricts(self, diamond):
+        graph, (a, b, c, d), _ = diamond
+        schema = Schema([Attribute("m", AttrKind.VERTEX)])
+        matcher = PatternMatcher(
+            graph, pattern_of("MATCH (m:Mid)"), schema, GraphResolver(graph)
+        )
+        assert list(matcher.expand((b,), CTX)) == [(b,)]
+        assert list(matcher.expand((a,), CTX)) == []  # a is not :Mid
+
+    def test_null_bound_variable_matches_nothing(self, diamond):
+        graph, *_ = diamond
+        schema = Schema([Attribute("m", AttrKind.VERTEX)])
+        matcher = PatternMatcher(
+            graph, pattern_of("MATCH (m:Mid)"), schema, GraphResolver(graph)
+        )
+        assert list(matcher.expand((None,), CTX)) == []
+
+
+class TestRelationshipMatching:
+    def test_out_direction(self, diamond):
+        graph, (a, b, c, d), _ = diamond
+        _, rows = expand(graph, "MATCH (s:Start)-[:R]->(x)")
+        assert {row[1] for row in rows} == {b, c}
+
+    def test_in_direction(self, diamond):
+        graph, (a, b, c, d), _ = diamond
+        _, rows = expand(graph, "MATCH (e:Leaf)<-[:R]-(x)")
+        assert {row[1] for row in rows} == {b, c}
+
+    def test_undirected(self, diamond):
+        graph, (a, b, c, d), _ = diamond
+        _, rows = expand(graph, "MATCH (m:Mid {k: 2})-[:R]-(x)")
+        assert {row[1] for row in rows} == {a, d}
+
+    def test_edge_property_map(self, diamond):
+        graph, (a, b, c, d), edges = diamond
+        _, rows = expand(graph, "MATCH (s:Start)-[r:R {w: 2}]->(x)")
+        assert rows == [(a, edges[1], c)]
+
+    def test_edge_uniqueness_within_pattern(self, diamond):
+        graph, _, _ = diamond
+        # a two-hop path cannot reuse one edge, and the two branch edges
+        # of the diamond cannot satisfy (x)-[r]->(y)-[r2]->(x) cycles
+        _, rows = expand(graph, "MATCH (x)-[r:R]->(y)-[r2:R]->(z)")
+        assert len(rows) == 2  # a->b->d and a->c->d
+        for row in rows:
+            assert row[1] != row[3]
+
+    def test_type_filter(self, diamond):
+        graph, *_ = diamond
+        _, rows = expand(graph, "MATCH (x)-[:MISSING]->(y)")
+        assert rows == []
+
+    def test_where_applies(self, diamond):
+        graph, (a, b, c, d), _ = diamond
+        matcher, rows = expand(
+            graph,
+            "MATCH (s)-[:R]->(x)",
+            where=where_of("MATCH (s)-[:R]->(x) WHERE x.k > 2"),
+        )
+        assert {row[1] for row in rows} == {c, d}
+
+
+class TestVarLength:
+    def test_trails_and_path_binding(self, diamond):
+        graph, (a, b, c, d), _ = diamond
+        _, rows = expand(graph, "MATCH t = (s:Start)-[:R*]->(e:Leaf)")
+        # two trails a->b->d and a->c->d
+        assert len(rows) == 2
+        for row in rows:
+            path = row[-1]
+            assert isinstance(path, PathValue)
+            assert path.start == a and path.end == d
+
+    def test_relationship_list_binding(self, diamond):
+        graph, (a, b, c, d), _ = diamond
+        _, rows = expand(graph, "MATCH (s:Start)-[rs:R*2]->(e:Leaf)")
+        for row in rows:
+            rs = row[1]
+            assert isinstance(rs, ListValue)
+            assert len(rs) == 2
+
+    def test_hop_bounds(self, diamond):
+        graph, *_ = diamond
+        _, one_hop = expand(graph, "MATCH (s:Start)-[:R*1..1]->(x)")
+        assert len(one_hop) == 2
+        _, up_to_two = expand(graph, "MATCH (s:Start)-[:R*1..2]->(x)")
+        assert len(up_to_two) == 4
+
+    def test_zero_length(self, diamond):
+        graph, (a, *_), _ = diamond
+        _, rows = expand(graph, "MATCH (s:Start)-[:R*0..1]->(x)")
+        assert (a, a) in rows  # the empty trail
+
+    def test_uniqueness_against_single_edges(self, diamond):
+        graph, _, _ = diamond
+        # the single edge binds one diamond edge; the var-length segment
+        # must avoid it
+        _, rows = expand(graph, "MATCH (x)-[r:R]->(y)-[rs:R*]->(z)")
+        for row in rows:
+            assert row[1] not in set(row[3])
+
+
+class TestAgainstCompiledPipeline:
+    QUERIES = [
+        "MATCH (x)-[r:R]->(y) RETURN x, r, y",
+        "MATCH (s:Start)-[:R]->(m)-[:R]->(e) RETURN s, m, e",
+        "MATCH (s:Start)-[:R*1..3]->(x) RETURN s, x",
+        "MATCH (m:Mid) WHERE m.k > 2 RETURN m",
+        "MATCH (x)-[:R]-(y) RETURN x, y",
+        "MATCH (x) WHERE x.k IN [1, 3] RETURN x",
+        "MATCH (x)-[r:R]->(y) WHERE r.w IS NOT NULL RETURN x, y",
+        "MATCH (m) WHERE size(labels(m)) = 1 RETURN m",
+        "MATCH (x)-[:R]->(y) WHERE NOT (y.k = 4) RETURN x, y",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_matcher_agrees_with_interpreter(self, diamond, query):
+        graph, *_ = diamond
+        engine = QueryEngine(graph)
+        oracle = sorted(engine.evaluate(query).rows(), key=repr)
+        tree = parse(query)
+        clause = tree.clauses[0]
+        matcher = PatternMatcher(
+            graph, clause.pattern, EMPTY, GraphResolver(graph), clause.where
+        )
+        names = list(matcher.output_schema.names)
+        wanted = [
+            item.expression.name for item in tree.return_clause.body.items
+        ]
+        indices = [names.index(w) for w in wanted]
+        mine = sorted(
+            (tuple(row[i] for i in indices) for row in matcher.expand((), CTX)),
+            key=repr,
+        )
+        assert mine == oracle

@@ -1,0 +1,120 @@
+"""MERGE semantics: match-or-create, ON CREATE / ON MATCH, per-row visibility."""
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import CypherSemanticError
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine(PropertyGraph())
+
+
+class TestMergeNode:
+    def test_creates_when_absent(self, engine):
+        result = engine.execute("MERGE (t:Tag {name: 'x'}) RETURN t")
+        assert result.summary.nodes_created == 1
+        assert engine.graph.vertex_count == 1
+
+    def test_matches_when_present(self, engine):
+        engine.execute("CREATE (t:Tag {name: 'x'})")
+        result = engine.execute("MERGE (t:Tag {name: 'x'}) RETURN t")
+        assert result.summary.nodes_created == 0
+        assert engine.graph.vertex_count == 1
+
+    def test_property_mismatch_creates(self, engine):
+        engine.execute("CREATE (t:Tag {name: 'x'})")
+        engine.execute("MERGE (t:Tag {name: 'y'})")
+        assert engine.graph.vertex_count == 2
+
+    def test_merge_sees_own_creations_across_rows(self, engine):
+        engine.execute("UNWIND [1, 2, 3] AS i MERGE (t:Tag {name: 'only'})")
+        assert engine.graph.vertex_count == 1
+
+    def test_merge_matches_all_rows(self, engine):
+        engine.execute("CREATE (a:Tag {name: 'x', id: 1})")
+        engine.execute("CREATE (b:Tag {name: 'x', id: 2})")
+        result = engine.execute("MERGE (t:Tag {name: 'x'}) RETURN t.id AS i")
+        assert sorted(r[0] for r in result.rows()) == [1, 2]
+
+    def test_on_create_set(self, engine):
+        engine.execute(
+            "MERGE (t:Tag {name: 'x'}) ON CREATE SET t.created = TRUE"
+        )
+        assert engine.evaluate(
+            "MATCH (t:Tag) RETURN t.created AS c"
+        ).rows() == [(True,)]
+
+    def test_on_match_set(self, engine):
+        engine.execute("CREATE (t:Tag {name: 'x', hits: 0})")
+        engine.execute("MERGE (t:Tag {name: 'x'}) ON MATCH SET t.hits = t.hits + 1")
+        assert engine.evaluate("MATCH (t:Tag) RETURN t.hits AS h").rows() == [(1,)]
+
+    def test_on_create_not_applied_on_match(self, engine):
+        engine.execute("CREATE (t:Tag {name: 'x'})")
+        engine.execute("MERGE (t:Tag {name: 'x'}) ON CREATE SET t.created = TRUE")
+        assert engine.evaluate(
+            "MATCH (t:Tag) RETURN t.created AS c"
+        ).rows() == [(None,)]
+
+
+class TestMergeRelationship:
+    @pytest.fixture
+    def engine_pair(self, engine):
+        engine.execute("CREATE (a:A {k: 1}), (b:B {k: 2})")
+        return engine
+
+    def test_creates_relationship(self, engine_pair):
+        result = engine_pair.execute(
+            "MATCH (a:A), (b:B) MERGE (a)-[r:KNOWS]->(b) RETURN r"
+        )
+        assert result.summary.relationships_created == 1
+
+    def test_idempotent(self, engine_pair):
+        for _ in range(3):
+            engine_pair.execute("MATCH (a:A), (b:B) MERGE (a)-[:KNOWS]->(b)")
+        assert engine_pair.graph.edge_count == 1
+
+    def test_direction_respected(self, engine_pair):
+        engine_pair.execute("MATCH (a:A), (b:B) MERGE (a)-[:KNOWS]->(b)")
+        engine_pair.execute("MATCH (a:A), (b:B) MERGE (b)-[:KNOWS]->(a)")
+        assert engine_pair.graph.edge_count == 2
+
+    def test_merge_longer_path_all_or_nothing(self, engine_pair):
+        # (a)-[:R]->(m:M)-[:R]->(b) does not exist: whole pattern created
+        result = engine_pair.execute(
+            "MATCH (a:A), (b:B) MERGE (a)-[:R]->(m:M)-[:R]->(b) RETURN m"
+        )
+        assert result.summary.nodes_created == 1
+        assert result.summary.relationships_created == 2
+        # now it exists: nothing created
+        again = engine_pair.execute(
+            "MATCH (a:A), (b:B) MERGE (a)-[:R]->(m:M)-[:R]->(b) RETURN m"
+        )
+        assert not again.summary.contains_updates
+
+    def test_partial_pattern_still_creates_whole(self, engine_pair):
+        engine_pair.execute("MATCH (a:A) CREATE (a)-[:R]->(m:M)")
+        # half the pattern exists; MERGE must create the *whole* pattern anew
+        result = engine_pair.execute(
+            "MATCH (a:A), (b:B) MERGE (a)-[:R]->(m:M)-[:R]->(b)"
+        )
+        assert result.summary.nodes_created == 1
+        assert result.summary.relationships_created == 2
+
+    def test_merge_undirected_rejected(self, engine_pair):
+        with pytest.raises(CypherSemanticError):
+            engine_pair.execute("MATCH (a:A), (b:B) MERGE (a)-[:KNOWS]-(b)")
+
+    def test_merge_varlength_rejected(self, engine_pair):
+        with pytest.raises(CypherSemanticError):
+            engine_pair.execute("MATCH (a:A), (b:B) MERGE (a)-[:KNOWS*2]->(b)")
+
+    def test_merge_drives_live_views(self, engine_pair):
+        view = engine_pair.register("MATCH (a:A)-[:KNOWS]->(b:B) RETURN a, b")
+        assert view.rows() == []
+        engine_pair.execute("MATCH (a:A), (b:B) MERGE (a)-[:KNOWS]->(b)")
+        assert len(view.rows()) == 1
+        engine_pair.execute("MATCH (a:A), (b:B) MERGE (a)-[:KNOWS]->(b)")
+        assert len(view.rows()) == 1  # idempotent

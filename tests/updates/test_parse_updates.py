@@ -1,0 +1,158 @@
+"""Parsing and unparsing of updating clauses."""
+
+import pytest
+
+from repro.cypher import ast
+from repro.cypher.parser import parse
+from repro.cypher.unparser import unparse
+from repro.errors import CypherSyntaxError, UnsupportedFeatureError
+
+
+def roundtrips(text: str) -> ast.AstNode:
+    tree = parse(text)
+    assert parse(unparse(tree)) == tree
+    return tree
+
+
+class TestCreate:
+    def test_create_single_node(self):
+        tree = roundtrips("CREATE (n:Post {lang: 'en'})")
+        assert isinstance(tree, ast.UpdatingQuery)
+        assert tree.return_clause is None
+        (clause,) = tree.clauses
+        assert isinstance(clause, ast.CreateClause)
+
+    def test_create_with_return(self):
+        tree = roundtrips("CREATE (n:Post) RETURN n")
+        assert isinstance(tree, ast.UpdatingQuery)
+        assert tree.return_clause is not None
+
+    def test_create_relationship_pattern(self):
+        tree = roundtrips("CREATE (a)-[r:REPLY {w: 1}]->(b)")
+        clause = tree.clauses[0]
+        part = clause.pattern.parts[0]
+        rel = part.relationships[0]
+        assert rel.types == ("REPLY",)
+        assert rel.direction == "out"
+
+    def test_create_multiple_parts(self):
+        tree = roundtrips("CREATE (a:X), (b:Y), (a)-[:Z]->(b)")
+        assert len(tree.clauses[0].pattern.parts) == 3
+
+    def test_match_create(self):
+        tree = roundtrips("MATCH (p:Post) CREATE (c:Comm)-[:REPLY]->(p)")
+        assert isinstance(tree.clauses[0], ast.MatchClause)
+        assert isinstance(tree.clauses[1], ast.CreateClause)
+
+
+class TestDelete:
+    def test_delete(self):
+        tree = roundtrips("MATCH (n:Tag) DELETE n")
+        clause = tree.clauses[1]
+        assert isinstance(clause, ast.DeleteClause)
+        assert not clause.detach
+
+    def test_detach_delete(self):
+        tree = roundtrips("MATCH (n) DETACH DELETE n")
+        assert tree.clauses[1].detach
+
+    def test_delete_multiple_targets(self):
+        tree = roundtrips("MATCH (a)-[r]->(b) DELETE r, a, b")
+        assert len(tree.clauses[1].expressions) == 3
+
+
+class TestSet:
+    def test_set_property(self):
+        tree = roundtrips("MATCH (n) SET n.lang = 'de'")
+        item = tree.clauses[1].items[0]
+        assert isinstance(item, ast.SetProperty)
+        assert item.target.key == "lang"
+
+    def test_set_labels(self):
+        tree = roundtrips("MATCH (n) SET n:Pinned:Hot")
+        item = tree.clauses[1].items[0]
+        assert isinstance(item, ast.SetLabels)
+        assert item.labels == ("Pinned", "Hot")
+
+    def test_set_properties_replace(self):
+        tree = roundtrips("MATCH (n) SET n = {a: 1}")
+        item = tree.clauses[1].items[0]
+        assert isinstance(item, ast.SetProperties)
+        assert not item.merge
+
+    def test_set_properties_merge(self):
+        tree = roundtrips("MATCH (n) SET n += {a: 1}")
+        item = tree.clauses[1].items[0]
+        assert isinstance(item, ast.SetProperties)
+        assert item.merge
+
+    def test_set_multiple_items(self):
+        tree = roundtrips("MATCH (n) SET n.a = 1, n:L, n += {b: 2}")
+        assert len(tree.clauses[1].items) == 3
+
+
+class TestRemove:
+    def test_remove_property(self):
+        tree = roundtrips("MATCH (n) REMOVE n.lang")
+        item = tree.clauses[1].items[0]
+        assert isinstance(item, ast.RemoveProperty)
+
+    def test_remove_labels(self):
+        tree = roundtrips("MATCH (n) REMOVE n:Pinned")
+        item = tree.clauses[1].items[0]
+        assert isinstance(item, ast.RemoveLabels)
+
+
+class TestMerge:
+    def test_merge_plain(self):
+        tree = roundtrips("MERGE (t:Tag {name: 'x'})")
+        clause = tree.clauses[0]
+        assert isinstance(clause, ast.MergeClause)
+        assert clause.on_create == () and clause.on_match == ()
+
+    def test_merge_with_actions(self):
+        tree = roundtrips(
+            "MERGE (t:Tag {name: 'x'}) "
+            "ON CREATE SET t.n = 1 ON MATCH SET t.n = t.n + 1"
+        )
+        clause = tree.clauses[0]
+        assert len(clause.on_create) == 1
+        assert len(clause.on_match) == 1
+
+    def test_merge_relationship(self):
+        tree = roundtrips("MATCH (a:X), (b:Y) MERGE (a)-[r:KNOWS]->(b) RETURN r")
+        clause = tree.clauses[1]
+        assert isinstance(clause, ast.MergeClause)
+
+
+class TestErrors:
+    def test_reading_query_unchanged(self):
+        tree = parse("MATCH (n) RETURN n")
+        assert isinstance(tree, ast.Query)
+
+    def test_update_without_trailing_return_or_update_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("CREATE (n) MATCH (m)")
+
+    def test_union_of_updates_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("CREATE (n) UNION CREATE (m)")
+
+    def test_bare_match_still_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n)")
+
+    def test_set_needs_assignment(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n) SET n.x")
+
+    def test_remove_rejects_arbitrary_expression(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n) REMOVE 1 + 2")
+
+    def test_compile_query_rejects_updates(self):
+        from repro import compile_query
+        from repro.errors import CypherSemanticError
+
+        with pytest.raises(CypherSemanticError):
+            compile_query("CREATE (n:Post)")

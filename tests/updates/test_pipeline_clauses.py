@@ -1,0 +1,163 @@
+"""Reading clauses inside updating queries: UNWIND, WITH, OPTIONAL MATCH,
+aggregation, RETURN modifiers — plus end-to-end view integration."""
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import CypherSemanticError
+from repro.graph.values import ListValue
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine(PropertyGraph())
+
+
+class TestUnwind:
+    def test_unwind_create(self, engine):
+        result = engine.execute(
+            "UNWIND ['en', 'de', 'fr'] AS lang CREATE (p:Post {lang: lang})"
+        )
+        assert result.summary.nodes_created == 3
+
+    def test_unwind_null_produces_no_rows(self, engine):
+        result = engine.execute("UNWIND NULL AS x CREATE (p:Post)")
+        assert result.summary.nodes_created == 0
+
+    def test_unwind_scalar_single_row(self, engine):
+        result = engine.execute("UNWIND 5 AS x CREATE (p:Post {v: x})")
+        assert result.summary.nodes_created == 1
+
+    def test_unwind_rebinding_rejected(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.execute("UNWIND [1] AS x UNWIND [2] AS x CREATE (p:Post)")
+
+
+class TestWith:
+    def test_with_projects_bindings(self, engine):
+        engine.execute("UNWIND [1, 2, 3] AS i CREATE (p:Post {v: i})")
+        result = engine.execute(
+            "MATCH (p:Post) WITH p.v * 10 AS scaled CREATE (q:Scaled {v: scaled})"
+        )
+        assert result.summary.nodes_created == 3
+        values = engine.evaluate("MATCH (q:Scaled) RETURN q.v AS v").rows()
+        assert sorted(v for (v,) in values) == [10, 20, 30]
+
+    def test_with_where_filters(self, engine):
+        engine.execute("UNWIND [1, 2, 3, 4] AS i CREATE (p:Post {v: i})")
+        result = engine.execute(
+            "MATCH (p:Post) WITH p WHERE p.v > 2 SET p:Big"
+        )
+        assert result.summary.labels_added == 2
+
+    def test_with_aggregate_group(self, engine):
+        engine.execute(
+            "UNWIND [['en', 1], ['en', 2], ['de', 3]] AS row "
+            "CREATE (p:Post {lang: row[0], v: row[1]})"
+        )
+        engine.execute(
+            "MATCH (p:Post) WITH p.lang AS lang, count(*) AS n "
+            "CREATE (s:Stat {lang: lang, n: n})"
+        )
+        rows = engine.evaluate(
+            "MATCH (s:Stat) RETURN s.lang AS lang, s.n AS n"
+        ).rows()
+        assert sorted(rows) == [("de", 1), ("en", 2)]
+
+    def test_with_distinct(self, engine):
+        engine.execute("UNWIND [1, 1, 2] AS i CREATE (p:Post {v: i})")
+        result = engine.execute(
+            "MATCH (p:Post) WITH DISTINCT p.v AS v CREATE (d:D {v: v})"
+        )
+        assert result.summary.nodes_created == 2
+
+    def test_with_limit_orders_first(self, engine):
+        engine.execute("UNWIND [3, 1, 2] AS i CREATE (p:Post {v: i})")
+        engine.execute(
+            "MATCH (p:Post) WITH p ORDER BY p.v LIMIT 1 SET p:Smallest"
+        )
+        assert engine.evaluate(
+            "MATCH (p:Smallest) RETURN p.v AS v"
+        ).rows() == [(1,)]
+
+
+class TestOptionalMatch:
+    def test_optional_preserves_row(self, engine):
+        engine.execute("CREATE (a:A)")
+        result = engine.execute(
+            "MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(m) "
+            "CREATE (log:Log {found: m IS NOT NULL})"
+        )
+        assert result.summary.nodes_created == 1
+        assert engine.evaluate(
+            "MATCH (l:Log) RETURN l.found AS f"
+        ).rows() == [(False,)]
+
+
+class TestReturnModifiers:
+    def test_return_order_by_desc_limit(self, engine):
+        engine.execute("UNWIND [1, 2, 3] AS i CREATE (p:Post {v: i})")
+        result = engine.execute(
+            "MATCH (p:Post) SET p.v = p.v * 2 "
+            "RETURN p.v AS v ORDER BY v DESC LIMIT 2"
+        )
+        assert result.rows() == [(6,), (4,)]
+
+    def test_return_aggregate(self, engine):
+        result = engine.execute(
+            "UNWIND [1, 2, 3] AS i CREATE (p:Post {v: i}) "
+            "RETURN count(*) AS n, sum(i) AS total"
+        )
+        assert result.rows() == [(3, 6)]
+
+    def test_return_collect(self, engine):
+        result = engine.execute(
+            "UNWIND [2, 1] AS i CREATE (p:Post {v: i}) RETURN collect(i) AS vs"
+        )
+        ((collected,),) = result.rows()
+        assert isinstance(collected, ListValue)
+        assert sorted(collected) == [1, 2]
+
+    def test_return_distinct(self, engine):
+        result = engine.execute(
+            "UNWIND [1, 1, 2] AS i MERGE (p:Post {v: i}) RETURN DISTINCT i"
+        )
+        assert sorted(result.rows()) == [(1,), (2,)]
+
+
+class TestViewIntegration:
+    def test_update_stream_keeps_views_consistent(self, engine):
+        view = engine.register(
+            "MATCH (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang "
+            "RETURN p, c"
+        )
+        engine.execute("CREATE (p:Post {lang: 'en'})")
+        engine.execute(
+            "MATCH (p:Post) CREATE (p)<-[:REPLY]-(c:Comm {lang: 'en'})"
+        )
+        assert view.rows() == []  # REPLY points Comm -> Post, pattern is Post -> Comm
+        engine.execute("MATCH (c:Comm) MATCH (p:Post) CREATE (p)-[:REPLY]->(c)")
+        assert len(view.rows()) == 1
+        engine.execute("MATCH (c:Comm) SET c.lang = 'hu'")
+        assert view.rows() == []
+        engine.execute("MATCH (c:Comm) SET c.lang = 'en'")
+        assert len(view.rows()) == 1
+        engine.execute("MATCH (c:Comm) DETACH DELETE c")
+        assert view.rows() == []
+
+    def test_incremental_matches_recompute_after_updates(self, engine):
+        query = (
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) "
+            "RETURN p.lang AS pl, c.lang AS cl"
+        )
+        view = engine.register(query)
+        statements = [
+            "CREATE (p:Post {lang: 'en'})-[:REPLY]->(c:Comm {lang: 'en'})",
+            "CREATE (p:Post {lang: 'de'})-[:REPLY]->(c:Comm {lang: 'en'})",
+            "MATCH (c:Comm {lang: 'en'}) SET c.lang = 'de'",
+            "MATCH (p:Post {lang: 'en'})-[r:REPLY]->() DELETE r",
+            "MATCH (p:Post) MATCH (c:Comm) MERGE (p)-[:REPLY]->(c)",
+        ]
+        for statement in statements:
+            engine.execute(statement)
+            assert sorted(view.rows()) == sorted(engine.evaluate(query).rows())

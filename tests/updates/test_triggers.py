@@ -1,0 +1,89 @@
+"""Triggers: view change-callbacks issuing follow-up write queries."""
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import EvaluationError
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine(PropertyGraph())
+
+
+class TestTriggers:
+    def test_trigger_writes_join_outer_transaction(self, engine):
+        watched = engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        reactions = engine.register("MATCH (a:Alert) RETURN a.lang AS lang")
+
+        def react(delta):
+            for (lang,), multiplicity in delta.items():
+                if multiplicity > 0 and lang == "spam":
+                    engine.execute(
+                        "CREATE (a:Alert {lang: $lang})",
+                        parameters={"lang": lang},
+                    )
+
+        watched.on_change(react)
+        engine.execute("CREATE (p:Post {lang: 'en'})")
+        assert reactions.rows() == []
+        engine.execute("CREATE (p:Post {lang: 'spam'})")
+        assert reactions.rows() == [("spam",)]
+
+    def test_failed_outer_rolls_back_trigger_writes(self, engine):
+        watched = engine.register("MATCH (p:Post) RETURN p")
+
+        def react(delta):
+            # a well-formed trigger reacts to *insertions*; compensation
+            # deltas during rollback have negative multiplicities
+            if any(m > 0 for _, m in delta.items()):
+                engine.execute("CREATE (a:Alert)")
+
+        watched.on_change(react)
+        # the CREATE fires the trigger, then DELETE of a still-connected
+        # vertex fails -> the whole statement, trigger writes included,
+        # must roll back
+        engine.execute("CREATE (x:Post)-[:R]->(y:Other)")
+        vertices_before = engine.graph.stats()["vertices"]
+        from repro.errors import DanglingEdgeError
+
+        with pytest.raises(DanglingEdgeError):
+            engine.execute("CREATE (p:Post) WITH p MATCH (x:Post)-[:R]->() DELETE x")
+        assert engine.graph.stats()["vertices"] == vertices_before
+        assert sorted(watched.rows(), key=repr) == sorted(
+            engine.evaluate("MATCH (p:Post) RETURN p").rows(), key=repr
+        )
+
+    def test_trigger_cascade_two_levels(self, engine):
+        level1 = engine.register("MATCH (a:A) RETURN a")
+        level2 = engine.register("MATCH (b:B) RETURN b")
+        level1.on_change(lambda d: engine.execute("CREATE (b:B)"))
+        level2.on_change(lambda d: engine.execute("CREATE (c:C)"))
+        engine.execute("CREATE (a:A)")
+        assert engine.evaluate("MATCH (c:C) RETURN count(*) AS n").rows() == [(1,)]
+
+
+class TestProfile:
+    def test_profile_lists_nodes_and_traffic(self, engine):
+        view = engine.register(
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+        )
+        engine.execute(
+            "CREATE (p:Post {lang: 'en'})-[:REPLY]->(c:Comm {lang: 'en'})"
+        )
+        text = view.profile()
+        assert "Join" in text
+        assert "Production" in text
+        assert "(shared)" in text
+        # traffic column reflects the insertion
+        assert any(
+            line.split()[-3] != "0" for line in text.splitlines()[2:]
+        )
+
+    def test_emit_counters_accumulate(self, engine):
+        view = engine.register("MATCH (p:Post) RETURN p")
+        root = view.network.all_nodes[-1]  # production
+        engine.execute("CREATE (p:Post)")
+        engine.execute("CREATE (p:Post)")
+        total_rows = sum(n.emitted_rows for n in view.network.all_nodes)
+        assert total_rows >= 2

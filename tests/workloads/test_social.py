@@ -1,0 +1,78 @@
+"""Tests for the social-network workload (the running-example domain)."""
+
+import pytest
+
+from repro import QueryEngine
+from repro.workloads import social
+
+
+@pytest.fixture(scope="module")
+def network():
+    return social.generate_social(persons=6, posts_per_person=2, comments_per_post=4, seed=3)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = social.generate_social(persons=4, seed=9)
+        b = social.generate_social(persons=4, seed=9)
+        assert a.graph.stats() == b.graph.stats()
+
+    def test_shape(self, network):
+        assert len(network.persons) == 6
+        assert len(network.posts) == 12
+        assert len(network.comments) == 48
+        assert network.graph.edge_types() >= {"REPLY", "KNOWS", "LIKES", "HAS_CREATOR"}
+
+    def test_reply_edges_form_trees(self, network):
+        # every comment has exactly one incoming REPLY edge (its parent)
+        for comment in network.comments:
+            parents = list(network.graph.in_edges(comment, "REPLY"))
+            assert len(parents) == 1
+
+    def test_langs_assigned(self, network):
+        for post in network.posts:
+            assert network.graph.vertex_property(post, "lang") in social.LANGS
+
+
+class TestQueriesAndUpdates:
+    def test_all_queries_incremental_and_correct(self, network):
+        engine = QueryEngine(network.graph)
+        for name, query in social.QUERIES.items():
+            assert engine.compile(query).is_incremental, name
+            view = engine.register(query)
+            assert view.multiset() == engine.evaluate(query).multiset(), name
+            view.detach()
+
+    def test_add_comment_grows_thread_view(self):
+        net = social.generate_social(persons=2, posts_per_person=1, comments_per_post=1, seed=4)
+        engine = QueryEngine(net.graph)
+        view = engine.register(social.RUNNING_EXAMPLE_QUERY)
+        before = len(view.rows())
+        post = net.posts[0]
+        lang = net.graph.vertex_property(post, "lang")
+        social.add_comment(net, post, lang)
+        assert len(view.rows()) == before + 1
+
+    def test_delete_subtree_removes_descendants(self):
+        net = social.generate_social(persons=2, posts_per_person=1, comments_per_post=0, seed=5)
+        post = net.posts[0]
+        top = social.add_comment(net, post, "en")
+        child = social.add_comment(net, top, "en")
+        grandchild = social.add_comment(net, child, "en")
+        removed = social.delete_comment_subtree(net, top)
+        assert removed == 3
+        for comment in (top, child, grandchild):
+            assert not net.graph.has_vertex(comment)
+        assert net.comments == []
+
+    def test_update_stream_keeps_views_consistent(self):
+        net = social.generate_social(persons=4, posts_per_person=1, comments_per_post=2, seed=6)
+        engine = QueryEngine(net.graph)
+        views = {name: engine.register(q) for name, q in social.QUERIES.items()}
+        kinds = set()
+        for kind in social.update_stream(net, 80, seed=8):
+            kinds.add(kind)
+        # the mix exercised several operation kinds
+        assert {"add_comment", "change_lang", "like"} <= kinds
+        for name, query in social.QUERIES.items():
+            assert views[name].multiset() == engine.evaluate(query).multiset(), name

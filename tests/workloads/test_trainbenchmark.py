@@ -1,0 +1,111 @@
+"""Tests for the Train Benchmark workload: generator shape, query
+correctness, inject/repair round trips under incremental maintenance."""
+
+import random
+
+import pytest
+
+from repro import QueryEngine
+from repro.workloads import trainbenchmark as tb
+
+
+@pytest.fixture(scope="module")
+def model():
+    return tb.generate_railway(routes=8, seed=42)
+
+
+@pytest.fixture(scope="module")
+def engine(model):
+    return QueryEngine(model.graph)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = tb.generate_railway(routes=3, seed=7)
+        b = tb.generate_railway(routes=3, seed=7)
+        assert a.graph.stats() == b.graph.stats()
+        assert set(a.graph.vertices("Route")) == set(b.graph.vertices("Route"))
+
+    def test_size_scales_with_routes(self):
+        small = tb.generate_railway(routes=2, seed=1)
+        large = tb.generate_railway(routes=8, seed=1)
+        assert large.graph.vertex_count > 3 * small.graph.vertex_count
+
+    def test_schema_labels_present(self, model):
+        labels = model.graph.labels()
+        assert {
+            "Route",
+            "Semaphore",
+            "Switch",
+            "SwitchPosition",
+            "Segment",
+            "Sensor",
+            "TrackElement",
+        } <= labels
+
+    def test_switches_are_track_elements(self, model):
+        for switch in model.switches:
+            assert model.graph.has_label(switch, "TrackElement")
+
+    def test_error_rates_zero_gives_clean_model(self):
+        clean = tb.generate_railway(
+            routes=5, seed=3, error_rates={name: 0.0 for name in tb.ERROR_RATES}
+        )
+        engine = QueryEngine(clean.graph)
+        for name, query in tb.QUERIES.items():
+            assert engine.evaluate(query).rows() == [], name
+
+    def test_default_rates_produce_violations(self, model, engine):
+        total = sum(len(engine.evaluate(q).rows()) for q in tb.QUERIES.values())
+        assert total > 0
+
+
+class TestQueries:
+    def test_all_queries_are_incremental(self, engine):
+        for name, query in tb.QUERIES.items():
+            assert engine.compile(query).is_incremental, name
+
+    def test_all_views_match_oracle(self, model, engine):
+        for name, query in tb.QUERIES.items():
+            view = engine.register(query)
+            assert view.multiset() == engine.evaluate(query).multiset(), name
+            view.detach()
+
+    def test_poslength_detects_exact_segments(self):
+        clean = tb.generate_railway(
+            routes=2, seed=5, error_rates={name: 0.0 for name in tb.ERROR_RATES}
+        )
+        engine = QueryEngine(clean.graph)
+        segment = clean.segments[0]
+        clean.graph.set_vertex_property(segment, "length", -1)
+        assert engine.evaluate(tb.QUERIES["PosLength"]).rows() == [(segment,)]
+
+
+@pytest.mark.parametrize("query_name", list(tb.QUERIES))
+def test_inject_repair_round_trip(query_name):
+    """inject creates violations the view sees; repair removes them —
+    with the view maintained incrementally throughout (E5/E6 semantics)."""
+    model = tb.generate_railway(
+        routes=5, seed=11, error_rates={name: 0.0 for name in tb.ERROR_RATES}
+    )
+    engine = QueryEngine(model.graph)
+    view = engine.register(tb.QUERIES[query_name])
+    assert view.rows() == []
+
+    rng = random.Random(13)
+    applied = tb.inject(model, query_name, 3, rng)
+    assert applied > 0
+    matches = view.rows()
+    assert matches, f"{query_name}: inject produced no violations"
+    assert view.multiset() == engine.evaluate(tb.QUERIES[query_name]).multiset()
+
+    tb.repair(model, query_name, matches, len(matches), rng)
+    assert view.rows() == [], f"{query_name}: repair left violations"
+    assert view.multiset() == engine.evaluate(tb.QUERIES[query_name]).multiset()
+
+
+def test_unknown_transformation_rejected(model):
+    with pytest.raises(ValueError):
+        tb.inject(model, "NoSuchQuery", 1, random.Random(0))
+    with pytest.raises(ValueError):
+        tb.repair(model, "NoSuchQuery", [], 1, random.Random(0))
