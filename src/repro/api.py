@@ -47,12 +47,36 @@ class QueryEngine:
         graph: PropertyGraph,
         transitive_mode: str = "trails",
         share_inputs: bool = True,
+        batch_transactions: bool = False,
     ):
         self.graph = graph
         self._incremental = IncrementalEngine(
-            graph, transitive_mode=transitive_mode, share_inputs=share_inputs
+            graph,
+            transitive_mode=transitive_mode,
+            share_inputs=share_inputs,
+            batch_transactions=batch_transactions,
         )
         self._plan_cache: dict[str, CompiledQuery] = {}
+
+    @property
+    def batch_transactions(self) -> bool:
+        """Whether transactions (and write queries) propagate as one batch."""
+        return self._incremental.batch_transactions
+
+    def batch(self):
+        """Defer view maintenance: one net delta per input node on exit.
+
+        >>> from repro import PropertyGraph, QueryEngine
+        >>> graph = PropertyGraph()
+        >>> engine = QueryEngine(graph)
+        >>> view = engine.register("MATCH (p:Post) RETURN p")
+        >>> with engine.batch():
+        ...     doomed = graph.add_vertex(labels=["Post"])
+        ...     graph.remove_vertex(doomed)  # cancels inside the batch
+        >>> view.rows()
+        []
+        """
+        return self._incremental.batch()
 
     def compile(self, query: str) -> CompiledQuery:
         """Compile (with caching) through GRA → NRA → FRA."""
@@ -82,8 +106,22 @@ class QueryEngine:
         """
         syntax = parse(query)
         if isinstance(syntax, ast.UpdatingQuery):
-            return UpdateExecutor(self.graph, parameters).execute(syntax)
+            return UpdateExecutor(
+                self.graph, parameters, batcher=self._update_batcher()
+            ).execute(syntax)
         return ExecutionResult(UpdateSummary(), self.evaluate(query, parameters))
+
+    def _update_batcher(self):
+        """Batch-scope factory handed to update executors.
+
+        With ``batch_transactions`` enabled, a write query's side effects
+        reach the views as one consolidated delta after its transaction
+        commits; otherwise ``None`` keeps the per-event path (and the
+        mid-query trigger semantics that come with it).
+        """
+        if self._incremental.batch_transactions:
+            return self._incremental.batch
+        return None
 
     def execute_script(
         self, script: str, parameters: Mapping[str, Any] | None = None
@@ -105,7 +143,9 @@ class QueryEngine:
             for statement in statements:
                 if isinstance(statement, ast.UpdatingQuery):
                     results.append(
-                        UpdateExecutor(self.graph, parameters).execute(statement)
+                        UpdateExecutor(
+                            self.graph, parameters, batcher=self._update_batcher()
+                        ).execute(statement)
                     )
                 else:
                     # round-trip through the unparser: read statements use

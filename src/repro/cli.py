@@ -199,6 +199,12 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     parser.add_argument(
         "--file", metavar="SCRIPT", help="run statements from SCRIPT and exit"
     )
+    parser.add_argument(
+        "--batch-transactions",
+        action="store_true",
+        help="propagate each write statement to incremental views as one "
+        "consolidated delta at commit (instead of per elementary change)",
+    )
     args = parser.parse_args(argv)
     out = stdout if stdout is not None else sys.stdout
 
@@ -208,7 +214,7 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
         graph = durable.graph
     else:
         graph = PropertyGraph()
-    engine = QueryEngine(graph)
+    engine = QueryEngine(graph, batch_transactions=args.batch_transactions)
     shell = Shell(engine, out, durable=durable)
 
     try:

@@ -88,3 +88,55 @@ class EdgePropertySet(GraphEvent):
     key: str
     old_value: Any
     new_value: Any
+
+
+# ---------------------------------------------------------------------------
+# Consolidated events (batching)
+# ---------------------------------------------------------------------------
+#
+# The store never emits the two events below.  They are produced by the
+# batching layer (:mod:`repro.rete.batch`), which coalesces a window of
+# elementary events into at most one *net* change per entity: an entity
+# created and destroyed inside the window vanishes entirely, and any number
+# of label/property events on a surviving entity collapse into a single
+# before → after transition.
+
+
+@dataclass(frozen=True, slots=True)
+class VertexChanged(GraphEvent):
+    """Net label/property transition of a vertex that survives a batch."""
+
+    vertex_id: int
+    before_labels: frozenset[str]
+    before_properties: Mapping[str, Any]
+    after_labels: frozenset[str]
+    after_properties: Mapping[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeChanged(GraphEvent):
+    """Net property transition of an edge that survives a batch."""
+
+    edge_id: int
+    source: int
+    target: int
+    edge_type: str
+    before_properties: Mapping[str, Any]
+    after_properties: Mapping[str, Any]
+
+
+def unwind_property_set(
+    properties: Mapping[str, Any],
+    event: "VertexPropertySet | EdgePropertySet",
+) -> dict[str, Any]:
+    """The property map as it stood *before* a property-set event.
+
+    Inverts one :class:`VertexPropertySet`/:class:`EdgePropertySet` against
+    the post-event map, honouring the ``None``-means-absent convention.
+    """
+    before = dict(properties)
+    if event.old_value is None:
+        before.pop(event.key, None)
+    else:
+        before[event.key] = event.old_value
+    return before

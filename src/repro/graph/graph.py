@@ -83,6 +83,7 @@ class PropertyGraph:
         self._next_vertex_id = 1
         self._next_edge_id = 1
         self._listeners: list[Listener] = []
+        self._tx_listeners: list[Callable[[str], None]] = []
         self._transaction: "Transaction | None" = None
         # user-created (label, key) → value → vertex ids
         self._property_indexes: dict[tuple[str, str], dict[Any, set[int]]] = {}
@@ -103,6 +104,24 @@ class PropertyGraph:
             self._transaction._record(event)
         for listener in self._listeners:
             listener(event)
+
+    def subscribe_transactions(self, listener: Callable[[str], None]) -> None:
+        """Register *listener* for transaction phases.
+
+        The listener is called with ``"begin"`` when a transaction scope
+        opens, ``"commit"`` after a clean close, and ``"rollback"`` after a
+        rollback's compensation events have all been applied.  The batching
+        engine uses this to propagate one consolidated delta per committed
+        transaction (and a guaranteed-empty one per rollback).
+        """
+        self._tx_listeners.append(listener)
+
+    def unsubscribe_transactions(self, listener: Callable[[str], None]) -> None:
+        self._tx_listeners.remove(listener)
+
+    def _notify_transaction(self, phase: str) -> None:
+        for listener in list(self._tx_listeners):
+            listener(phase)
 
     # ------------------------------------------------------------------
     # transactions

@@ -73,6 +73,7 @@ class Transaction:
             raise TransactionError("transaction cannot be reused")
         self._graph._begin_transaction(self)
         self._active = True
+        self._graph._notify_transaction("begin")
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -86,14 +87,21 @@ class Transaction:
     def commit(self) -> None:
         """End the scope, keeping all changes."""
         self._end()
+        self._graph._notify_transaction("commit")
 
     def rollback(self) -> None:
-        """Undo every recorded change, newest first."""
+        """Undo every recorded change, newest first.
+
+        Transaction listeners are notified only *after* all compensation
+        events have been applied, so a batching listener sees the doomed
+        changes and their inverses in one window — netting to nothing.
+        """
         self._end()
         graph = self._graph
         for event in reversed(self._log):
             _apply_inverse(graph, event)
         self._log.clear()
+        graph._notify_transaction("rollback")
 
     def _end(self) -> None:
         if not self._active:

@@ -1,7 +1,16 @@
 """Rete-style incremental view maintenance engine (paper §4, step 4)."""
 
+from .batch import BatchAccumulator, CoalescedBatch
 from .deltas import Delta
-from .engine import IncrementalEngine, View
+from .engine import BatchScope, IncrementalEngine, View
 from .network import ReteNetwork
 
-__all__ = ["Delta", "IncrementalEngine", "View", "ReteNetwork"]
+__all__ = [
+    "BatchAccumulator",
+    "BatchScope",
+    "CoalescedBatch",
+    "Delta",
+    "IncrementalEngine",
+    "View",
+    "ReteNetwork",
+]

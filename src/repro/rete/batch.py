@@ -1,0 +1,272 @@
+"""Transaction-batched delta propagation: event coalescing.
+
+Per-event maintenance pushes every elementary graph event through every
+view's network immediately.  Batch-oriented systems (MV4PG, Beyhl & Giese's
+GDN) amortise that overhead by propagating the *net* change of a whole
+update window instead.  This module supplies the first half of that
+pipeline: a :class:`BatchAccumulator` buffers elementary
+:class:`~repro.graph.events.GraphEvent`\\ s and consolidates them into a
+:class:`CoalescedBatch` holding **at most one net change per entity**:
+
+* an entity created *and* destroyed inside the window vanishes entirely
+  (the insert/delete pair cancels before any tuple is ever built),
+* any number of label/property events on one surviving entity collapse
+  into a single before → after transition
+  (:class:`~repro.graph.events.VertexChanged` /
+  :class:`~repro.graph.events.EdgeChanged`),
+* entities whose state round-trips back to the window-start value drop out.
+
+The second half lives in the input nodes
+(:meth:`~repro.rete.nodes.input.VertexInputNode.batch_delta`): each input
+signature translates the consolidated batch once, into one net
+:class:`~repro.rete.deltas.Delta`, which then makes a single trip through
+the network.
+
+Correctness of deferred translation
+-----------------------------------
+Elementary events are translated *eagerly* in per-event mode because input
+nodes consult the live graph for state the event doesn't carry.  Deferred
+translation is sound because consolidation restores that invariant at
+flush time: the graph then holds exactly the *after* state of every
+consolidated record, and the *before* state of every changed or removed
+vertex is carried explicitly (``vertex_before_labels`` /
+``vertex_before_properties``), so retraction tuples can be rebuilt exactly
+as they were originally asserted — including for edges whose endpoints
+changed or disappeared within the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..graph import events as ev
+from ..graph.graph import PropertyGraph
+
+
+@dataclass(frozen=True, slots=True)
+class CoalescedBatch:
+    """The net effect of one update window, ready for translation.
+
+    ``vertex_events`` / ``edge_events`` contain at most one record per
+    entity: ``VertexAdded``/``EdgeAdded`` carry the entity's *final* state,
+    ``VertexRemoved``/``EdgeRemoved`` its *window-start* state, and
+    ``VertexChanged``/``EdgeChanged`` both.  The two override maps expose
+    the window-start labels/properties of every vertex that changed or
+    disappeared, for rebuilding edge retraction tuples whose endpoints no
+    longer hold their old state.
+    """
+
+    vertex_events: tuple[ev.GraphEvent, ...] = ()
+    edge_events: tuple[ev.GraphEvent, ...] = ()
+    vertex_before_labels: dict[int, frozenset[str]] = field(default_factory=dict)
+    vertex_before_properties: dict[int, dict[str, Any]] = field(default_factory=dict)
+    #: elementary events consumed to produce this batch (for reporting)
+    raw_events: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.vertex_events or self.edge_events)
+
+
+class _VertexTrace:
+    """What we must remember about a vertex touched inside the window."""
+
+    __slots__ = ("existed_before", "before_labels", "before_properties")
+
+    def __init__(self, existed_before, before_labels, before_properties):
+        self.existed_before = existed_before
+        self.before_labels = before_labels
+        self.before_properties = before_properties
+
+
+class _EdgeTrace:
+    """What we must remember about an edge touched inside the window."""
+
+    __slots__ = ("existed_before", "source", "target", "edge_type", "before_properties")
+
+    def __init__(self, existed_before, source, target, edge_type, before_properties):
+        self.existed_before = existed_before
+        self.source = source
+        self.target = target
+        self.edge_type = edge_type
+        self.before_properties = before_properties
+
+
+class BatchAccumulator:
+    """Buffers one window of elementary events and consolidates them.
+
+    ``record`` must be called synchronously from the graph's event stream
+    (the store has just applied the mutation), because the first touch of a
+    pre-existing entity snapshots its window-start state by unwinding the
+    triggering event from the *current* graph state.  After the first touch
+    only liveness matters — final state is read from the graph at
+    :meth:`consolidate` time.
+    """
+
+    def __init__(self, graph: PropertyGraph):
+        self.graph = graph
+        self._vertices: dict[int, _VertexTrace] = {}
+        self._edges: dict[int, _EdgeTrace] = {}
+        self._raw_events = 0
+
+    def __bool__(self) -> bool:
+        return self._raw_events > 0
+
+    def __len__(self) -> int:
+        return self._raw_events
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, event: ev.GraphEvent) -> None:
+        self._raw_events += 1
+        if isinstance(event, ev.VertexAdded):
+            if event.vertex_id not in self._vertices:
+                self._vertices[event.vertex_id] = _VertexTrace(False, None, None)
+        elif isinstance(event, ev.VertexRemoved):
+            if event.vertex_id not in self._vertices:
+                self._vertices[event.vertex_id] = _VertexTrace(
+                    True, event.labels, dict(event.properties)
+                )
+        elif isinstance(event, ev.VertexLabelAdded):
+            if event.vertex_id not in self._vertices:
+                labels = self.graph.labels_of(event.vertex_id)
+                self._vertices[event.vertex_id] = _VertexTrace(
+                    True,
+                    labels - {event.label},
+                    self.graph.vertex_properties(event.vertex_id),
+                )
+        elif isinstance(event, ev.VertexLabelRemoved):
+            if event.vertex_id not in self._vertices:
+                labels = self.graph.labels_of(event.vertex_id)
+                self._vertices[event.vertex_id] = _VertexTrace(
+                    True,
+                    labels | {event.label},
+                    self.graph.vertex_properties(event.vertex_id),
+                )
+        elif isinstance(event, ev.VertexPropertySet):
+            if event.vertex_id not in self._vertices:
+                self._vertices[event.vertex_id] = _VertexTrace(
+                    True,
+                    self.graph.labels_of(event.vertex_id),
+                    ev.unwind_property_set(
+                        self.graph.vertex_properties(event.vertex_id), event
+                    ),
+                )
+        elif isinstance(event, ev.EdgeAdded):
+            if event.edge_id not in self._edges:
+                self._edges[event.edge_id] = _EdgeTrace(
+                    False, event.source, event.target, event.edge_type, None
+                )
+        elif isinstance(event, ev.EdgeRemoved):
+            if event.edge_id not in self._edges:
+                self._edges[event.edge_id] = _EdgeTrace(
+                    True,
+                    event.source,
+                    event.target,
+                    event.edge_type,
+                    dict(event.properties),
+                )
+        elif isinstance(event, ev.EdgePropertySet):
+            if event.edge_id not in self._edges:
+                source, target = self.graph.endpoints(event.edge_id)
+                self._edges[event.edge_id] = _EdgeTrace(
+                    True,
+                    source,
+                    target,
+                    self.graph.type_of(event.edge_id),
+                    ev.unwind_property_set(
+                        self.graph.edge_properties(event.edge_id), event
+                    ),
+                )
+
+    # -- consolidation ------------------------------------------------------
+
+    def consolidate(self) -> CoalescedBatch:
+        """Classify every touched entity against the current graph state."""
+        graph = self.graph
+        vertex_events: list[ev.GraphEvent] = []
+        before_labels: dict[int, frozenset[str]] = {}
+        before_properties: dict[int, dict[str, Any]] = {}
+        for vertex_id, trace in self._vertices.items():
+            alive = graph.has_vertex(vertex_id)
+            if alive and trace.existed_before:
+                after_labels = graph.labels_of(vertex_id)
+                after_properties = graph.vertex_properties(vertex_id)
+                if (
+                    trace.before_labels != after_labels
+                    or trace.before_properties != after_properties
+                ):
+                    vertex_events.append(
+                        ev.VertexChanged(
+                            vertex_id,
+                            trace.before_labels,
+                            trace.before_properties,
+                            after_labels,
+                            after_properties,
+                        )
+                    )
+                    before_labels[vertex_id] = trace.before_labels
+                    before_properties[vertex_id] = trace.before_properties
+            elif alive:
+                vertex_events.append(
+                    ev.VertexAdded(
+                        vertex_id,
+                        graph.labels_of(vertex_id),
+                        graph.vertex_properties(vertex_id),
+                    )
+                )
+            elif trace.existed_before:
+                vertex_events.append(
+                    ev.VertexRemoved(
+                        vertex_id, trace.before_labels, trace.before_properties
+                    )
+                )
+                before_labels[vertex_id] = trace.before_labels
+                before_properties[vertex_id] = trace.before_properties
+            # else: created and destroyed inside the window — cancelled
+
+        edge_events: list[ev.GraphEvent] = []
+        for edge_id, trace in self._edges.items():
+            alive = graph.has_edge(edge_id)
+            if alive and trace.existed_before:
+                after_properties = graph.edge_properties(edge_id)
+                if trace.before_properties != after_properties:
+                    edge_events.append(
+                        ev.EdgeChanged(
+                            edge_id,
+                            trace.source,
+                            trace.target,
+                            trace.edge_type,
+                            trace.before_properties,
+                            after_properties,
+                        )
+                    )
+            elif alive:
+                source, target = graph.endpoints(edge_id)
+                edge_events.append(
+                    ev.EdgeAdded(
+                        edge_id,
+                        source,
+                        target,
+                        graph.type_of(edge_id),
+                        graph.edge_properties(edge_id),
+                    )
+                )
+            elif trace.existed_before:
+                edge_events.append(
+                    ev.EdgeRemoved(
+                        edge_id,
+                        trace.source,
+                        trace.target,
+                        trace.edge_type,
+                        trace.before_properties,
+                    )
+                )
+
+        return CoalescedBatch(
+            tuple(vertex_events),
+            tuple(edge_events),
+            before_labels,
+            before_properties,
+            self._raw_events,
+        )

@@ -1,9 +1,26 @@
 """The incremental query engine: registered views over a live graph.
 
 :class:`IncrementalEngine` owns one graph subscription and any number of
-registered views; every elementary graph change propagates synchronously
-through each view's Rete network, so ``View.rows()`` is always consistent
-with the current graph — the paper's IVM property.
+registered views.  By default every elementary graph change propagates
+synchronously through each view's Rete network, so ``View.rows()`` is
+always consistent with the current graph — the paper's IVM property.
+
+Batched propagation
+-------------------
+``engine.batch()`` opens a re-entrant scope that buffers elementary events
+instead.  On scope exit they are coalesced (:mod:`repro.rete.batch`) into
+one net delta per input signature — insert/delete pairs cancel before any
+tuple is built — which makes a single trip through every network, and each
+view's ``on_change`` callback fires **exactly once per batch** with the net
+output delta (or not at all when the batch nets to nothing).  Inside an
+open batch ``View.rows()`` is intentionally stale; it catches up at flush.
+
+With ``batch_transactions=True`` the engine additionally listens to
+:meth:`PropertyGraph.transaction` phases: every transaction scope becomes a
+batch that flushes at commit, and a rollback — whose compensation events
+land in the same window — nets to zero, leaving views untouched and
+callbacks silent.  The per-event path stays the default (and serves as the
+batch-size-1 ablation baseline).
 """
 
 from __future__ import annotations
@@ -11,9 +28,11 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from ..compiler.pipeline import CompiledQuery, compile_query
+from ..errors import TransactionError
 from ..eval.results import ResultTable
 from ..graph import events as ev
 from ..graph.graph import PropertyGraph
+from .batch import BatchAccumulator
 from .deltas import Delta
 from .network import ReteNetwork
 from .sharing import SharedInputLayer
@@ -83,12 +102,18 @@ class IncrementalEngine:
         graph: PropertyGraph,
         transitive_mode: str = "trails",
         share_inputs: bool = True,
+        batch_transactions: bool = False,
     ):
         self.graph = graph
         self.transitive_mode = transitive_mode
         self.input_layer = SharedInputLayer(graph) if share_inputs else None
         self._views: list[View] = []
         self._subscribed = False
+        self.batch_transactions = batch_transactions
+        self._accumulator: BatchAccumulator | None = None
+        self._batch_depth = 0
+        if batch_transactions:
+            graph.subscribe_transactions(self._on_transaction)
 
     def register(
         self,
@@ -103,6 +128,11 @@ class IncrementalEngine:
         """
         compiled = compile_query(query) if isinstance(query, str) else query
         compiled.require_incremental()
+        # A view joining mid-batch must not replay buffered changes that its
+        # initial population (which reads the live graph) already contains:
+        # flush the pending window to the existing views first.
+        if self._accumulator is not None and self._accumulator:
+            self._flush_pending()
         network = ReteNetwork(
             self.graph,
             compiled.plan,
@@ -119,10 +149,85 @@ class IncrementalEngine:
         return view
 
     def _on_event(self, event: ev.GraphEvent) -> None:
+        if self._accumulator is not None:
+            self._accumulator.record(event)
+            return
         if self.input_layer is not None:
             self.input_layer.dispatch(event)
         for view in self._views:
             view.network.dispatch(event)
+
+    # -- batched propagation --------------------------------------------------
+
+    def batch(self) -> "BatchScope":
+        """A re-entrant scope that defers propagation until exit.
+
+        All elementary events raised inside the scope are coalesced and
+        propagated as one net delta per input signature when the outermost
+        scope exits (even on exception — the mutations are already in the
+        graph, so the views must catch up).
+        """
+        return BatchScope(self)
+
+    @property
+    def in_batch(self) -> bool:
+        return self._batch_depth > 0
+
+    def _begin_batch(self) -> None:
+        self._batch_depth += 1
+        if self._batch_depth == 1:
+            self._accumulator = BatchAccumulator(self.graph)
+
+    def _end_batch(self) -> None:
+        if self._batch_depth == 0:
+            raise TransactionError("no batch is open")
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            accumulator, self._accumulator = self._accumulator, None
+            if accumulator is not None and accumulator:
+                self._propagate_batch(accumulator.consolidate())
+
+    def _flush_pending(self) -> None:
+        """Flush the open window mid-batch (see :meth:`register`)."""
+        accumulator = self._accumulator
+        self._accumulator = BatchAccumulator(self.graph)
+        self._propagate_batch(accumulator.consolidate())
+
+    def _propagate_batch(self, changes) -> None:
+        if not changes:
+            return
+        productions = [view.network.production for view in self._views]
+        for production in productions:
+            production.begin_batch()
+        try:
+            if self.input_layer is not None:
+                self.input_layer.dispatch_batch(changes)
+            for view in self._views:
+                view.network.dispatch_batch(changes)
+        finally:
+            # callbacks fire here, outside the dispatch loops; writes they
+            # issue land in the fresh accumulator (or per-event when none).
+            # One raising callback must not strand the other productions in
+            # batch mode, so every end_batch runs before the first error
+            # resurfaces.
+            error: BaseException | None = None
+            for production in productions:
+                try:
+                    production.end_batch()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if error is None:
+                        error = exc
+            if error is not None:
+                raise error
+
+    def _on_transaction(self, phase: str) -> None:
+        if phase == "begin":
+            self._begin_batch()
+        elif self._batch_depth > 0:
+            # commit or rollback (compensation already applied)
+            self._end_batch()
+        # else: the transaction predates this engine's subscription (it was
+        # constructed mid-transaction) — there is no matching batch to close
 
     def _detach(self, view: View) -> None:
         self._views.remove(view)
@@ -133,3 +238,20 @@ class IncrementalEngine:
     @property
     def views(self) -> tuple[View, ...]:
         return tuple(self._views)
+
+
+class BatchScope:
+    """Context manager returned by :meth:`IncrementalEngine.batch`."""
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: IncrementalEngine):
+        self._engine = engine
+
+    def __enter__(self) -> "BatchScope":
+        self._engine._begin_batch()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._engine._end_batch()
+        return False

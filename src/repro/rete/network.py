@@ -350,6 +350,18 @@ class ReteNetwork:
             for edge_node in self.edge_inputs:
                 edge_node.on_event(event)
 
+    def dispatch_batch(self, batch) -> None:
+        """Route one consolidated batch to this network's private inputs.
+
+        With a shared input layer the network owns no input nodes and this
+        is a no-op — the layer's own ``dispatch_batch`` feeds the shared
+        nodes instead.
+        """
+        for node in self.vertex_inputs:
+            node.emit(node.batch_delta(batch))
+        for edge_node in self.edge_inputs:
+            edge_node.emit(edge_node.batch_delta(batch))
+
     def profile(self) -> str:
         """PROFILE rendering: per-node traffic and memory counters.
 

@@ -143,17 +143,64 @@ class VertexInputNode(Node):
             delta.add(self._tuple(vertex_id, labels=current), 1)
         self.emit(delta)
 
+    def batch_delta(self, batch) -> Delta:
+        """Net delta for one :class:`~repro.rete.batch.CoalescedBatch`.
+
+        Added/removed records carry their full final/window-start state, so
+        translation never consults the graph for retracted vertices; changed
+        records become retract-before / assert-after pairs (which cancel in
+        the delta when no relevant column moved).
+        """
+        delta = Delta()
+        for event in batch.vertex_events:
+            if isinstance(event, ev.VertexAdded):
+                if self._matches(event.labels):
+                    delta.add(
+                        self._tuple(
+                            event.vertex_id,
+                            labels=event.labels,
+                            properties=dict(event.properties),
+                        ),
+                        1,
+                    )
+            elif isinstance(event, ev.VertexRemoved):
+                if self._matches(event.labels):
+                    delta.add(
+                        self._tuple(
+                            event.vertex_id,
+                            labels=event.labels,
+                            properties=dict(event.properties),
+                        ),
+                        -1,
+                    )
+            else:  # VertexChanged
+                if self._matches(event.before_labels):
+                    delta.add(
+                        self._tuple(
+                            event.vertex_id,
+                            labels=event.before_labels,
+                            properties=dict(event.before_properties),
+                        ),
+                        -1,
+                    )
+                if self._matches(event.after_labels):
+                    delta.add(
+                        self._tuple(
+                            event.vertex_id,
+                            labels=event.after_labels,
+                            properties=dict(event.after_properties),
+                        ),
+                        1,
+                    )
+        return delta
+
     def _property_change(self, event: ev.VertexPropertySet) -> None:
         if not (self._wants_properties or event.key in self._property_keys):
             return
         if not self._matches(self.graph.labels_of(event.vertex_id)):
             return
         after = self.graph.vertex_properties(event.vertex_id)
-        before = dict(after)
-        if event.old_value is None:
-            before.pop(event.key, None)
-        else:
-            before[event.key] = event.old_value
+        before = ev.unwind_property_set(after, event)
         delta = Delta()
         delta.add(self._tuple(event.vertex_id, properties=before), -1)
         delta.add(self._tuple(event.vertex_id, properties=after), 1)
@@ -345,6 +392,89 @@ class EdgeInputNode(Node):
         elif isinstance(event, ev.VertexPropertySet):
             self._endpoint_property_change(event)
 
+    def batch_delta(self, batch) -> Delta:
+        """Net delta for one :class:`~repro.rete.batch.CoalescedBatch`.
+
+        Edge records are translated against the final graph state, with the
+        batch's *before* override maps standing in for endpoints that
+        changed or disappeared inside the window.  A final sweep covers
+        surviving edges that were untouched themselves but hang off a
+        vertex whose labels/properties changed (each such edge exactly
+        once, even when both endpoints changed).
+        """
+        delta = Delta()
+        before_labels = batch.vertex_before_labels
+        before_properties = batch.vertex_before_properties
+        touched: set[int] = set()
+        for event in batch.edge_events:
+            touched.add(event.edge_id)
+            if not self._type_matches(event.edge_type):
+                continue
+            if isinstance(event, ev.EdgeAdded):
+                self._edge_delta(
+                    event.edge_id, event.source, event.target, 1, delta,
+                    edge_type=event.edge_type,
+                    edge_properties=dict(event.properties),
+                )
+            elif isinstance(event, ev.EdgeRemoved):
+                self._edge_delta(
+                    event.edge_id, event.source, event.target, -1, delta,
+                    edge_type=event.edge_type,
+                    edge_properties=dict(event.properties),
+                    vertex_labels=before_labels,
+                    vertex_properties=before_properties,
+                )
+            else:  # EdgeChanged
+                self._edge_delta(
+                    event.edge_id, event.source, event.target, -1, delta,
+                    edge_type=event.edge_type,
+                    edge_properties=dict(event.before_properties),
+                    vertex_labels=before_labels,
+                    vertex_properties=before_properties,
+                )
+                self._edge_delta(
+                    event.edge_id, event.source, event.target, 1, delta,
+                    edge_type=event.edge_type,
+                    edge_properties=dict(event.after_properties),
+                )
+        swept: set[int] = set()
+        for event in batch.vertex_events:
+            if not isinstance(event, ev.VertexChanged):
+                continue
+            if not self._endpoint_change_relevant(event):
+                continue
+            for edge_id in self.graph.incident_edges(event.vertex_id):
+                if edge_id in touched or edge_id in swept:
+                    continue
+                swept.add(edge_id)
+                if not self._type_matches(self.graph.type_of(edge_id)):
+                    continue
+                source, target = self.graph.endpoints(edge_id)
+                self._edge_delta(
+                    edge_id, source, target, -1, delta,
+                    vertex_labels=before_labels,
+                    vertex_properties=before_properties,
+                )
+                self._edge_delta(edge_id, source, target, 1, delta)
+        return delta
+
+    def _endpoint_change_relevant(self, event: ev.VertexChanged) -> bool:
+        """Whether a net endpoint transition can move this node's tuples."""
+        if event.before_labels != event.after_labels and self._relevant_label_change(
+            event.before_labels, event.after_labels
+        ):
+            return True
+        if event.before_properties != event.after_properties:
+            if self._wants_vertex_properties:
+                return True
+            keys = set(event.before_properties) | set(event.after_properties)
+            return any(
+                key in self._vertex_property_keys
+                for key in keys
+                if event.before_properties.get(key) != event.after_properties.get(key)
+            )
+        return False
+
     def _edge_property_change(self, event: ev.EdgePropertySet) -> None:
         if not (
             self._wants_edge_properties or event.key in self._edge_property_keys
@@ -354,11 +484,7 @@ class EdgeInputNode(Node):
             return
         source, target = self.graph.endpoints(event.edge_id)
         after = self.graph.edge_properties(event.edge_id)
-        before = dict(after)
-        if event.old_value is None:
-            before.pop(event.key, None)
-        else:
-            before[event.key] = event.old_value
+        before = ev.unwind_property_set(after, event)
         delta = Delta()
         self._edge_delta(
             event.edge_id, source, target, -1, delta, edge_properties=before
@@ -399,11 +525,7 @@ class EdgeInputNode(Node):
         ):
             return
         after = self.graph.vertex_properties(event.vertex_id)
-        before = dict(after)
-        if event.old_value is None:
-            before.pop(event.key, None)
-        else:
-            before[event.key] = event.old_value
+        before = ev.unwind_property_set(after, event)
         delta = Delta()
         for edge_id in self.graph.incident_edges(event.vertex_id):
             if not self._type_matches(self.graph.type_of(edge_id)):

@@ -4,22 +4,46 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..deltas import Delta, bag_insert
+from ..deltas import Delta, bag_insert, merged
 from .base import Node
 
 ChangeCallback = Callable[[Delta], None]
 
 
 class ProductionNode(Node):
-    """Holds the view's bag of result rows and notifies subscribers."""
+    """Holds the view's bag of result rows and notifies subscribers.
+
+    In per-event mode every applied delta fires the change callbacks
+    immediately.  During a batch (``begin_batch`` … ``end_batch``) the
+    partial output deltas are buffered instead and the callbacks fire
+    exactly once, at ``end_batch``, with the consolidated net delta — or
+    not at all when the batch nets to nothing.
+    """
 
     def __init__(self, schema):
         super().__init__(schema)
         self.results: dict[tuple, int] = {}
         self._callbacks: list[ChangeCallback] = []
+        self._batch_depth = 0
+        self._pending: list[Delta] = []
 
     def on_change(self, callback: ChangeCallback) -> None:
         self._callbacks.append(callback)
+
+    def begin_batch(self) -> None:
+        """Start buffering change notifications (re-entrant)."""
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Fire callbacks once with the batch's net output delta."""
+        self._batch_depth -= 1
+        if self._batch_depth > 0:
+            return
+        pending, self._pending = self._pending, []
+        net = merged(pending)
+        if net:
+            for callback in self._callbacks:
+                callback(net)
 
     def apply(self, delta: Delta, side: int) -> None:
         real = Delta()
@@ -33,8 +57,11 @@ class ProductionNode(Node):
             if after != before:
                 real.add(row, after - before)
         if real:
-            for callback in self._callbacks:
-                callback(real)
+            if self._batch_depth > 0:
+                self._pending.append(real)
+            else:
+                for callback in self._callbacks:
+                    callback(real)
 
     def multiset(self) -> dict[tuple, int]:
         return dict(self.results)

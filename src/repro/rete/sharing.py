@@ -120,6 +120,22 @@ class SharedInputLayer:
             for edge_node in self._edge_nodes.values():
                 edge_node.on_event(event)
 
+    def dispatch_batch(self, batch) -> None:
+        """Translate one consolidated batch, once per distinct signature.
+
+        Each live input node turns the whole batch into a single net delta
+        and emits it downstream once — the batched analogue of
+        :meth:`dispatch`.
+        """
+        if batch.vertex_events:
+            for node in self._vertex_nodes.values():
+                node.emit(node.batch_delta(batch))
+        if batch.edge_events or any(
+            isinstance(event, ev.VertexChanged) for event in batch.vertex_events
+        ):
+            for edge_node in self._edge_nodes.values():
+                edge_node.emit(edge_node.batch_delta(batch))
+
     # -- maintenance ---------------------------------------------------------------
 
     def prune(self) -> int:

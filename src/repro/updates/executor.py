@@ -70,8 +70,14 @@ class UpdateExecutor:
         self,
         graph: PropertyGraph,
         parameters: Mapping[str, Any] | None = None,
+        batcher: Any = None,
     ):
         self.graph = graph
+        #: optional factory of a batch scope (e.g. ``IncrementalEngine.batch``);
+        #: when set, the query's writes reach incremental views as one
+        #: consolidated delta after its transaction commits, instead of one
+        #: propagation per elementary write
+        self._batcher = batcher
         self.ctx = EvalContext(dict(parameters or {}))
         self.resolver = GraphResolver(graph)
         self.summary = UpdateSummary()
@@ -98,10 +104,11 @@ class UpdateExecutor:
         of nesting: a failure anywhere rolls back the outermost query and
         everything its triggers did.
         """
+        batch_scope = self._batcher() if self._batcher is not None else nullcontext()
         scope = (
             nullcontext() if self.graph.in_transaction else self.graph.transaction()
         )
-        with scope:
+        with batch_scope, scope:
             table = _Table(Schema(()), [()])
             for clause in query.clauses:
                 table = self._apply_clause(table, clause)

@@ -13,6 +13,14 @@ README = Path(__file__).resolve().parent.parent / "README.md"
 
 
 def python_blocks():
+    """The README's ```python blocks, or [] when no README exists.
+
+    Returning an empty list (instead of raising) keeps collection alive on
+    checkouts without a README; the count assertion below still fails
+    loudly in that case.
+    """
+    if not README.is_file():
+        return []
     text = README.read_text(encoding="utf-8")
     return re.findall(r"```python\n(.*?)```", text, re.S)
 
