@@ -48,6 +48,7 @@ class QueryEngine:
         transitive_mode: str = "trails",
         share_inputs: bool = True,
         batch_transactions: bool = False,
+        route_events: bool = True,
     ):
         self.graph = graph
         self._incremental = IncrementalEngine(
@@ -55,6 +56,7 @@ class QueryEngine:
             transitive_mode=transitive_mode,
             share_inputs=share_inputs,
             batch_transactions=batch_transactions,
+            route_events=route_events,
         )
         self._plan_cache: dict[str, CompiledQuery] = {}
 

@@ -125,6 +125,23 @@ class EdgeChanged(GraphEvent):
     after_properties: Mapping[str, Any]
 
 
+def changed_property_keys(
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> set[str]:
+    """Keys whose value differs between two property maps.
+
+    ``None`` and *absent* compare equal (the Cypher convention this event
+    model uses throughout).  Both the event router's candidate filters and
+    the input nodes' relevance checks must use this one definition — they
+    have to agree exactly for routed dispatch to match broadcast.
+    """
+    return {
+        key
+        for key in set(before) | set(after)
+        if before.get(key) != after.get(key)
+    }
+
+
 def unwind_property_set(
     properties: Mapping[str, Any],
     event: "VertexPropertySet | EdgePropertySet",

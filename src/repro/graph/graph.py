@@ -80,6 +80,11 @@ class PropertyGraph:
         self._type_index: dict[str, set[int]] = {}
         self._out: dict[int, set[int]] = {}
         self._in: dict[int, set[int]] = {}
+        # per-type adjacency: vertex → edge type → edge ids.  Kept exactly
+        # in sync with _out/_in so type-filtered neighbourhood reads are
+        # direct lookups instead of filtered scans over the full star.
+        self._out_by_type: dict[int, dict[str, set[int]]] = {}
+        self._in_by_type: dict[int, dict[str, set[int]]] = {}
         self._next_vertex_id = 1
         self._next_edge_id = 1
         self._listeners: list[Listener] = []
@@ -226,6 +231,8 @@ class PropertyGraph:
         self._vertices[vertex_id] = _VertexRecord(label_set, props)
         self._out[vertex_id] = set()
         self._in[vertex_id] = set()
+        self._out_by_type[vertex_id] = {}
+        self._in_by_type[vertex_id] = {}
         for label in label_set:
             self._label_index.setdefault(label, set()).add(vertex_id)
         self._index_add(vertex_id, label_set, props)
@@ -258,6 +265,8 @@ class PropertyGraph:
         del self._vertices[vertex_id]
         del self._out[vertex_id]
         del self._in[vertex_id]
+        del self._out_by_type[vertex_id]
+        del self._in_by_type[vertex_id]
         self._emit(
             ev.VertexRemoved(
                 vertex_id, frozenset(record.labels), dict(record.properties)
@@ -316,6 +325,8 @@ class PropertyGraph:
         self._vertices[vertex_id] = _VertexRecord(label_set, props)
         self._out[vertex_id] = set()
         self._in[vertex_id] = set()
+        self._out_by_type[vertex_id] = {}
+        self._in_by_type[vertex_id] = {}
         for label in label_set:
             self._label_index.setdefault(label, set()).add(vertex_id)
         self._index_add(vertex_id, label_set, props)
@@ -345,6 +356,8 @@ class PropertyGraph:
         self._type_index.setdefault(edge_type, set()).add(edge_id)
         self._out[source].add(edge_id)
         self._in[target].add(edge_id)
+        self._out_by_type[source].setdefault(edge_type, set()).add(edge_id)
+        self._in_by_type[target].setdefault(edge_type, set()).add(edge_id)
         self._emit(ev.EdgeAdded(edge_id, source, target, edge_type, dict(props)))
         return edge_id
 
@@ -353,6 +366,8 @@ class PropertyGraph:
         self._type_index[record.edge_type].discard(edge_id)
         self._out[record.source].discard(edge_id)
         self._in[record.target].discard(edge_id)
+        self._typed_discard(self._out_by_type[record.source], record.edge_type, edge_id)
+        self._typed_discard(self._in_by_type[record.target], record.edge_type, edge_id)
         del self._edges[edge_id]
         self._emit(
             ev.EdgeRemoved(
@@ -382,6 +397,8 @@ class PropertyGraph:
         self._type_index.setdefault(edge_type, set()).add(edge_id)
         self._out[source].add(edge_id)
         self._in[target].add(edge_id)
+        self._out_by_type[source].setdefault(edge_type, set()).add(edge_id)
+        self._in_by_type[target].setdefault(edge_type, set()).add(edge_id)
         self._next_edge_id = max(self._next_edge_id, edge_id + 1)
         self._emit(ev.EdgeAdded(edge_id, source, target, edge_type, dict(props)))
 
@@ -480,19 +497,36 @@ class PropertyGraph:
 
     def out_edges(self, vertex_id: int, edge_type: str | None = None) -> Iterator[int]:
         """Edges whose source is *vertex_id* (optionally type-filtered)."""
-        for edge_id in self._out[self._require(vertex_id)]:
-            if edge_type is None or self._edges[edge_id].edge_type == edge_type:
-                yield edge_id
+        if edge_type is None:
+            return iter(self._out[self._require(vertex_id)])
+        return iter(self._out_by_type[self._require(vertex_id)].get(edge_type, ()))
 
     def in_edges(self, vertex_id: int, edge_type: str | None = None) -> Iterator[int]:
         """Edges whose target is *vertex_id* (optionally type-filtered)."""
-        for edge_id in self._in[self._require(vertex_id)]:
-            if edge_type is None or self._edges[edge_id].edge_type == edge_type:
-                yield edge_id
+        if edge_type is None:
+            return iter(self._in[self._require(vertex_id)])
+        return iter(self._in_by_type[self._require(vertex_id)].get(edge_type, ()))
 
-    def incident_edges(self, vertex_id: int) -> Iterator[int]:
+    def incident_edges(
+        self, vertex_id: int, edge_type: str | None = None
+    ) -> Iterator[int]:
+        """Edges incident on *vertex_id*, each yielded once (loops included).
+
+        Snapshots eagerly (safe to mutate the graph while consuming, and a
+        missing vertex raises at the call site) without building the
+        ``out | in`` union set the seed paid for — one list and O(1)
+        membership probes instead of rehashing both sets.  With
+        *edge_type* only that type's (indexed) buckets are walked.
+        """
         vid = self._require(vertex_id)
-        return iter(self._out[vid] | self._in[vid])
+        if edge_type is None:
+            out, inc = self._out[vid], self._in[vid]
+        else:
+            out = self._out_by_type[vid].get(edge_type, ())
+            inc = self._in_by_type[vid].get(edge_type, ())
+        edges = list(out)
+        edges.extend(edge_id for edge_id in inc if edge_id not in out)
+        return iter(edges)
 
     def degree(self, vertex_id: int) -> int:
         vid = self._require(vertex_id)
@@ -502,6 +536,14 @@ class PropertyGraph:
         if vertex_id not in self._vertices:
             raise EntityNotFoundError("vertex", vertex_id)
         return vertex_id
+
+    @staticmethod
+    def _typed_discard(buckets: dict[str, set[int]], edge_type: str, edge_id: int) -> None:
+        entries = buckets.get(edge_type)
+        if entries is not None:
+            entries.discard(edge_id)
+            if not entries:
+                del buckets[edge_type]
 
     def labels(self) -> frozenset[str]:
         """All labels with at least one vertex."""
@@ -528,6 +570,8 @@ class PropertyGraph:
             )
             clone._out[vertex_id] = set()
             clone._in[vertex_id] = set()
+            clone._out_by_type[vertex_id] = {}
+            clone._in_by_type[vertex_id] = {}
             for label in record.labels:
                 clone._label_index.setdefault(label, set()).add(vertex_id)
         for edge_id, record in self._edges.items():
@@ -537,6 +581,16 @@ class PropertyGraph:
             clone._type_index.setdefault(record.edge_type, set()).add(edge_id)
             clone._out[record.source].add(edge_id)
             clone._in[record.target].add(edge_id)
+            clone._out_by_type[record.source].setdefault(
+                record.edge_type, set()
+            ).add(edge_id)
+            clone._in_by_type[record.target].setdefault(
+                record.edge_type, set()
+            ).add(edge_id)
+        clone._property_indexes = {
+            index_key: {value: set(ids) for value, ids in bucket.items()}
+            for index_key, bucket in self._property_indexes.items()
+        }
         clone._next_vertex_id = self._next_vertex_id
         clone._next_edge_id = self._next_edge_id
         return clone

@@ -32,6 +32,12 @@ class Delta:
             del self._counts[row]
 
     def update(self, other: "Delta") -> None:
+        # empty-destination fast path: no entry can merge or cancel, so the
+        # whole map copies in one C-level bulk update (zero-count rows never
+        # exist inside a Delta, so the invariant is preserved)
+        if not self._counts:
+            self._counts.update(other._counts)
+            return
         for row, multiplicity in other.items():
             self.add(row, multiplicity)
 

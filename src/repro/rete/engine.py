@@ -103,11 +103,20 @@ class IncrementalEngine:
         transitive_mode: str = "trails",
         share_inputs: bool = True,
         batch_transactions: bool = False,
+        route_events: bool = True,
     ):
         self.graph = graph
         self.transitive_mode = transitive_mode
-        self.input_layer = SharedInputLayer(graph) if share_inputs else None
+        self.route_events = route_events
+        self.input_layer = (
+            SharedInputLayer(graph, route_events=route_events)
+            if share_inputs
+            else None
+        )
         self._views: list[View] = []
+        # views whose networks own private input nodes (share_inputs=False);
+        # with a shared layer per-view dispatch would be a guaranteed no-op
+        self._private_views: list[View] = []
         self._subscribed = False
         self.batch_transactions = batch_transactions
         self._accumulator: BatchAccumulator | None = None
@@ -139,10 +148,13 @@ class IncrementalEngine:
             parameters=parameters,
             transitive_mode=self.transitive_mode,
             input_layer=self.input_layer,
+            route_events=self.route_events,
         )
         network.populate()
         view = View(self, compiled, network)
         self._views.append(view)
+        if network.has_private_inputs:
+            self._private_views.append(view)
         if not self._subscribed:
             self.graph.subscribe(self._on_event)
             self._subscribed = True
@@ -154,7 +166,7 @@ class IncrementalEngine:
             return
         if self.input_layer is not None:
             self.input_layer.dispatch(event)
-        for view in self._views:
+        for view in self._private_views:
             view.network.dispatch(event)
 
     # -- batched propagation --------------------------------------------------
@@ -202,7 +214,7 @@ class IncrementalEngine:
         try:
             if self.input_layer is not None:
                 self.input_layer.dispatch_batch(changes)
-            for view in self._views:
+            for view in self._private_views:
                 view.network.dispatch_batch(changes)
         finally:
             # callbacks fire here, outside the dispatch loops; writes they
@@ -231,6 +243,8 @@ class IncrementalEngine:
 
     def _detach(self, view: View) -> None:
         self._views.remove(view)
+        if view in self._private_views:
+            self._private_views.remove(view)
         view.network.disconnect_shared()
         if self.input_layer is not None:
             self.input_layer.prune()

@@ -42,6 +42,7 @@ from .nodes.join import AntiJoinNode, JoinNode, LeftOuterJoinNode, UnionNode
 from .nodes.production import ProductionNode
 from .nodes.transitive import EDGES, ReachabilityNode, TransitiveClosureNode
 from .nodes.unary import DedupNode, ProjectionNode, SelectionNode, UnwindNode
+from .router import EventRouter
 from .sharing import SharedInputLayer
 
 
@@ -55,6 +56,7 @@ class ReteNetwork:
         parameters: Mapping[str, Any] | None = None,
         transitive_mode: str = "trails",
         input_layer: "SharedInputLayer | None" = None,
+        route_events: bool = True,
     ):
         validate_fra(plan)
         check_incremental_fragment(plan)
@@ -81,6 +83,15 @@ class ReteNetwork:
         self.production = ProductionNode(plan.schema)
         root.subscribe(self.production, LEFT)
         self.all_nodes.append(self.production)
+        # Private input layers get their own interest router; with a shared
+        # layer this network owns no input nodes and routing lives there.
+        self.router: EventRouter | None = None
+        if route_events and (self.vertex_inputs or self.edge_inputs):
+            self.router = EventRouter(graph)
+            for node in self.vertex_inputs:
+                self.router.register_vertex_node(node)
+            for edge_node in self.edge_inputs:
+                self.router.register_edge_node(edge_node)
         # Freeze this network's shared subscription edges now: edges other
         # views append later must not be attributed to this network.
         self.shared_edges: tuple[tuple[Node, Node, int], ...] = tuple(
@@ -328,8 +339,16 @@ class ReteNetwork:
             node.unsubscribe(subscriber, side)
         self.shared_edges = ()
 
+    @property
+    def has_private_inputs(self) -> bool:
+        """Whether this network owns input nodes (no shared layer)."""
+        return bool(self.vertex_inputs or self.edge_inputs)
+
     def dispatch(self, event: ev.GraphEvent) -> None:
         """Route one graph event to the input nodes that may care."""
+        if self.router is not None:
+            self.router.dispatch(event)
+            return
         if isinstance(
             event,
             (ev.VertexAdded, ev.VertexRemoved),
@@ -357,6 +376,9 @@ class ReteNetwork:
         is a no-op — the layer's own ``dispatch_batch`` feeds the shared
         nodes instead.
         """
+        if self.router is not None:
+            self.router.dispatch_batch(batch)
+            return
         for node in self.vertex_inputs:
             node.emit(node.batch_delta(batch))
         for edge_node in self.edge_inputs:
@@ -369,7 +391,10 @@ class ReteNetwork:
         nodes are marked, and their counters cover traffic for *all* views
         they feed.
         """
-        header = f"{'node':<28} {'schema':<34} {'deltas':>8} {'rows':>10} {'memory':>8}"
+        header = (
+            f"{'node':<28} {'schema':<34} {'deltas':>8} {'rows':>10} "
+            f"{'memory':>8} {'cells':>8}"
+        )
         lines = [header, "-" * len(header)]
         seen: set[int] = set()
         for node, _ in self._shared_marks.values():
@@ -390,7 +415,8 @@ class ReteNetwork:
             columns = columns[:29] + "..."
         return (
             f"{name:<28} {columns:<34} {node.emitted_deltas:>8} "
-            f"{node.emitted_rows:>10} {node.memory_size():>8}"
+            f"{node.emitted_rows:>10} {node.memory_size():>8} "
+            f"{node.memory_cells():>8}"
         )
 
     def memory_size(self) -> int:

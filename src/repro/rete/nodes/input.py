@@ -19,7 +19,18 @@ from ...eval.projections import (
 from ...graph import events as ev
 from ...graph.graph import PropertyGraph
 from ..deltas import Delta
+from ..router import EdgeInterest, VertexInterest
 from .base import Node
+
+
+def _private_dict(properties) -> dict[str, Any]:
+    """The event's property payload as a plain dict, copy-free when possible.
+
+    The store always emits events carrying fresh private dicts, and every
+    consumer treats them as read-only, so rebuilding them per input node is
+    pure overhead; non-dict mappings (hand-built events) still get copied.
+    """
+    return properties if type(properties) is dict else dict(properties)
 
 
 class UnitNode(Node):
@@ -53,6 +64,15 @@ class VertexInputNode(Node):
         )
         self._wants_labels = any(p.kind == "labels" for p in op.projections)
         self._wants_properties = any(p.kind == "properties" for p in op.projections)
+
+    def interest(self) -> VertexInterest:
+        """The interest signature the event router indexes this node by."""
+        return VertexInterest(
+            labels=self.labels,
+            property_keys=self._property_keys,
+            all_properties=self._wants_properties,
+            label_values=self._wants_labels,
+        )
 
     # -- tuple building -----------------------------------------------------
 
@@ -99,7 +119,7 @@ class VertexInputNode(Node):
                     self._tuple(
                         event.vertex_id,
                         labels=event.labels,
-                        properties=dict(event.properties),
+                        properties=_private_dict(event.properties),
                     ),
                     1,
                 )
@@ -111,7 +131,7 @@ class VertexInputNode(Node):
                     self._tuple(
                         event.vertex_id,
                         labels=event.labels,
-                        properties=dict(event.properties),
+                        properties=_private_dict(event.properties),
                     ),
                     -1,
                 )
@@ -159,7 +179,7 @@ class VertexInputNode(Node):
                         self._tuple(
                             event.vertex_id,
                             labels=event.labels,
-                            properties=dict(event.properties),
+                            properties=_private_dict(event.properties),
                         ),
                         1,
                     )
@@ -169,7 +189,7 @@ class VertexInputNode(Node):
                         self._tuple(
                             event.vertex_id,
                             labels=event.labels,
-                            properties=dict(event.properties),
+                            properties=_private_dict(event.properties),
                         ),
                         -1,
                     )
@@ -179,7 +199,7 @@ class VertexInputNode(Node):
                         self._tuple(
                             event.vertex_id,
                             labels=event.before_labels,
-                            properties=dict(event.before_properties),
+                            properties=_private_dict(event.before_properties),
                         ),
                         -1,
                     )
@@ -188,7 +208,7 @@ class VertexInputNode(Node):
                         self._tuple(
                             event.vertex_id,
                             labels=event.after_labels,
-                            properties=dict(event.after_properties),
+                            properties=_private_dict(event.after_properties),
                         ),
                         1,
                     )
@@ -262,10 +282,35 @@ class EdgeInputNode(Node):
             if role in ("src", "tgt")
         )
 
+    def interest(self) -> EdgeInterest:
+        """The interest signature the event router indexes this node by."""
+        return EdgeInterest(
+            types=self.types,
+            endpoint_labels=self.src_labels | self.tgt_labels,
+            endpoint_label_values=self._wants_vertex_labels,
+            vertex_property_keys=self._vertex_property_keys,
+            all_vertex_properties=self._wants_vertex_properties,
+            edge_property_keys=self._edge_property_keys,
+            all_edge_properties=self._wants_edge_properties,
+        )
+
     # -- tuple building ----------------------------------------------------
 
     def _type_matches(self, edge_type: str) -> bool:
         return not self.types or edge_type in self.types
+
+    def _interesting_incident(self, vertex_id: int):
+        """Incident edges already narrowed to this node's admissible types.
+
+        Leans on the graph's per-type adjacency: with a type constraint
+        only the matching buckets are walked (no per-edge ``type_of``
+        check), and each yielded edge is guaranteed type-admissible.
+        """
+        if not self.types:
+            yield from self.graph.incident_edges(vertex_id)
+            return
+        for edge_type in self.types:
+            yield from self.graph.incident_edges(vertex_id, edge_type)
 
     def _orientations(self, source: int, target: int):
         yield source, target
@@ -361,7 +406,7 @@ class EdgeInputNode(Node):
                     1,
                     delta,
                     edge_type=event.edge_type,
-                    edge_properties=dict(event.properties),
+                    edge_properties=_private_dict(event.properties),
                 )
                 self.emit(delta)
         elif isinstance(event, ev.EdgeRemoved):
@@ -374,7 +419,7 @@ class EdgeInputNode(Node):
                     -1,
                     delta,
                     edge_type=event.edge_type,
-                    edge_properties=dict(event.properties),
+                    edge_properties=_private_dict(event.properties),
                 )
                 self.emit(delta)
         elif isinstance(event, ev.EdgePropertySet):
@@ -414,13 +459,13 @@ class EdgeInputNode(Node):
                 self._edge_delta(
                     event.edge_id, event.source, event.target, 1, delta,
                     edge_type=event.edge_type,
-                    edge_properties=dict(event.properties),
+                    edge_properties=_private_dict(event.properties),
                 )
             elif isinstance(event, ev.EdgeRemoved):
                 self._edge_delta(
                     event.edge_id, event.source, event.target, -1, delta,
                     edge_type=event.edge_type,
-                    edge_properties=dict(event.properties),
+                    edge_properties=_private_dict(event.properties),
                     vertex_labels=before_labels,
                     vertex_properties=before_properties,
                 )
@@ -428,14 +473,14 @@ class EdgeInputNode(Node):
                 self._edge_delta(
                     event.edge_id, event.source, event.target, -1, delta,
                     edge_type=event.edge_type,
-                    edge_properties=dict(event.before_properties),
+                    edge_properties=_private_dict(event.before_properties),
                     vertex_labels=before_labels,
                     vertex_properties=before_properties,
                 )
                 self._edge_delta(
                     event.edge_id, event.source, event.target, 1, delta,
                     edge_type=event.edge_type,
-                    edge_properties=dict(event.after_properties),
+                    edge_properties=_private_dict(event.after_properties),
                 )
         swept: set[int] = set()
         for event in batch.vertex_events:
@@ -443,12 +488,10 @@ class EdgeInputNode(Node):
                 continue
             if not self._endpoint_change_relevant(event):
                 continue
-            for edge_id in self.graph.incident_edges(event.vertex_id):
+            for edge_id in self._interesting_incident(event.vertex_id):
                 if edge_id in touched or edge_id in swept:
                     continue
                 swept.add(edge_id)
-                if not self._type_matches(self.graph.type_of(edge_id)):
-                    continue
                 source, target = self.graph.endpoints(edge_id)
                 self._edge_delta(
                     edge_id, source, target, -1, delta,
@@ -467,11 +510,10 @@ class EdgeInputNode(Node):
         if event.before_properties != event.after_properties:
             if self._wants_vertex_properties:
                 return True
-            keys = set(event.before_properties) | set(event.after_properties)
-            return any(
-                key in self._vertex_property_keys
-                for key in keys
-                if event.before_properties.get(key) != event.after_properties.get(key)
+            return not self._vertex_property_keys.isdisjoint(
+                ev.changed_property_keys(
+                    event.before_properties, event.after_properties
+                )
             )
         return False
 
@@ -504,9 +546,7 @@ class EdgeInputNode(Node):
         if not self._relevant_label_change(before, current):
             return
         delta = Delta()
-        for edge_id in self.graph.incident_edges(vertex_id):
-            if not self._type_matches(self.graph.type_of(edge_id)):
-                continue
+        for edge_id in self._interesting_incident(vertex_id):
             source, target = self.graph.endpoints(edge_id)
             self._edge_delta(
                 edge_id, source, target, -1, delta,
@@ -527,9 +567,7 @@ class EdgeInputNode(Node):
         after = self.graph.vertex_properties(event.vertex_id)
         before = ev.unwind_property_set(after, event)
         delta = Delta()
-        for edge_id in self.graph.incident_edges(event.vertex_id):
-            if not self._type_matches(self.graph.type_of(edge_id)):
-                continue
+        for edge_id in self._interesting_incident(event.vertex_id):
             source, target = self.graph.endpoints(edge_id)
             self._edge_delta(
                 edge_id, source, target, -1, delta,

@@ -100,6 +100,11 @@ class AntiJoinNode(Node):
     def memory_size(self) -> int:
         return sum(len(b) for b in self.left_index.values()) + len(self.right_counts)
 
+    def memory_cells(self) -> int:
+        return sum(
+            len(row) for bucket in self.left_index.values() for row in bucket
+        ) + sum(len(key) for key in self.right_counts)
+
 
 class LeftOuterJoinNode(Node):
     """⟕ — natural join plus null-padded rows for unmatched left rows."""

@@ -22,6 +22,7 @@ from ..algebra import ops
 from ..graph import events as ev
 from ..graph.graph import PropertyGraph
 from .nodes.input import EdgeInputNode, UnitNode, VertexInputNode
+from .router import EventRouter
 
 
 @dataclass(slots=True)
@@ -63,15 +64,27 @@ def edge_signature(op: ops.GetEdges) -> tuple:
 
 @dataclass
 class SharedInputLayer:
-    """Engine-owned cache of live input nodes, keyed by signature."""
+    """Engine-owned cache of live input nodes, keyed by signature.
+
+    With ``route_events=True`` (the default) the layer also owns an
+    :class:`~repro.rete.router.EventRouter`: every cached node registers
+    its interest signature, ``dispatch``/``dispatch_batch`` touch only the
+    nodes an event can possibly concern, and ``prune()`` withdraws the
+    interests of dropped nodes.  ``route_events=False`` keeps the original
+    broadcast loops (the ablation baseline).
+    """
 
     graph: PropertyGraph
     stats: SharingStats = field(default_factory=SharingStats)
+    route_events: bool = True
 
     def __post_init__(self) -> None:
         self._vertex_nodes: dict[tuple, VertexInputNode] = {}
         self._edge_nodes: dict[tuple, EdgeInputNode] = {}
         self._unit_node: UnitNode | None = None
+        self.router: EventRouter | None = (
+            EventRouter(self.graph) if self.route_events else None
+        )
 
     # -- node acquisition ----------------------------------------------------
 
@@ -83,6 +96,8 @@ class SharedInputLayer:
             node = VertexInputNode(op, self.graph)
             self._vertex_nodes[key] = node
             self.stats.vertex_nodes += 1
+            if self.router is not None:
+                self.router.register_vertex_node(node)
         return node
 
     def edge_node(self, op: ops.GetEdges) -> EdgeInputNode:
@@ -93,6 +108,8 @@ class SharedInputLayer:
             node = EdgeInputNode(op, self.graph)
             self._edge_nodes[key] = node
             self.stats.edge_nodes += 1
+            if self.router is not None:
+                self.router.register_edge_node(node)
         return node
 
     def unit_node(self, schema) -> UnitNode:
@@ -104,7 +121,14 @@ class SharedInputLayer:
     # -- event routing -----------------------------------------------------------
 
     def dispatch(self, event: ev.GraphEvent) -> None:
-        """Translate one graph event, once per distinct input signature."""
+        """Translate one graph event, once per distinct input signature.
+
+        Routed mode touches only the nodes whose interest signature the
+        event can satisfy; broadcast mode offers it to every node.
+        """
+        if self.router is not None:
+            self.router.dispatch(event)
+            return
         if isinstance(event, (ev.VertexAdded, ev.VertexRemoved)):
             for node in self._vertex_nodes.values():
                 node.on_event(event)
@@ -127,6 +151,9 @@ class SharedInputLayer:
         and emits it downstream once — the batched analogue of
         :meth:`dispatch`.
         """
+        if self.router is not None:
+            self.router.dispatch_batch(batch)
+            return
         if batch.vertex_events:
             for node in self._vertex_nodes.values():
                 node.emit(node.batch_delta(batch))
@@ -139,10 +166,16 @@ class SharedInputLayer:
     # -- maintenance ---------------------------------------------------------------
 
     def prune(self) -> int:
-        """Drop input nodes with no remaining subscribers; returns count."""
+        """Drop input nodes with no remaining subscribers; returns count.
+
+        Dropped nodes also withdraw their routing interests, so future
+        events stop being offered to them at all.
+        """
         removed = 0
         for cache in (self._vertex_nodes, self._edge_nodes):
             for key in [k for k, n in cache.items() if n.subscriber_count == 0]:
+                if self.router is not None:
+                    self.router.unregister(cache[key])
                 del cache[key]
                 removed += 1
         if self._unit_node is not None and self._unit_node.subscriber_count == 0:

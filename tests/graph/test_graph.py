@@ -111,6 +111,20 @@ class TestEdges:
         assert set(graph.incident_edges(a)) == {e1, e2, e3}
         assert graph.degree(a) == 3
 
+    def test_typed_incident_edges(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        e1 = graph.add_edge(a, b, "T")
+        e2 = graph.add_edge(b, a, "T")
+        e3 = graph.add_edge(a, b, "U")
+        loop = graph.add_edge(a, a, "T")
+        assert sorted(graph.incident_edges(a, "T")) == sorted([e1, e2, loop])
+        assert set(graph.incident_edges(a, "U")) == {e3}
+        assert list(graph.incident_edges(a, "missing")) == []
+        # each edge exactly once, loops included
+        assert sorted(graph.incident_edges(a)) == sorted([e1, e2, e3, loop])
+        graph.remove_edge(e1)
+        assert sorted(graph.incident_edges(a, "T")) == sorted([e2, loop])
+
     def test_endpoints_and_type(self, graph):
         a, b = graph.add_vertex(), graph.add_vertex()
         e = graph.add_edge(a, b, "T")
@@ -248,6 +262,18 @@ class TestCopyAndBuild:
         clone = graph.copy()
         clone.add_vertex()
         assert events == []
+
+    def test_copy_preserves_typed_adjacency(self, graph):
+        a, b = graph.add_vertex(), graph.add_vertex()
+        e1 = graph.add_edge(a, b, "T")
+        e2 = graph.add_edge(b, a, "U")
+        clone = graph.copy()
+        assert set(clone.out_edges(a, "T")) == {e1}
+        assert set(clone.in_edges(a, "U")) == {e2}
+        assert set(clone.incident_edges(a, "T")) == {e1}
+        # mutating the clone's adjacency leaves the original untouched
+        clone.remove_edge(e1)
+        assert set(graph.out_edges(a, "T")) == {e1}
 
     def test_graph_from_dicts(self):
         graph, ids = graph_from_dicts(

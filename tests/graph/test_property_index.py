@@ -55,6 +55,19 @@ class TestMaintenance:
         with pytest.raises(GraphError):
             graph.lookup_index("Nope", "name", "x")
 
+    def test_copy_preserves_indexes(self, graph):
+        a = graph.add_vertex(labels=["Tag"], properties={"name": "x"})
+        clone = graph.copy()
+        assert clone.has_index("Tag", "name")
+        assert clone.indexes() == graph.indexes()
+        assert clone.lookup_index("Tag", "name", "x") == {a}
+        # the copied index is maintained — and independently of the original
+        b = clone.add_vertex(labels=["Tag"], properties={"name": "x"})
+        assert clone.lookup_index("Tag", "name", "x") == {a, b}
+        assert graph.lookup_index("Tag", "name", "x") == {a}
+        graph.set_vertex_property(a, "name", "y")
+        assert clone.lookup_index("Tag", "name", "x") == {a, b}
+
     def test_drop_index(self, graph):
         graph.drop_index("Tag", "name")
         with pytest.raises(GraphError):

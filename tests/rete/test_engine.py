@@ -399,3 +399,22 @@ class TestParameters:
         assert view.rows() == [(post_de,)]
         another = graph.add_vertex(labels=["Post"], properties={"lang": "de"})
         assert sorted(view.rows()) == sorted([(post_de,), (another,)])
+
+
+class TestProfileCells:
+    def test_profile_reports_cells_for_beta_nodes(self, graph, engine):
+        view = engine.register(
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c"
+        )
+        post = graph.add_vertex(labels=["Post"])
+        comm = graph.add_vertex(labels=["Comm"])
+        graph.add_edge(post, comm, "REPLY")
+        text = view.profile()
+        header = text.splitlines()[0]
+        assert header.split()[-1] == "cells"
+        join_lines = [
+            line for line in text.splitlines() if line.startswith("Join")
+        ]
+        assert join_lines and all(
+            int(line.split()[-1]) > 0 for line in join_lines
+        )

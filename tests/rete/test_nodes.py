@@ -68,6 +68,20 @@ class TestDelta:
     def test_negated(self):
         assert dict(delta((("a",), 2)).negated().items()) == {("a",): -2}
 
+    def test_update_into_empty_copies(self):
+        source = delta((("a",), 2), (("b",), -1))
+        target = Delta()
+        target.update(source)
+        assert dict(target.items()) == {("a",): 2, ("b",): -1}
+        # the fast path must copy, never alias, the source's storage
+        target.add(("a",), -2)
+        assert dict(source.items()) == {("a",): 2, ("b",): -1}
+
+    def test_update_merges_and_cancels(self):
+        target = delta((("a",), 1))
+        target.update(delta((("a",), -1), (("b",), 3)))
+        assert dict(target.items()) == {("b",): 3}
+
 
 class TestSelection:
     def test_filters_both_signs(self):
@@ -211,6 +225,15 @@ class TestAntiJoin:
         node.apply(delta((("k",), 1)), RIGHT)
         node.apply(delta((("k", "a"), 1)), LEFT)
         assert sink.bag == {}
+
+    def test_memory_cells_counts_both_memories(self):
+        node, _ = self.make()
+        assert node.memory_cells() == 0
+        node.apply(delta((("k", "a"), 1), (("j", "b"), 1)), LEFT)
+        node.apply(delta((("k",), 1)), RIGHT)
+        # two 2-wide left rows plus one 1-wide right key
+        assert node.memory_cells() == 5
+        assert node.memory_size() == 3
 
 
 class TestLeftOuterJoin:

@@ -1,0 +1,286 @@
+"""Differential suite: interest-routed dispatch vs. the broadcast oracle.
+
+Two engines over two initially identical graphs — one with
+``route_events=True``, one with ``route_events=False`` — receive the same
+view registrations and the same random event stream.  Routing is a pure
+candidate-set reduction, so after every operation the two sides must hold
+identical view multisets and have fired identical ``on_change`` delta
+sequences; periodically both are additionally checked against one-shot
+re-evaluation (the paper's IVM property).
+"""
+
+import random
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import GraphError
+
+LABELS = ("Post", "Comm", "Person", "Tag")
+EDGE_TYPES = ("REPLY", "LIKES", "KNOWS")
+VERTEX_KEYS = ("lang", "score", "name")
+EDGE_KEYS = ("weight", "since")
+VALUES = ("en", "de", "hu", 1, 2, 5, None)
+
+#: one query per routing bucket family: labelled / unlabelled vertices,
+#: labels() and properties() wildcards, typed / untyped edges, endpoint
+#: labels, endpoint and edge property columns, aggregation on top
+QUERIES = (
+    "MATCH (p:Post) RETURN p, p.lang",
+    "MATCH (n) RETURN n",
+    "MATCH (n:Post) RETURN labels(n)",
+    "MATCH (p:Post)-[r:REPLY]->(c:Comm) RETURN p, c, c.lang",
+    "MATCH (a)-[r:LIKES]->(b) RETURN a, b",
+    "MATCH (a)-[r]->(b) RETURN a, b, r.weight",
+    "MATCH (a:Person)-[r:KNOWS]->(b:Person) WHERE a.score > b.score RETURN a, b",
+    "MATCH (n:Comm) RETURN n.lang AS lang, count(*) AS c",
+    "MATCH (a)-[r:LIKES]->(b) RETURN a, type(r), properties(b)",
+)
+
+
+class _Abort(Exception):
+    pass
+
+
+class MirrorPair:
+    """A routed engine and a broadcast engine fed identical histories."""
+
+    def __init__(self, batch_transactions: bool = False):
+        self.graphs = (PropertyGraph(), PropertyGraph())
+        self.engines = (
+            QueryEngine(
+                self.graphs[0],
+                route_events=True,
+                batch_transactions=batch_transactions,
+            ),
+            QueryEngine(
+                self.graphs[1],
+                route_events=False,
+                batch_transactions=batch_transactions,
+            ),
+        )
+        self.queries: list[str] = []
+        self.views: list[tuple] = []
+        self.logs: list[tuple[list, list]] = []
+
+    def register(self, query: str) -> None:
+        pair, logs = [], []
+        for engine in self.engines:
+            view = engine.register(query)
+            log: list = []
+            view.on_change(log.append)
+            pair.append(view)
+            logs.append(log)
+        self.queries.append(query)
+        self.views.append(tuple(pair))
+        self.logs.append(tuple(logs))
+
+    def apply(self, op) -> None:
+        for graph in self.graphs:
+            op(graph)
+
+    def assert_consistent(self, oracle: bool = False) -> None:
+        for query, (routed, broadcast) in zip(self.queries, self.views):
+            assert routed.multiset() == broadcast.multiset(), query
+            if oracle:
+                assert (
+                    routed.multiset()
+                    == self.engines[0].evaluate(query).multiset()
+                ), query
+        for query, (routed_log, broadcast_log) in zip(self.queries, self.logs):
+            assert routed_log == broadcast_log, query
+
+
+def _random_op(rng: random.Random, vertices: list[int], edges: list[int]):
+    """One parameterised mutation, applicable to any identical graph."""
+    roll = rng.random()
+    if roll < 0.22 or not vertices:
+        labels = rng.sample(LABELS, rng.randint(0, 2))
+        props = {
+            key: rng.choice(VALUES)
+            for key in rng.sample(VERTEX_KEYS, rng.randint(0, 2))
+        }
+        return lambda g: g.add_vertex(labels=labels, properties=props)
+    if roll < 0.40:
+        src, tgt = rng.choice(vertices), rng.choice(vertices)
+        edge_type = rng.choice(EDGE_TYPES)
+        props = {rng.choice(EDGE_KEYS): rng.choice(VALUES)}
+        return lambda g: g.add_edge(src, tgt, edge_type, properties=props)
+    if roll < 0.55:
+        vertex, key = rng.choice(vertices), rng.choice(VERTEX_KEYS)
+        value = rng.choice(VALUES)
+        return lambda g: g.set_vertex_property(vertex, key, value)
+    if roll < 0.65:
+        vertex, label = rng.choice(vertices), rng.choice(LABELS)
+        if rng.random() < 0.5:
+            return lambda g: g.add_label(vertex, label)
+        return lambda g: g.remove_label(vertex, label)
+    if roll < 0.78 and edges:
+        edge, key = rng.choice(edges), rng.choice(EDGE_KEYS)
+        value = rng.choice(VALUES)
+        return lambda g: g.set_edge_property(edge, key, value)
+    if roll < 0.88 and edges:
+        edge = rng.choice(edges)
+        return lambda g: g.remove_edge(edge)
+    vertex = rng.choice(vertices)
+    return lambda g: g.remove_vertex(vertex, detach=True)
+
+
+def _drive(pair: MirrorPair, rng: random.Random, operations: int) -> None:
+    """Apply a random stream, checking consistency continuously."""
+    for step in range(operations):
+        vertices = list(pair.graphs[0].vertices())
+        edges = list(pair.graphs[0].edges())
+        if rng.random() < 0.08:
+            # a transaction that aborts: compensation events must replay
+            # identically through both dispatchers
+            ops = [
+                _random_op(rng, vertices, edges) for _ in range(rng.randint(1, 4))
+            ]
+
+            def aborted(graph, ops=ops):
+                try:
+                    with graph.transaction():
+                        for op in ops:
+                            op(graph)
+                        raise _Abort()
+                except (_Abort, GraphError):
+                    # a mid-transaction graph error rolls back too, and does
+                    # so deterministically on both sides
+                    pass
+
+            pair.apply(aborted)
+        else:
+            pair.apply(_random_op(rng, vertices, edges))
+        pair.assert_consistent(oracle=step % 25 == 0)
+    pair.assert_consistent(oracle=True)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_stream_matches_broadcast(seed):
+    pair = MirrorPair()
+    for query in QUERIES:
+        pair.register(query)
+    _drive(pair, random.Random(seed), operations=80)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_batched_transactions_match_broadcast(seed):
+    """Committed and rolled-back transactions under batch_transactions."""
+    rng = random.Random(1000 + seed)
+    pair = MirrorPair(batch_transactions=True)
+    for query in QUERIES:
+        pair.register(query)
+    for _ in range(25):
+        vertices = list(pair.graphs[0].vertices())
+        edges = list(pair.graphs[0].edges())
+        ops = [
+            _random_op(rng, vertices, edges) for _ in range(rng.randint(1, 5))
+        ]
+        if rng.random() < 0.3:
+
+            def aborted(graph, ops=ops):
+                try:
+                    with graph.transaction():
+                        for op in ops:
+                            op(graph)
+                        raise _Abort()
+                except (_Abort, GraphError):
+                    # a mid-transaction graph error rolls back too, and does
+                    # so deterministically on both sides
+                    pass
+
+            pair.apply(aborted)
+        else:
+
+            def committed(graph, ops=ops):
+                try:
+                    with graph.transaction():
+                        for op in ops:
+                            op(graph)
+                except GraphError:
+                    pass
+
+            pair.apply(committed)
+        pair.assert_consistent(oracle=True)
+
+
+def test_mid_batch_register_matches_broadcast():
+    """A view joining inside an open batch flushes pending work first."""
+    rng = random.Random(7)
+    pair = MirrorPair()
+    for query in QUERIES[:4]:
+        pair.register(query)
+    for graph in pair.graphs:
+        post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        comm = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+        graph.add_edge(post, comm, "REPLY")
+    pair.assert_consistent(oracle=True)
+
+    scopes = [engine.batch() for engine in pair.engines]
+    for scope in scopes:
+        scope.__enter__()
+    try:
+        for _ in range(10):
+            vertices = list(pair.graphs[0].vertices())
+            edges = list(pair.graphs[0].edges())
+            pair.apply(_random_op(rng, vertices, edges))
+        for query in QUERIES[4:]:
+            pair.register(query)
+        for _ in range(10):
+            vertices = list(pair.graphs[0].vertices())
+            edges = list(pair.graphs[0].edges())
+            pair.apply(_random_op(rng, vertices, edges))
+    finally:
+        for scope in scopes:
+            scope.__exit__(None, None, None)
+    pair.assert_consistent(oracle=True)
+
+
+def test_detach_withdraws_interests():
+    """Pruned shared input nodes stop receiving routed events entirely."""
+    graph = PropertyGraph()
+    engine = QueryEngine(graph, route_events=True)
+    view = engine.register("MATCH (p:Post) RETURN p")
+    keeper = engine.register("MATCH (c:Comm) RETURN c")
+    router = engine._incremental.input_layer.router
+    assert len(router) == 2
+    assert "Post" in router._v_membership.keyed
+    view.detach()
+    assert len(router) == 1
+    # emptied keyed buckets are deleted, not left behind as dead keys
+    assert "Post" not in router._v_membership.keyed
+    post = graph.add_vertex(labels=["Post"])  # routed nowhere, must not raise
+    graph.add_vertex(labels=["Comm"])
+    graph.remove_vertex(post)
+    assert keeper.multiset() == engine.evaluate("MATCH (c:Comm) RETURN c").multiset()
+
+
+def test_private_layer_routes_too():
+    """share_inputs=False networks route through their own router."""
+    pair_kwargs = dict(share_inputs=False)
+    graphs = (PropertyGraph(), PropertyGraph())
+    routed = QueryEngine(graphs[0], route_events=True, **pair_kwargs)
+    broadcast = QueryEngine(graphs[1], route_events=False, **pair_kwargs)
+    views = [
+        (routed.register(q), broadcast.register(q)) for q in QUERIES[:6]
+    ]
+    rng = random.Random(42)
+    for _ in range(60):
+        vertices = list(graphs[0].vertices())
+        edges = list(graphs[0].edges())
+        op = _random_op(rng, vertices, edges)
+        for graph in graphs:
+            op(graph)
+        for r, b in views:
+            assert r.multiset() == b.multiset()
+
+
+def test_routing_is_default_and_selectable():
+    graph = PropertyGraph()
+    assert QueryEngine(graph)._incremental.input_layer.router is not None
+    assert (
+        QueryEngine(PropertyGraph(), route_events=False)
+        ._incremental.input_layer.router
+        is None
+    )
