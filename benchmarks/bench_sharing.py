@@ -1,0 +1,270 @@
+"""E14 — cross-view subplan sharing vs. the input-only baseline.
+
+A many-views deployment where the views *overlap*: every view needs the
+``(p:Post)-[:REPLY]->(c:Comm)`` join core (most behind the same
+``p.lang = c.lang`` selection), differing only in the projection,
+deduplication, or aggregation stacked on top — the realistic regime where
+many users watch the same data through slightly different queries.  With
+``share_subplans=True`` the engine's
+:class:`~repro.rete.sharing.SharedSubplanLayer` builds that core **once**:
+one join memory instead of N, and each graph event pays the join work once
+instead of N times.  The input-only baseline (``share_subplans=False``,
+PR 2's E11 layer) still shares the ©/⇑ leaves but duplicates every
+interior node per view.
+
+Every run is correctness-gated: both engines replay the identical stream
+over identical graphs, and at the end all view multisets must agree
+pairwise *and* with one-shot re-evaluation.
+
+The standalone main asserts a ≥2x reduction in total ``memory_cells()``
+and an event-throughput win at 8+ overlapping views, and writes a
+``BENCH_sharing.json`` trajectory point; ``--smoke`` runs a tiny
+differential-only configuration (no timing claims) for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from pathlib import Path
+
+from repro import PropertyGraph, QueryEngine
+from repro.bench import Timer, format_table, speedup
+
+SEED = 53
+SMOKE_SIZES = {"posts": 12, "comments_per_post": 3, "operations": 150, "views": 8}
+FULL_SIZES = {"posts": 60, "comments_per_post": 6, "operations": 2500, "views": 12}
+
+LANGS = ("en", "de", "hu", "fr")
+
+#: view tops over the shared ``σ_{p.lang=c.lang}(⋈(©Post, ⇑REPLY, ©Comm))``
+#: core (the last two share only the join, not the selection); cycling
+#: through these at 8+ views re-registers several of them — many users
+#: genuinely watching the same query
+VIEW_SHAPES = (
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang "
+    "RETURN p.lang AS lang, count(*) AS n",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN DISTINCT p",
+    "MATCH (x:Post)-[:REPLY]->(y:Comm) WHERE x.lang = y.lang RETURN y, x",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN c.lang AS lang, count(*) AS n",
+)
+
+
+def build_graph(posts: int, comments_per_post: int, seed: int = SEED):
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    post_ids, comment_ids = [], []
+    for _ in range(posts):
+        post_ids.append(
+            graph.add_vertex(
+                labels=["Post"], properties={"lang": rng.choice(LANGS)}
+            )
+        )
+    for post in post_ids:
+        for _ in range(comments_per_post):
+            comment = graph.add_vertex(
+                labels=["Comm"], properties={"lang": rng.choice(LANGS)}
+            )
+            comment_ids.append(comment)
+            graph.add_edge(post, comment, "REPLY")
+    return graph, post_ids, comment_ids
+
+
+def churn_ops(sizes: dict, seed: int = SEED + 1):
+    """A deterministic op list; replaying it over identical graphs
+    produces identical event streams (id counters advance in lockstep,
+    so new-entity ids can be precomputed)."""
+    rng = random.Random(seed)
+    posts = list(range(1, sizes["posts"] + 1))
+    comment_count = sizes["posts"] * sizes["comments_per_post"]
+    comments = list(range(sizes["posts"] + 1, sizes["posts"] + comment_count + 1))
+    next_vertex = sizes["posts"] + comment_count + 1
+    next_edge = comment_count + 1
+    live_edges = list(range(1, next_edge))
+    ops = []
+    for _ in range(sizes["operations"]):
+        roll = rng.random()
+        if roll < 0.30:
+            post, lang = rng.choice(posts), rng.choice(LANGS)
+            comment = next_vertex
+
+            def add_comment(g, p=post, l=lang, c=comment):
+                g.add_vertex(labels=["Comm"], properties={"lang": l})
+                g.add_edge(p, c, "REPLY")
+
+            ops.append(add_comment)
+            comments.append(comment)
+            live_edges.append(next_edge)
+            next_vertex += 1
+            next_edge += 1
+        elif roll < 0.55:
+            vertex = rng.choice(posts if rng.random() < 0.5 else comments)
+            lang = rng.choice(LANGS)
+            ops.append(
+                lambda g, v=vertex, l=lang: g.set_vertex_property(v, "lang", l)
+            )
+        elif roll < 0.75 and live_edges:
+            edge = live_edges.pop(rng.randrange(len(live_edges)))
+            ops.append(
+                lambda g, e=edge: g.remove_edge(e) if g.has_edge(e) else None
+            )
+        else:
+            vertex = rng.choice(comments)
+            ops.append(
+                lambda g, v=vertex: (
+                    g.add_label(v, "Flagged")
+                    if "Flagged" not in g.labels_view(v)
+                    else g.remove_label(v, "Flagged")
+                )
+            )
+    return ops
+
+
+def view_queries(count: int) -> list[str]:
+    return [VIEW_SHAPES[i % len(VIEW_SHAPES)] for i in range(count)]
+
+
+def run_stream(sizes: dict, share_subplans: bool):
+    """Replay the churn stream under one sharing mode.
+
+    Returns (seconds, memory_cells, views, engine); timing covers only the
+    event loop.
+    """
+    graph, *_ = build_graph(sizes["posts"], sizes["comments_per_post"])
+    engine = QueryEngine(graph, share_subplans=share_subplans)
+    views = [engine.register(q) for q in view_queries(sizes["views"])]
+    ops = churn_ops(sizes)
+    with Timer() as timer:
+        for op in ops:
+            op(graph)
+    memory = engine.memory_cells()
+    return timer.seconds, memory, views, engine
+
+
+def verify(sizes: dict, shared_views, baseline_views, engine) -> None:
+    """The differential oracle gate: shared == input-only == recomputation."""
+    for query, shared, baseline in zip(
+        view_queries(sizes["views"]), shared_views, baseline_views
+    ):
+        assert shared.multiset() == baseline.multiset(), query
+        assert shared.multiset() == engine.evaluate(query).multiset(), query
+
+
+def run_pair(sizes: dict, rounds: int = 1):
+    shared_seconds, shared_memory, shared_views, shared_engine = run_stream(
+        sizes, True
+    )
+    baseline_seconds, baseline_memory, baseline_views, _ = run_stream(
+        sizes, False
+    )
+    verify(sizes, shared_views, baseline_views, shared_engine)
+    for _ in range(rounds - 1):
+        shared_seconds = min(shared_seconds, run_stream(sizes, True)[0])
+        baseline_seconds = min(baseline_seconds, run_stream(sizes, False)[0])
+    return shared_seconds, baseline_seconds, shared_memory, baseline_memory
+
+
+# -- pytest-benchmark kernels --------------------------------------------------
+
+
+def test_sharing_subplans(benchmark):
+    benchmark.pedantic(lambda: run_stream(SMOKE_SIZES, True), rounds=3, iterations=1)
+
+
+def test_sharing_input_only(benchmark):
+    benchmark.pedantic(lambda: run_stream(SMOKE_SIZES, False), rounds=3, iterations=1)
+
+
+def test_shared_matches_baseline_and_oracle():
+    run_pair(SMOKE_SIZES)
+
+
+def test_shared_memory_is_smaller():
+    _, _, shared_memory, baseline_memory = run_pair(SMOKE_SIZES)
+    assert shared_memory * 2 <= baseline_memory
+
+
+# -- standalone report ---------------------------------------------------------
+
+
+def main(smoke: bool = False) -> None:
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    operations = sizes["operations"]
+    print(
+        f"subplan sharing churn: {operations} events, {sizes['views']} "
+        f"overlapping views over one σ(⋈(©Post, ⇑REPLY)) core"
+    )
+    shared_seconds, baseline_seconds, shared_memory, baseline_memory = run_pair(
+        sizes, rounds=1 if smoke else 3
+    )
+    print("differential oracle: subplans == input-only == recomputation ✓")
+    rows = [
+        [
+            "input-only (share_subplans=False)",
+            baseline_seconds,
+            f"{operations / baseline_seconds:.0f}",
+            baseline_memory,
+            "1.0x",
+        ],
+        [
+            "subplans (SharedSubplanLayer)",
+            shared_seconds,
+            f"{operations / shared_seconds:.0f}",
+            shared_memory,
+            speedup(baseline_seconds, shared_seconds),
+        ],
+    ]
+    print(
+        format_table(
+            ["sharing", "total", "events/sec", "memory cells", "vs baseline"],
+            rows,
+            title="E14 — cross-view subplan sharing on overlapping views",
+        )
+    )
+    memory_ratio = baseline_memory / max(shared_memory, 1)
+    throughput_ratio = baseline_seconds / shared_seconds
+    print(
+        f"memory: {memory_ratio:.1f}x fewer cells; "
+        f"throughput: {throughput_ratio:.2f}x"
+    )
+    if smoke:
+        assert memory_ratio >= 2.0, (
+            f"subplan sharing should at least halve memory cells, got "
+            f"{memory_ratio:.1f}x"
+        )
+        print("\nsmoke mode: sharing paths exercised, timings not asserted")
+        return
+    point = {
+        "experiment": "sharing",
+        "views": sizes["views"],
+        "events": operations,
+        "baseline_seconds": baseline_seconds,
+        "shared_seconds": shared_seconds,
+        "baseline_events_per_sec": operations / baseline_seconds,
+        "shared_events_per_sec": operations / shared_seconds,
+        "baseline_memory_cells": baseline_memory,
+        "shared_memory_cells": shared_memory,
+        "memory_ratio": memory_ratio,
+        "throughput_speedup": throughput_ratio,
+    }
+    Path("BENCH_sharing.json").write_text(json.dumps(point, indent=2) + "\n")
+    print(f"\nwrote BENCH_sharing.json (memory {memory_ratio:.1f}x, " \
+          f"throughput {throughput_ratio:.2f}x)")
+    assert memory_ratio >= 2.0, (
+        f"subplan sharing should at least halve memory cells at "
+        f"{sizes['views']} views, got {memory_ratio:.1f}x"
+    )
+    assert throughput_ratio > 1.0, (
+        f"subplan sharing should win on event throughput, got "
+        f"{throughput_ratio:.2f}x"
+    )
+    print(
+        f"≥2x memory and >1x throughput at {sizes['views']} overlapping views ✓"
+    )
+
+
+if __name__ == "__main__":
+    main(smoke="--smoke" in sys.argv[1:])

@@ -206,6 +206,26 @@ class GetEdges(Operator):
             projections=tuple(projections),
         )
 
+    def projection_roles(self) -> tuple[tuple[str, str, str | None], ...]:
+        """Pushed-down columns keyed by role, not by variable name.
+
+        The canonical ``(role, kind, key)`` form every sharing key uses
+        (input signatures, within-network caches, subplan fingerprints):
+        tuple layout depends only on this, never on variable names.
+        """
+        return tuple(
+            (
+                "src"
+                if p.subject == self.src
+                else "edge"
+                if p.subject == self.edge
+                else "tgt",
+                p.kind,
+                p.key,
+            )
+            for p in self.projections
+        )
+
 
 # ---------------------------------------------------------------------------
 # GRA-only: expand

@@ -49,6 +49,7 @@ class QueryEngine:
         share_inputs: bool = True,
         batch_transactions: bool = False,
         route_events: bool = True,
+        share_subplans: bool = True,
     ):
         self.graph = graph
         self._incremental = IncrementalEngine(
@@ -57,6 +58,7 @@ class QueryEngine:
             share_inputs=share_inputs,
             batch_transactions=batch_transactions,
             route_events=route_events,
+            share_subplans=share_subplans,
         )
         self._plan_cache: dict[str, CompiledQuery] = {}
 
@@ -182,6 +184,14 @@ class QueryEngine:
     @property
     def views(self) -> tuple[View, ...]:
         return self._incremental.views
+
+    def memory_size(self) -> int:
+        """Total memory entries across all views, shared nodes counted once."""
+        return self._incremental.memory_size()
+
+    def memory_cells(self) -> int:
+        """Total stored tuple fields, shared nodes counted once."""
+        return self._incremental.memory_cells()
 
 
 __all__ = ["QueryEngine", "ExecutionResult", "UnsupportedForIncrementalError"]

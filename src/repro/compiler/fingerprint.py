@@ -1,0 +1,239 @@
+"""Canonical fingerprints for FRA subtrees (cross-view subplan sharing).
+
+Two views that both compute ``σ(⋈(©(:Post), ⇑[:REPLY]))`` should pay for
+that subnetwork **once** — the paper's engine lineage (ingraph, Viatra,
+refs [31, 33]) shares whole Rete subnetworks between queries, not just
+base-relation inputs.  The sharing decision needs an equality notion for
+subplans that is *structural modulo variable renaming*: tuple layouts are
+positional, so ``MATCH (p:Post)-[:REPLY]->(c:Comm)`` and
+``MATCH (x:Post)-[:REPLY]->(y:Comm)`` build byte-identical dataflow nodes
+even though every variable differs.
+
+:func:`fingerprint` computes that notion as a hashable canonical tree:
+
+* variable references are replaced by their *schema position* in the
+  operator's input (alpha-equivalence — names never appear),
+* output attribute names of π / γ / ω are dropped (they only feed
+  downstream references, which are themselves canonicalised by position),
+* label/type *sets* are sorted (``©(:A:B)`` ≡ ``©(:B:A)``),
+* pushed-down projections keep their order (they fix the tuple layout)
+  but are keyed by role/kind/key, not by variable,
+* query parameters stay **symbolic** (``$min`` fingerprints as its name);
+  whether two views' bindings for ``$min`` actually agree is decided by
+  the sharing layer, which pairs the fingerprint with the resolved
+  bindings of exactly the parameters the subtree mentions.
+
+Anything the canonicaliser does not understand (an unknown operator, an
+unhashable literal) makes the subtree — and therefore every ancestor —
+unshareable; :func:`fingerprint` returns ``None`` and the network builder
+falls back to a private node.  That keeps sharing a pure optimisation:
+opting out is always safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+
+from ..algebra import ops
+from ..algebra.schema import Schema
+from ..cypher import ast
+from ..errors import CompilerError
+
+
+class _Unfingerprintable(Exception):
+    """Internal: this subtree cannot participate in subplan sharing."""
+
+
+@dataclass(frozen=True, slots=True)
+class SubplanFingerprint:
+    """A canonical, hashable identity for one FRA subtree.
+
+    ``structure`` is the alpha-equivalent canonical tree; ``parameters``
+    names every ``$param`` the subtree mentions, so the sharing layer can
+    refuse to share across differing bindings.
+    """
+
+    structure: tuple
+    parameters: frozenset[str]
+
+
+def fingerprint(op: ops.Operator) -> SubplanFingerprint | None:
+    """Canonical fingerprint of *op*'s subtree, or ``None`` if unshareable."""
+    parameters: set[str] = set()
+    try:
+        structure = _fp(op, parameters)
+    except _Unfingerprintable:
+        return None
+    return SubplanFingerprint(structure, frozenset(parameters))
+
+
+# ---------------------------------------------------------------------------
+# expression canonicalisation (names → schema positions)
+# ---------------------------------------------------------------------------
+
+
+def _canon_scalar(value) -> tuple:
+    """A literal constant; the type tag keeps ``1`` and ``True`` apart."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return (type(value).__name__, value)
+    raise _Unfingerprintable(f"literal {value!r}")
+
+
+def _canon_expr(expr: ast.Expr, schema: Schema, parameters: set[str]) -> tuple:
+    if isinstance(expr, ast.Variable):
+        try:
+            return ("var", schema.index_of(expr.name))
+        except CompilerError:
+            raise _Unfingerprintable(expr.name) from None
+    if isinstance(expr, ast.Parameter):
+        parameters.add(expr.name)
+        return ("param", expr.name)
+    if isinstance(expr, ast.Literal):
+        return ("lit",) + _canon_scalar(expr.value)
+    # Every other expression node is a frozen dataclass whose fields are
+    # sub-expressions, tuples thereof, or plain scalars — canonicalise
+    # generically so new AST nodes are covered without touching this file.
+    parts = tuple(
+        _canon_field(getattr(expr, field.name), schema, parameters)
+        for field in dataclass_fields(expr)
+    )
+    return (type(expr).__name__, parts)
+
+
+def _canon_field(value, schema: Schema, parameters: set[str]):
+    if isinstance(value, ast.Expr):
+        return _canon_expr(value, schema, parameters)
+    if isinstance(value, tuple):
+        return tuple(_canon_field(item, schema, parameters) for item in value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise _Unfingerprintable(f"field {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# operator canonicalisation
+# ---------------------------------------------------------------------------
+
+
+def _fp(op: ops.Operator, parameters: set[str]) -> tuple:
+    if isinstance(op, ops.Unit):
+        return ("unit",)
+
+    if isinstance(op, ops.GetVertices):
+        return (
+            "get-v",
+            tuple(sorted(op.labels)),
+            tuple((p.kind, p.key) for p in op.projections),
+        )
+
+    if isinstance(op, ops.GetEdges):
+        return (
+            "get-e",
+            tuple(sorted(op.types)),
+            tuple(sorted(op.src_labels)),
+            tuple(sorted(op.tgt_labels)),
+            op.directed,
+            op.projection_roles(),
+        )
+
+    if isinstance(op, ops.Select):
+        child = op.children[0]
+        return (
+            "select",
+            _fp(child, parameters),
+            _canon_expr(op.predicate, child.schema, parameters),
+        )
+
+    if isinstance(op, ops.Project):
+        child = op.children[0]
+        return (
+            "project",
+            _fp(child, parameters),
+            tuple(
+                _canon_expr(expr, child.schema, parameters) for _, expr in op.items
+            ),
+        )
+
+    if isinstance(op, ops.Dedup):
+        return ("dedup", _fp(op.children[0], parameters))
+
+    if isinstance(op, ops.Unwind):
+        child = op.children[0]
+        return (
+            "unwind",
+            _fp(child, parameters),
+            _canon_expr(op.expression, child.schema, parameters),
+        )
+
+    if isinstance(op, ops.Aggregate):
+        child = op.children[0]
+        return (
+            "aggregate",
+            _fp(child, parameters),
+            tuple(_canon_expr(expr, child.schema, parameters) for _, expr in op.keys),
+            tuple(
+                (
+                    spec.function,
+                    spec.distinct,
+                    _canon_expr(spec.argument, child.schema, parameters)
+                    if spec.argument is not None
+                    else None,
+                )
+                for spec in op.aggregates
+            ),
+        )
+
+    if isinstance(op, ops.Join):
+        left, right = op.children
+        return (
+            "join",
+            _fp(left, parameters),
+            _fp(right, parameters),
+            tuple(left.schema.index_of(n) for n in op.common),
+            tuple(right.schema.index_of(n) for n in op.common),
+            tuple(i for i, a in enumerate(right.schema) if a.name not in op.common),
+        )
+
+    if isinstance(op, ops.AntiJoin):
+        left, right = op.children
+        return (
+            "antijoin",
+            _fp(left, parameters),
+            _fp(right, parameters),
+            tuple(left.schema.index_of(n) for n in op.common),
+            tuple(right.schema.index_of(n) for n in op.common),
+        )
+
+    if isinstance(op, ops.LeftOuterJoin):
+        left, right = op.children
+        return (
+            "leftouterjoin",
+            _fp(left, parameters),
+            _fp(right, parameters),
+            tuple(left.schema.index_of(n) for n in op.common),
+            tuple(right.schema.index_of(n) for n in op.common),
+            tuple(i for i, a in enumerate(right.schema) if a.name not in op.common),
+        )
+
+    if isinstance(op, ops.Union):
+        return (
+            "union",
+            _fp(op.children[0], parameters),
+            _fp(op.children[1], parameters),
+            op.right_permutation,
+        )
+
+    if isinstance(op, ops.TransitiveJoin):
+        left = op.children[0]
+        return (
+            "transitive",
+            _fp(left, parameters),
+            _fp(op.edges, parameters),
+            left.schema.index_of(op.source),
+            op.direction,
+            op.min_hops,
+            op.max_hops,
+            op.path_alias is not None,
+        )
+
+    raise _Unfingerprintable(type(op).__name__)

@@ -466,6 +466,16 @@ class PropertyGraph:
     def labels_of(self, vertex_id: int) -> frozenset[str]:
         return frozenset(self._vertex(vertex_id).labels)
 
+    def labels_view(self, vertex_id: int) -> set[str]:
+        """The vertex's label set *uncopied* — read-only by contract.
+
+        Hot paths (the event router narrows candidates per routed property
+        event) read labels without keeping them; handing out the internal
+        set skips the frozenset copy :meth:`labels_of` pays.  Callers must
+        neither mutate nor retain the result across graph mutations.
+        """
+        return self._vertex(vertex_id).labels
+
     def has_label(self, vertex_id: int, label: str) -> bool:
         return label in self._vertex(vertex_id).labels
 

@@ -35,7 +35,7 @@ from ..graph.graph import PropertyGraph
 from .batch import BatchAccumulator
 from .deltas import Delta
 from .network import ReteNetwork
-from .sharing import SharedInputLayer
+from .sharing import SharedInputLayer, SharedSubplanLayer
 
 
 class View:
@@ -79,6 +79,9 @@ class View:
     def memory_size(self) -> int:
         return self.network.memory_size()
 
+    def memory_cells(self) -> int:
+        return self.network.memory_cells()
+
     def profile(self) -> str:
         """Per-node delta/row/memory counters for this view's network."""
         return self.network.profile()
@@ -95,6 +98,14 @@ class IncrementalEngine:
     each graph event is translated once per distinct ©/⇑ signature instead
     of once per view.  Set it to ``False`` to give every view a private
     input layer (the ablation baseline of experiment E11).
+
+    With ``share_subplans=True`` (the default; requires ``share_inputs``)
+    the layer is a :class:`~repro.rete.sharing.SharedSubplanLayer` and
+    sharing extends to whole interior subtrees: overlapping views share
+    selections, joins, aggregates — their memories *and* their per-event
+    work — keyed by the canonical subplan fingerprint.
+    ``share_subplans=False`` keeps input-only sharing as the ablation
+    baseline.
     """
 
     def __init__(
@@ -104,15 +115,18 @@ class IncrementalEngine:
         share_inputs: bool = True,
         batch_transactions: bool = False,
         route_events: bool = True,
+        share_subplans: bool = True,
     ):
         self.graph = graph
         self.transitive_mode = transitive_mode
         self.route_events = route_events
-        self.input_layer = (
-            SharedInputLayer(graph, route_events=route_events)
-            if share_inputs
-            else None
-        )
+        if share_inputs:
+            layer_cls = SharedSubplanLayer if share_subplans else SharedInputLayer
+            self.input_layer: SharedInputLayer | None = layer_cls(
+                graph, route_events=route_events
+            )
+        else:
+            self.input_layer = None
         self._views: list[View] = []
         # views whose networks own private input nodes (share_inputs=False);
         # with a shared layer per-view dispatch would be a guaranteed no-op
@@ -252,6 +266,22 @@ class IncrementalEngine:
     @property
     def views(self) -> tuple[View, ...]:
         return tuple(self._views)
+
+    # -- engine-wide metrics ---------------------------------------------------
+
+    def memory_size(self) -> int:
+        """Total memory entries across all views, shared nodes counted once."""
+        layer = self.input_layer.memory_size() if self.input_layer else 0
+        return layer + sum(
+            view.network.private_memory_size() for view in self._views
+        )
+
+    def memory_cells(self) -> int:
+        """Total stored tuple fields, shared nodes counted once."""
+        layer = self.input_layer.memory_cells() if self.input_layer else 0
+        return layer + sum(
+            view.network.private_memory_cells() for view in self._views
+        )
 
 
 class BatchScope:

@@ -1,6 +1,6 @@
 """Rete network construction from an FRA plan (paper §4, step 4).
 
-``build_network`` translates each FRA operator into its incremental node:
+``ReteNetwork`` translates each FRA operator into its incremental node:
 
 =================  =========================================
 FRA operator       Rete node
@@ -19,10 +19,27 @@ FRA operator       Rete node
 ⋈* transitive      :class:`~.nodes.transitive.TransitiveClosureNode`
 =================  =========================================
 
-Identical base relations are shared between subplans (classic Rete node
-sharing): two ©/⇑ operators with the same labels/types/projections feed
-from one input node, since tuple layout depends only on those parameters,
-not on variable names.
+Node sharing happens at three scopes:
+
+* **within one network** identical base relations share an input node
+  (classic Rete sharing; tuple layout depends only on labels/types and
+  pushed projections, never on variable names);
+* **across views, inputs** — with a :class:`~.sharing.SharedInputLayer`
+  the ©/⇑/unit leaves come from an engine-owned cache;
+* **across views, subplans** — with a
+  :class:`~.sharing.SharedSubplanLayer` *any* interior subtree whose
+  canonical fingerprint matches a live cached node is cut over to that
+  node, so overlapping views share join memories and per-event work.
+
+The builder classifies every subscription edge it creates:
+
+* *replay* edges (from an already-populated shared node into a node built
+  here) receive the upstream's current state during :meth:`populate` —
+  targeted activation, applied only to this network's edges;
+* *detach* edges (from a layer-owned node into a private node of this
+  network) are the ones removed again by :meth:`disconnect_shared`;
+* structural edges between two layer-owned nodes belong to the sharing
+  layer and live exactly as long as their downstream subplan does.
 """
 
 from __future__ import annotations
@@ -43,7 +60,7 @@ from .nodes.production import ProductionNode
 from .nodes.transitive import EDGES, ReachabilityNode, TransitiveClosureNode
 from .nodes.unary import DedupNode, ProjectionNode, SelectionNode, UnwindNode
 from .router import EventRouter
-from .sharing import SharedInputLayer
+from .sharing import SharedInputLayer, SharedSubplanLayer
 
 
 class ReteNetwork:
@@ -67,6 +84,9 @@ class ReteNetwork:
         self.ctx = EvalContext(dict(parameters or {}))
         self.transitive_mode = transitive_mode
         self.input_layer = input_layer
+        self.subplan_layer: SharedSubplanLayer | None = (
+            input_layer if isinstance(input_layer, SharedSubplanLayer) else None
+        )
         self.vertex_inputs: list[VertexInputNode] = []
         self.edge_inputs: list[EdgeInputNode] = []
         self.unit_inputs: list[UnitNode] = []
@@ -74,15 +94,20 @@ class ReteNetwork:
         self.all_nodes: list[Node] = []
         self._vertex_cache: dict[tuple, VertexInputNode] = {}
         self._edge_cache: dict[tuple, EdgeInputNode] = {}
-        # shared input node -> subscriber count at acquisition; every edge
-        # appended after that belongs to this network (targeted activation
-        # and detach use this to address only our subscriptions)
-        self._shared_marks: dict[int, tuple[Node, int]] = {}
+        # layer-owned nodes this network reads (inputs and shared subplans),
+        # in first-use order; fresh-this-build shared nodes are additionally
+        # tracked so replay never double-feeds a node that is populated by
+        # propagation from its own upstreams
+        self._shared_nodes: dict[int, Node] = {}
+        self._fresh_shared: set[int] = set()
+        self._acquired_keys: list[tuple] = []
+        self._replay_edges: list[tuple[Node, Node, int]] = []
+        self._detach_edges: list[tuple[Node, Node, int]] = []
 
         root = self._build(plan)
         self.production = ProductionNode(plan.schema)
-        root.subscribe(self.production, LEFT)
         self.all_nodes.append(self.production)
+        self._connect(root, self.production, LEFT)
         # Private input layers get their own interest router; with a shared
         # layer this network owns no input nodes and routing lives there.
         self.router: EventRouter | None = None
@@ -92,12 +117,10 @@ class ReteNetwork:
                 self.router.register_vertex_node(node)
             for edge_node in self.edge_inputs:
                 self.router.register_edge_node(edge_node)
-        # Freeze this network's shared subscription edges now: edges other
-        # views append later must not be attributed to this network.
+        # The frontier between the sharing layers and this network, frozen:
+        # exactly the edges disconnect_shared() must remove on detach.
         self.shared_edges: tuple[tuple[Node, Node, int], ...] = tuple(
-            (node, subscriber, side)
-            for node, mark in self._shared_marks.values()
-            for subscriber, side in node._subscribers[mark:]
+            self._detach_edges
         )
 
     # -- construction -----------------------------------------------------
@@ -106,22 +129,33 @@ class ReteNetwork:
         self.all_nodes.append(node)
         return node
 
-    def _acquire_shared(self, node: Node) -> Node:
-        if id(node) not in self._shared_marks:
-            self._shared_marks[id(node)] = (node, node.subscriber_count)
+    def _use_shared(self, node: Node) -> Node:
+        self._shared_nodes.setdefault(id(node), node)
         return node
+
+    def _connect(self, upstream: Node, node: Node, side: int) -> None:
+        """Subscribe and classify one dataflow edge (see module docstring)."""
+        upstream.subscribe(node, side)
+        if id(upstream) not in self._shared_nodes:
+            return  # private upstream: lives and dies with this network
+        if id(node) not in self._shared_nodes:
+            self._detach_edges.append((upstream, node, side))
+        if id(upstream) not in self._fresh_shared:
+            # input nodes are never in _fresh_shared: their "state" is the
+            # graph itself, so even a node the layer just created replays
+            self._replay_edges.append((upstream, node, side))
 
     def _build(self, op: ops.Operator) -> Node:
         if isinstance(op, ops.Unit):
             if self.input_layer is not None:
-                return self._acquire_shared(self.input_layer.unit_node(op.schema))
+                return self._use_shared(self.input_layer.unit_node(op.schema))
             node = UnitNode(op.schema)
             self.unit_inputs.append(node)
             return self._register(node)
 
         if isinstance(op, ops.GetVertices):
             if self.input_layer is not None:
-                return self._acquire_shared(self.input_layer.vertex_node(op))
+                return self._use_shared(self.input_layer.vertex_node(op))
             key = (op.labels, op.projections)
             cached = self._vertex_cache.get(key)
             if cached is not None:
@@ -133,21 +167,14 @@ class ReteNetwork:
 
         if isinstance(op, ops.GetEdges):
             if self.input_layer is not None:
-                return self._acquire_shared(self.input_layer.edge_node(op))
-            # Projections are keyed by role, not by variable name.
-            roles = tuple(
-                (
-                    "src"
-                    if p.subject == op.src
-                    else "edge"
-                    if p.subject == op.edge
-                    else "tgt",
-                    p.kind,
-                    p.key,
-                )
-                for p in op.projections
+                return self._use_shared(self.input_layer.edge_node(op))
+            key = (
+                op.types,
+                op.src_labels,
+                op.tgt_labels,
+                op.directed,
+                op.projection_roles(),
             )
-            key = (op.types, op.src_labels, op.tgt_labels, op.directed, roles)
             cached = self._edge_cache.get(key)
             if cached is not None:
                 return cached
@@ -156,6 +183,35 @@ class ReteNetwork:
             self.edge_inputs.append(node)
             return self._register(node)
 
+        layer = self.subplan_layer
+        key = (
+            layer.subplan_key(op, self.ctx.parameters, (self.transitive_mode,))
+            if layer is not None
+            else None
+        )
+        if key is not None:
+            cached = layer.subplan_lookup(key)
+            if cached is not None:
+                layer.acquire(key)
+                self._acquired_keys.append(key)
+                return self._use_shared(cached)
+        node, edges = self._make_node(op)
+        if key is not None:
+            layer.subplan_adopt(key, node, tuple(edges))
+            layer.acquire(key)
+            self._acquired_keys.append(key)
+            self._use_shared(node)
+            self._fresh_shared.add(id(node))
+        else:
+            self._register(node)
+        for upstream, side in edges:
+            self._connect(upstream, node, side)
+        return node
+
+    def _make_node(
+        self, op: ops.Operator
+    ) -> tuple[Node, list[tuple[Node, int]]]:
+        """Build the node for *op* plus its (not yet subscribed) upstreams."""
         if isinstance(op, ops.Select):
             child = self._build(op.children[0])
             node = SelectionNode(
@@ -163,23 +219,18 @@ class ReteNetwork:
                 compile_expr(op.predicate, op.children[0].schema),
                 self.ctx,
             )
-            child.subscribe(node, LEFT)
-            return self._register(node)
+            return node, [(child, LEFT)]
 
         if isinstance(op, ops.Project):
             child = self._build(op.children[0])
             items = [
                 compile_expr(expr, op.children[0].schema) for _, expr in op.items
             ]
-            node = ProjectionNode(op.schema, items, self.ctx)
-            child.subscribe(node, LEFT)
-            return self._register(node)
+            return ProjectionNode(op.schema, items, self.ctx), [(child, LEFT)]
 
         if isinstance(op, ops.Dedup):
             child = self._build(op.children[0])
-            node = DedupNode(op.schema)
-            child.subscribe(node, LEFT)
-            return self._register(node)
+            return DedupNode(op.schema), [(child, LEFT)]
 
         if isinstance(op, ops.Unwind):
             child = self._build(op.children[0])
@@ -188,8 +239,7 @@ class ReteNetwork:
                 compile_expr(op.expression, op.children[0].schema),
                 self.ctx,
             )
-            child.subscribe(node, LEFT)
-            return self._register(node)
+            return node, [(child, LEFT)]
 
         if isinstance(op, ops.Aggregate):
             child = self._build(op.children[0])
@@ -206,9 +256,8 @@ class ReteNetwork:
                 ],
                 self.ctx,
             )
-            child.subscribe(node, LEFT)
             self.aggregates.append(node)
-            return self._register(node)
+            return node, [(child, LEFT)]
 
         if isinstance(op, ops.Join):
             left, right = op.children
@@ -224,9 +273,7 @@ class ReteNetwork:
                     if a.name not in op.common
                 ],
             )
-            left_node.subscribe(node, LEFT)
-            right_node.subscribe(node, RIGHT)
-            return self._register(node)
+            return node, [(left_node, LEFT), (right_node, RIGHT)]
 
         if isinstance(op, ops.AntiJoin):
             left, right = op.children
@@ -237,9 +284,7 @@ class ReteNetwork:
                 [left.schema.index_of(n) for n in op.common],
                 [right.schema.index_of(n) for n in op.common],
             )
-            left_node.subscribe(node, LEFT)
-            right_node.subscribe(node, RIGHT)
-            return self._register(node)
+            return node, [(left_node, LEFT), (right_node, RIGHT)]
 
         if isinstance(op, ops.LeftOuterJoin):
             left, right = op.children
@@ -255,17 +300,13 @@ class ReteNetwork:
                 extra,
             )
             node.configure_nulls(len(extra))
-            left_node.subscribe(node, LEFT)
-            right_node.subscribe(node, RIGHT)
-            return self._register(node)
+            return node, [(left_node, LEFT), (right_node, RIGHT)]
 
         if isinstance(op, ops.Union):
             left_node = self._build(op.children[0])
             right_node = self._build(op.children[1])
             node = UnionNode(op.schema, op.right_permutation)
-            left_node.subscribe(node, LEFT)
-            right_node.subscribe(node, RIGHT)
-            return self._register(node)
+            return node, [(left_node, LEFT), (right_node, RIGHT)]
 
         if isinstance(op, ops.TransitiveJoin):
             left = op.children[0]
@@ -290,9 +331,7 @@ class ReteNetwork:
                     op.max_hops,
                     emit_path=op.path_alias is not None,
                 )
-            left_node.subscribe(node, LEFT)
-            edges_node.subscribe(node, EDGES)
-            return self._register(node)
+            return node, [(left_node, LEFT), (edges_node, EDGES)]
 
         raise CompilerError(f"cannot build a Rete node for {type(op).__name__}")
 
@@ -301,13 +340,15 @@ class ReteNetwork:
     def populate(self) -> None:
         """Emit base rows and initial scans through the network.
 
-        Order matters: global aggregates first publish their empty-state
-        rows, then unit sources fire, then each input node streams the
-        current graph contents as one insertion delta.
+        Order matters: aggregates built here first publish their empty-state
+        rows, then this network's private input nodes stream the current
+        graph contents as one insertion delta each.
 
-        Shared input nodes (cross-view sharing) use *targeted activation*:
-        the current-state delta is applied only to this network's
-        subscription edges, never re-emitted to other views.  Construction
+        Shared nodes (cross-view sharing) use *targeted activation*: each
+        replay edge applies the upstream's current-state delta only to the
+        subscriber built by this network, never re-emitting to other views.
+        Input nodes recompute that state from the graph; interior subplans
+        reconstruct it from their memories (``state_delta``).  Construction
         and population happen back-to-back inside ``register``, so no graph
         event can slip in between.
         """
@@ -319,25 +360,33 @@ class ReteNetwork:
             node.activate(self.graph)
         for node in self.edge_inputs:
             node.activate(self.graph)
-        if not self.shared_edges:
+        if not self._replay_edges:
             return
         deltas: dict[int, Any] = {}
-        for kind in (UnitNode, VertexInputNode, EdgeInputNode):
-            for node, subscriber, side in self.shared_edges:
-                if not isinstance(node, kind):
-                    continue
-                delta = deltas.get(id(node))
+        for node, subscriber, side in self._replay_edges:
+            delta = deltas.get(id(node))
+            if delta is None:
+                delta = node.state_delta()
                 if delta is None:
-                    delta = node.activation_delta(self.graph)
-                    deltas[id(node)] = delta
-                if delta:
-                    subscriber.apply(delta, side)
+                    delta = self.subplan_layer.state_delta(node)
+                deltas[id(node)] = delta
+            if delta:
+                subscriber.apply(delta, side)
 
     def disconnect_shared(self) -> None:
-        """Detach this network's subscriptions from shared input nodes."""
+        """Detach this network from the sharing layers.
+
+        Removes this network's frontier subscriptions and releases its
+        subplan refcounts; the engine then prunes the layer, which cascades
+        the release down any shared chains nobody else reads.
+        """
         for node, subscriber, side in self.shared_edges:
             node.unsubscribe(subscriber, side)
         self.shared_edges = ()
+        if self.subplan_layer is not None:
+            for key in self._acquired_keys:
+                self.subplan_layer.release(key)
+            self._acquired_keys = []
 
     @property
     def has_private_inputs(self) -> bool:
@@ -387,24 +436,25 @@ class ReteNetwork:
     def profile(self) -> str:
         """PROFILE rendering: per-node traffic and memory counters.
 
-        One line per node in construction (bottom-up) order; shared input
-        nodes are marked, and their counters cover traffic for *all* views
-        they feed.
+        One line per node in construction (bottom-up) order; shared nodes
+        (inputs and subplans) are marked, and their counters cover traffic
+        for *all* views they feed.
         """
         header = (
             f"{'node':<28} {'schema':<34} {'deltas':>8} {'rows':>10} "
             f"{'memory':>8} {'cells':>8}"
         )
         lines = [header, "-" * len(header)]
-        seen: set[int] = set()
-        for node, _ in self._shared_marks.values():
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
+        for node in self._shared_nodes.values():
             lines.append(self._profile_line(node, shared=True))
         for node in self.all_nodes:
             lines.append(self._profile_line(node, shared=False))
         return "\n".join(lines)
+
+    def nodes(self):
+        """Every node this view reads: shared first, then private."""
+        yield from self._shared_nodes.values()
+        yield from self.all_nodes
 
     def _profile_line(self, node: Node, shared: bool) -> str:
         name = type(node).__name__.removesuffix("Node")
@@ -420,11 +470,27 @@ class ReteNetwork:
         )
 
     def memory_size(self) -> int:
-        """Total entries across all node memories (ablation metric)."""
-        return sum(node.memory_size() for node in self.all_nodes)
+        """Entries across all memories this view reads (ablation metric).
+
+        Shared nodes count fully here — this is the memory the view would
+        need privately; engine-level totals deduplicate shared nodes.
+        """
+        return self.private_memory_size() + sum(
+            node.memory_size() for node in self._shared_nodes.values()
+        )
 
     def memory_cells(self) -> int:
-        """Total stored tuple fields across all memories (width-sensitive)."""
+        """Total stored tuple fields this view reads (width-sensitive)."""
+        return self.private_memory_cells() + sum(
+            node.memory_cells() for node in self._shared_nodes.values()
+        )
+
+    def private_memory_size(self) -> int:
+        """Entries in memories owned by this network alone."""
+        return sum(node.memory_size() for node in self.all_nodes)
+
+    def private_memory_cells(self) -> int:
+        """Stored tuple fields in memories owned by this network alone."""
         return sum(node.memory_cells() for node in self.all_nodes)
 
     def node_count(self) -> int:

@@ -101,5 +101,11 @@ class AggregateNode(Node):
                 out.add(new_row, 1)
         self.emit(out)
 
+    def state_delta(self) -> Delta:
+        out = Delta()
+        for key, group in self.groups.items():
+            out.add(self._result_row(key, group), 1)
+        return out
+
     def memory_size(self) -> int:
         return len(self.groups)

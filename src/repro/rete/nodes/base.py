@@ -56,6 +56,30 @@ class Node:
     def apply(self, delta: Delta, side: int) -> None:
         raise NotImplementedError
 
+    def state_delta(self) -> Delta | None:
+        """Current output bag as an insertion delta, or ``None``.
+
+        Shared (cross-view) nodes use this for *targeted activation*: a
+        late-registering view replays the node's present output onto only
+        its own subscription edges, exactly like input nodes' existing
+        ``activation_delta`` protocol.  Stateful nodes reconstruct the bag
+        from their memories; stateless nodes return ``None`` and the
+        sharing layer derives their output by running :meth:`transform`
+        over the upstream states instead.
+        """
+        return None
+
+    def transform(self, delta: Delta, side: int) -> Delta:
+        """Pure output delta for *delta* on *side* — stateless nodes only.
+
+        Must not touch memories or emit; ``apply`` of a stateless node is
+        ``emit(transform(...))``, and the sharing layer reuses the same
+        function to reconstruct state for targeted activation.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} keeps state; use state_delta()"
+        )
+
     def memory_size(self) -> int:
         """Number of stored entries (for memory-footprint reporting)."""
         return 0

@@ -41,6 +41,11 @@ class UnitNode(Node):
         delta.add((), 1)
         return delta
 
+    def state_delta(self) -> Delta:
+        delta = Delta()
+        delta.add((), 1)
+        return delta
+
     def activate(self, graph: PropertyGraph) -> None:
         self.emit(self.activation_delta(graph))
 
@@ -107,6 +112,9 @@ class VertexInputNode(Node):
             if self._matches(graph.labels_of(vertex)):
                 delta.add(self._tuple(vertex), 1)
         return delta
+
+    def state_delta(self) -> Delta:
+        return self.activation_delta(self.graph)
 
     def activate(self, graph: PropertyGraph) -> None:
         self.emit(self.activation_delta(graph))
@@ -391,6 +399,9 @@ class EdgeInputNode(Node):
             for s, e, t in graph.edge_triples(edge_type):
                 self._edge_delta(e, s, t, 1, delta)
         return delta
+
+    def state_delta(self) -> Delta:
+        return self.activation_delta(self.graph)
 
     def activate(self, graph: PropertyGraph) -> None:
         self.emit(self.activation_delta(graph))

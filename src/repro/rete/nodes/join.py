@@ -44,6 +44,17 @@ class JoinNode(Node):
                 index_insert(self.right_index, key, row, multiplicity)
         self.emit(out)
 
+    def state_delta(self) -> Delta:
+        out = Delta()
+        for key, bucket in self.left_index.items():
+            matches = self.right_index.get(key)
+            if not matches:
+                continue
+            for row, multiplicity in bucket.items():
+                for other, m2 in matches.items():
+                    out.add(self._merge(row, other), multiplicity * m2)
+        return out
+
     def memory_size(self) -> int:
         return sum(len(b) for b in self.left_index.values()) + sum(
             len(b) for b in self.right_index.values()
@@ -96,6 +107,14 @@ class AntiJoinNode(Node):
                     for left_row, m in self.left_index.get(key, {}).items():
                         out.add(left_row, m)
         self.emit(out)
+
+    def state_delta(self) -> Delta:
+        out = Delta()
+        for key, bucket in self.left_index.items():
+            if self.right_counts.get(key, 0) == 0:
+                for row, multiplicity in bucket.items():
+                    out.add(row, multiplicity)
+        return out
 
     def memory_size(self) -> int:
         return sum(len(b) for b in self.left_index.values()) + len(self.right_counts)
@@ -164,6 +183,19 @@ class LeftOuterJoinNode(Node):
                         out.add(left_row + self._nulls, m)
         self.emit(out)
 
+    def state_delta(self) -> Delta:
+        out = Delta()
+        for key, bucket in self.left_index.items():
+            matches = self.right_index.get(key)
+            if matches:
+                for row, multiplicity in bucket.items():
+                    for other, m2 in matches.items():
+                        out.add(self._merge(row, other), multiplicity * m2)
+            else:
+                for row, multiplicity in bucket.items():
+                    out.add(row + self._nulls, multiplicity)
+        return out
+
     def memory_size(self) -> int:
         return (
             sum(len(b) for b in self.left_index.values())
@@ -178,7 +210,7 @@ class LeftOuterJoinNode(Node):
             for index in (self.left_index, self.right_index)
             for bucket in index.values()
             for row in bucket
-        )
+        ) + sum(len(key) for key in self.right_counts)
 
 
 class UnionNode(Node):
@@ -187,14 +219,19 @@ class UnionNode(Node):
     def __init__(self, schema, right_permutation: tuple[int, ...]):
         super().__init__(schema)
         self.right_permutation = right_permutation
+        # UNION arms frequently list columns in the same order; rebuilding
+        # every tuple through an identity permutation is pure overhead
+        self._identity = right_permutation == tuple(range(len(right_permutation)))
+
+    def transform(self, delta: Delta, side: int) -> Delta:
+        if side == LEFT or self._identity:
+            out = Delta()
+            out.update(delta)  # empty-destination bulk copy, no per-row adds
+            return out
+        out = Delta()
+        for row, multiplicity in delta.items():
+            out.add(tuple(row[i] for i in self.right_permutation), multiplicity)
+        return out
 
     def apply(self, delta: Delta, side: int) -> None:
-        if side == LEFT:
-            out = Delta(delta.items())
-        else:
-            out = Delta()
-            for row, multiplicity in delta.items():
-                out.add(
-                    tuple(row[i] for i in self.right_permutation), multiplicity
-                )
-        self.emit(out)
+        self.emit(self.transform(delta, side))

@@ -168,6 +168,22 @@ class TransitiveClosureNode(Node):
             self._emit_trail_delta(out, trail, -1)
         self.trails_by_edge.pop(e, None)
 
+    def state_delta(self) -> Delta:
+        out = Delta()
+        for source, rows in self.left_index.items():
+            trails = [
+                trail
+                for trail in self.trails_by_start.get(source, ())
+                if len(trail) >= self.min_hops
+            ]
+            for row, multiplicity in rows.items():
+                if self.min_hops == 0:
+                    zero = PathValue((source,), ())
+                    out.add(self._out_row(row, zero), multiplicity)
+                for trail in trails:
+                    out.add(self._out_row(row, trail), multiplicity)
+        return out
+
     def memory_size(self) -> int:
         return sum(len(s) for s in self.trails_by_start.values()) + sum(
             len(b) for b in self.left_index.values()
@@ -289,6 +305,15 @@ class ReachabilityNode(Node):
                     self._emit_target_diff(out, source, before, after)
                     self.reachable[source] = after
         self.emit(out)
+
+    def state_delta(self) -> Delta:
+        out = Delta()
+        for source, rows in self.left_index.items():
+            targets = self.reachable.get(source, ())
+            for row, multiplicity in rows.items():
+                for target in targets:
+                    out.add(row + (target,), multiplicity)
+        return out
 
     def memory_size(self) -> int:
         return sum(len(v) for v in self.reachable.values()) + sum(

@@ -20,12 +20,15 @@ class SelectionNode(Node):
         self.predicate = predicate
         self.ctx = ctx
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def transform(self, delta: Delta, side: int) -> Delta:
         out = Delta()
         for row, multiplicity in delta.items():
             if self.predicate(row, self.ctx) is True:
                 out.add(row, multiplicity)
-        self.emit(out)
+        return out
+
+    def apply(self, delta: Delta, side: int) -> None:
+        self.emit(self.transform(delta, side))
 
 
 class ProjectionNode(Node):
@@ -37,11 +40,14 @@ class ProjectionNode(Node):
         self.items = items
         self.ctx = ctx
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def transform(self, delta: Delta, side: int) -> Delta:
         out = Delta()
         for row, multiplicity in delta.items():
             out.add(tuple(fn(row, self.ctx) for fn in self.items), multiplicity)
-        self.emit(out)
+        return out
+
+    def apply(self, delta: Delta, side: int) -> None:
+        self.emit(self.transform(delta, side))
 
 
 class DedupNode(Node):
@@ -64,6 +70,12 @@ class DedupNode(Node):
                 raise AssertionError(f"negative multiplicity for {row}")
         self.emit(out)
 
+    def state_delta(self) -> Delta:
+        out = Delta()
+        for row in self.counts:
+            out.add(row, 1)
+        return out
+
     def memory_size(self) -> int:
         return len(self.counts)
 
@@ -80,7 +92,7 @@ class UnwindNode(Node):
         self.expression = expression
         self.ctx = ctx
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def transform(self, delta: Delta, side: int) -> Delta:
         out = Delta()
         for row, multiplicity in delta.items():
             value = self.expression(row, self.ctx)
@@ -89,4 +101,7 @@ class UnwindNode(Node):
             elements = list(value) if isinstance(value, ListValue) else [value]
             for element in elements:
                 out.add(row + (element,), multiplicity)
-        self.emit(out)
+        return out
+
+    def apply(self, delta: Delta, side: int) -> None:
+        self.emit(self.transform(delta, side))

@@ -242,13 +242,13 @@ class EventRouter:
                 self._v_label_watch.get(event.label),
             )
         if isinstance(event, ev.VertexPropertySet):
-            # membership first (one labels_of lookup replaces N), then the
-            # per-node key filter on the usually tiny candidate set
+            # membership first (one no-copy labels read replaces N lookups),
+            # then the per-node key filter on the usually tiny candidate set
             key = event.key
             return [
                 node
                 for node in self._vertex_membership_candidates(
-                    self.graph.labels_of(event.vertex_id)
+                    self.graph.labels_view(event.vertex_id)
                 )
                 if node._wants_properties or key in node._property_keys
             ]

@@ -1,26 +1,45 @@
-"""Cross-view input-node sharing (classic Rete subnetwork sharing).
+"""Cross-view subnetwork sharing (classic Rete node sharing, two tiers).
 
 Within one network, identical base relations already share an input node.
-This module extends the idea across *views*: an engine-owned
-:class:`SharedInputLayer` caches input nodes by their base-relation
-signature — two views over ``(p:Post {lang})`` feed from one
-:class:`~.nodes.input.VertexInputNode`, so each graph event is translated
-into tuples **once per distinct signature** instead of once per view.
-ingraph and Viatra (the paper's lineage, refs [31, 33]) both rely on this
-to keep many-view workloads affordable; ablation E11 quantifies it.
+This module extends the idea across *views*, in two tiers:
+
+* :class:`SharedInputLayer` caches **input nodes** by their base-relation
+  signature — two views over ``(p:Post {lang})`` feed from one
+  :class:`~.nodes.input.VertexInputNode`, so each graph event is
+  translated into tuples **once per distinct signature** instead of once
+  per view (ablation E11).
+* :class:`SharedSubplanLayer` extends the cache to **whole subplans**:
+  any interior node (σ, π, δ, ω, γ, ⋈, ▷, ⟕, ∪, ⋈*) is cached by the
+  canonical :mod:`~repro.compiler.fingerprint` of the FRA subtree it
+  computes, so two views that both need ``σ(⋈(©, ⇑))`` share one join
+  memory and pay the per-event join work once.  Entries are refcounted
+  per view and released on detach; ``prune()`` cascades the release down
+  shared chains until only live subplans remain.
+
+ingraph and Viatra (the paper's lineage, refs [31, 33]) both rely on
+subnetwork sharing to keep many-view workloads affordable.
 
 Late registration is handled by *targeted activation*: when a view joins a
-live input node, the current-state delta is applied only to the new view's
-subscription edges, never re-emitted to existing subscribers.
+live node, the current-state delta is applied only to the new view's
+subscription edges, never re-emitted to existing subscribers.  Input nodes
+recompute that delta from the graph (``activation_delta``); interior nodes
+reconstruct it from their memories (``state_delta``), with stateless nodes
+derived on demand by replaying their upstreams' state through the node's
+pure ``transform``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from ..algebra import ops
+from ..compiler.fingerprint import fingerprint
 from ..graph import events as ev
 from ..graph.graph import PropertyGraph
+from ..graph.values import freeze_value
+from .deltas import Delta
+from .nodes.base import Node
 from .nodes.input import EdgeInputNode, UnitNode, VertexInputNode
 from .router import EventRouter
 
@@ -34,6 +53,9 @@ class SharingStats:
     edge_requests: int = 0
     edge_nodes: int = 0
     unit_requests: int = 0
+    subplan_requests: int = 0
+    subplan_hits: int = 0
+    subplan_nodes: int = 0
 
     @property
     def requests(self) -> int:
@@ -51,15 +73,13 @@ def vertex_signature(op: ops.GetVertices) -> tuple:
 
 def edge_signature(op: ops.GetEdges) -> tuple:
     """Cache key for a ⇑ operator; projections keyed by role, not name."""
-    roles = tuple(
-        (
-            "src" if p.subject == op.src else "edge" if p.subject == op.edge else "tgt",
-            p.kind,
-            p.key,
-        )
-        for p in op.projections
+    return (
+        op.types,
+        op.src_labels,
+        op.tgt_labels,
+        op.directed,
+        op.projection_roles(),
     )
-    return (op.types, op.src_labels, op.tgt_labels, op.directed, roles)
 
 
 @dataclass
@@ -189,3 +209,186 @@ class SharedInputLayer:
             + len(self._edge_nodes)
             + (1 if self._unit_node is not None else 0)
         )
+
+    def _shared_nodes(self):
+        yield from self._vertex_nodes.values()
+        yield from self._edge_nodes.values()
+        if self._unit_node is not None:
+            yield self._unit_node
+
+    def memory_size(self) -> int:
+        """Total entries across layer-owned node memories (engine metric)."""
+        return sum(node.memory_size() for node in self._shared_nodes())
+
+    def memory_cells(self) -> int:
+        """Total stored tuple fields across layer-owned node memories."""
+        return sum(node.memory_cells() for node in self._shared_nodes())
+
+
+# ---------------------------------------------------------------------------
+# subplan tier
+# ---------------------------------------------------------------------------
+
+
+_MISSING_BINDING = ("$missing",)
+
+
+@dataclass
+class _SubplanEntry:
+    """One cached interior node: who feeds it, and how many views hold it."""
+
+    node: Node
+    upstreams: tuple[tuple[Node, int], ...]
+    refcount: int = 0
+
+
+class SharedSubplanLayer(SharedInputLayer):
+    """Input sharing plus a fingerprint-keyed cache of interior subplans.
+
+    The network builder asks :meth:`subplan_key` for a cache key before
+    building any interior node; on a hit it cuts the whole subtree over to
+    the cached node, on a miss it hands the freshly built node to
+    :meth:`subplan_adopt`.  Ownership is the layer's: a shared node
+    outlives the view that built it for as long as any view (or any live
+    downstream shared subplan) still needs it.
+
+    ``acquire``/``release`` refcount entries per registered view;
+    :meth:`prune` drops entries whose refcount is zero *and* that no live
+    subscriber still reads, unsubscribing them from their upstreams — which
+    can free upstream shared subplans and, finally, input nodes, so one
+    pass cascades the release down the whole shared chain.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._subplans: dict[tuple, _SubplanEntry] = {}
+        self._key_by_node: dict[int, tuple] = {}
+
+    # -- cache keys -----------------------------------------------------------
+
+    def subplan_key(
+        self,
+        op: ops.Operator,
+        parameters: Mapping[str, Any],
+        variant: tuple = (),
+    ) -> tuple | None:
+        """Cache key for *op*'s subtree, or ``None`` when unshareable.
+
+        The key pairs the alpha-equivalent structural fingerprint with the
+        resolved bindings of exactly the parameters the subtree mentions —
+        two views share a parameterised subplan only when their bindings
+        for those parameters agree.  *variant* folds in build options that
+        change node semantics (the engine's transitive mode).
+        """
+        fp = fingerprint(op)
+        if fp is None:
+            return None
+        bindings: tuple = ()
+        if fp.parameters:
+            try:
+                bindings = tuple(
+                    (name, self._binding_key(parameters[name]))
+                    if name in parameters
+                    else (name, _MISSING_BINDING)
+                    for name in sorted(fp.parameters)
+                )
+                hash(bindings)
+            except TypeError:
+                return None
+        return (fp, bindings, variant)
+
+    @staticmethod
+    def _binding_key(value: Any) -> tuple:
+        """An equality key for one parameter binding.
+
+        Python conflates ``1 == True == 1.0``, so raw values would let a
+        view reuse a subplan evaluated under a differently-*typed* binding.
+        The type tag plus ``repr`` (distinct for every frozen value the
+        expression layer can observe, nested values included) makes the key
+        exactly discriminate; over-discrimination would merely forgo a
+        share, never corrupt one.
+        """
+        frozen = freeze_value(value)
+        return (type(frozen).__name__, repr(frozen), frozen)
+
+    # -- node acquisition -----------------------------------------------------
+
+    def subplan_lookup(self, key: tuple) -> Node | None:
+        self.stats.subplan_requests += 1
+        entry = self._subplans.get(key)
+        if entry is None:
+            return None
+        self.stats.subplan_hits += 1
+        return entry.node
+
+    def subplan_adopt(
+        self, key: tuple, node: Node, upstreams: tuple[tuple[Node, int], ...]
+    ) -> None:
+        """Take ownership of a freshly built node under *key*."""
+        self._subplans[key] = _SubplanEntry(node, upstreams)
+        self._key_by_node[id(node)] = key
+        self.stats.subplan_nodes += 1
+
+    def acquire(self, key: tuple) -> None:
+        self._subplans[key].refcount += 1
+
+    def release(self, key: tuple) -> None:
+        entry = self._subplans.get(key)
+        if entry is not None:
+            entry.refcount -= 1
+
+    # -- targeted activation --------------------------------------------------
+
+    def state_delta(self, node: Node) -> Delta:
+        """Current output of a layer-owned node, for targeted activation.
+
+        Stateful nodes answer from their own memories; stateless ones are
+        derived by replaying each upstream's state through the node's pure
+        ``transform`` (upstream chains bottom out at input nodes, whose
+        state is the graph itself).
+        """
+        own = node.state_delta()
+        if own is not None:
+            return own
+        entry = self._subplans[self._key_by_node[id(node)]]
+        out = Delta()
+        for upstream, side in entry.upstreams:
+            out.update(node.transform(self.state_delta(upstream), side))
+        return out
+
+    # -- maintenance ----------------------------------------------------------
+
+    def prune(self) -> int:
+        """Drop dead subplans (cascading) and then dead input nodes.
+
+        A subplan dies when no view holds it (refcount zero) and no live
+        node still subscribes to its output; dropping it unsubscribes it
+        from its upstreams, which can push *them* to zero subscribers, so
+        the scan repeats until a fixpoint before the input tier is swept.
+        """
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for key, entry in list(self._subplans.items()):
+                if entry.refcount == 0 and entry.node.subscriber_count == 0:
+                    del self._subplans[key]
+                    self._key_by_node.pop(id(entry.node), None)
+                    for upstream, side in entry.upstreams:
+                        upstream.unsubscribe(entry.node, side)
+                    removed += 1
+                    changed = True
+        return removed + super().prune()
+
+    @property
+    def subplan_count(self) -> int:
+        return len(self._subplans)
+
+    @property
+    def node_count(self) -> int:
+        return super().node_count + len(self._subplans)
+
+    def _shared_nodes(self):
+        yield from super()._shared_nodes()
+        for entry in self._subplans.values():
+            yield entry.node

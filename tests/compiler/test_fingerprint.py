@@ -1,0 +1,100 @@
+"""Canonical subplan fingerprints: alpha-equivalence, params, fallbacks."""
+
+from repro.algebra import ops
+from repro.compiler.fingerprint import fingerprint
+from repro.compiler.pipeline import compile_query
+from repro.cypher import ast
+
+
+def fp(query: str):
+    return fingerprint(compile_query(query).plan)
+
+
+class TestAlphaEquivalence:
+    def test_renamed_variables_share_a_fingerprint(self):
+        a = fp("MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        b = fp("MATCH (x:Post)-[:REPLY]->(y:Comm) RETURN x, y")
+        assert a is not None
+        assert a == b
+
+    def test_renamed_output_columns_share_a_fingerprint(self):
+        a = fp("MATCH (p:Post) RETURN p.lang AS lang")
+        b = fp("MATCH (q:Post) RETURN q.lang AS language")
+        assert a == b
+
+    def test_renamed_predicates_share_a_fingerprint(self):
+        a = fp("MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p")
+        b = fp("MATCH (s:Post)-[:REPLY]->(t:Comm) WHERE s.lang = t.lang RETURN s")
+        assert a == b
+
+    def test_label_set_order_is_canonical(self):
+        a = fingerprint(ops.GetVertices("v", labels=("A", "B")))
+        b = fingerprint(ops.GetVertices("w", labels=("B", "A")))
+        assert a == b
+
+
+class TestDiscrimination:
+    def test_different_labels_differ(self):
+        assert fp("MATCH (p:Post) RETURN p") != fp("MATCH (p:Comm) RETURN p")
+
+    def test_different_predicates_differ(self):
+        assert fp("MATCH (p:Post) WHERE p.score > 1 RETURN p") != fp(
+            "MATCH (p:Post) WHERE p.score > 2 RETURN p"
+        )
+
+    def test_literal_types_are_not_conflated(self):
+        # 1 == True in Python; the fingerprint must still tell them apart
+        assert fp("MATCH (p:Post) WHERE p.flag = 1 RETURN p") != fp(
+            "MATCH (p:Post) WHERE p.flag = true RETURN p"
+        )
+
+    def test_projection_order_matters(self):
+        assert fp("MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c") != fp(
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN c, p"
+        )
+
+
+class TestParameters:
+    def test_parameters_stay_symbolic(self):
+        a = fp("MATCH (p:Post) WHERE p.score > $min RETURN p")
+        b = fp("MATCH (q:Post) WHERE q.score > $min RETURN q")
+        assert a == b
+        assert a.parameters == frozenset({"min"})
+
+    def test_distinct_parameter_names_differ(self):
+        assert fp("MATCH (p:Post) WHERE p.score > $lo RETURN p") != fp(
+            "MATCH (p:Post) WHERE p.score > $hi RETURN p"
+        )
+
+
+class TestFallbacks:
+    def test_unknown_operator_is_unshareable(self):
+        base = ops.GetVertices("v", labels=("A",))
+        sort = ops.Sort(base, ((ast.Variable("v"), True),))
+        assert fingerprint(sort) is None
+
+    def test_ancestors_of_unshareable_subtrees_are_unshareable(self):
+        base = ops.GetVertices("v", labels=("A",))
+        sort = ops.Sort(base, ((ast.Variable("v"), True),))
+        assert fingerprint(ops.Dedup(sort)) is None
+
+    def test_whole_fragment_is_shareable(self):
+        queries = (
+            "MATCH (p:Post) RETURN p",
+            "MATCH (p:Post)-[r:REPLY]->(c:Comm) RETURN p, r, c",
+            "MATCH (p:Post) RETURN DISTINCT p.lang AS lang",
+            "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+            "MATCH (p:Post) OPTIONAL MATCH (p)-[:REPLY]->(c:Comm) RETURN p, c",
+            "MATCH (p:Post)-[:REPLY*]->(c:Comm) RETURN p, c",
+            "UNWIND [1, 2, 3] AS x RETURN x",
+            "MATCH (p:Post) RETURN p.lang AS v UNION MATCH (c:Comm) "
+            "RETURN c.lang AS v",
+        )
+        for query in queries:
+            assert fingerprint(compile_query(query).plan) is not None, query
+
+    def test_antijoin_is_shareable(self):
+        anti = ops.AntiJoin(
+            ops.GetEdges("a", "e", "b"), ops.GetVertices("b", labels=("Gone",))
+        )
+        assert fingerprint(anti) is not None

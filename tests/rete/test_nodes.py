@@ -278,6 +278,15 @@ class TestUnion:
         node.apply(delta(((9, 8), 1)), RIGHT)
         assert sink.bag == {(1, 2): 1, (8, 9): 1}
 
+    def test_identity_permutation_fast_path(self):
+        node = UnionNode(value_schema("a", "b"), (0, 1))
+        assert node._identity
+        sink = Sink()
+        node.subscribe(sink)
+        node.apply(delta(((1, 2), 1)), LEFT)
+        node.apply(delta(((9, 8), 2), ((1, 2), -1)), RIGHT)
+        assert sink.bag == {(9, 8): 2}
+
 
 class TestAggregateNode:
     def make(self, keys, specs, schema_in):

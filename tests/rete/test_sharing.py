@@ -1,9 +1,20 @@
-"""Cross-view input sharing: transparency, late joiners, detach, stats."""
+"""Cross-view sharing: transparency, late joiners, detach, stats.
+
+Covers both tiers — the input layer (E11) and the subplan layer: the
+differential classes drive identical random streams through a
+``share_subplans=True`` engine and its input-only baseline and require
+identical view contents throughout, including rollback transactions,
+batched mode, and mid-stream register/detach.
+"""
+
+import random
 
 import pytest
 
 from repro import PropertyGraph, QueryEngine
+from repro.errors import GraphError
 from repro.rete.engine import IncrementalEngine
+from repro.rete.sharing import SharedSubplanLayer
 from repro.workloads.social import generate_social
 
 QUERIES = [
@@ -65,12 +76,22 @@ class TestTransparency:
 class TestSharingMechanics:
     def test_identical_views_share_all_inputs(self):
         graph, *_ = small_graph()
-        engine = IncrementalEngine(graph, share_inputs=True)
+        engine = IncrementalEngine(graph, share_inputs=True, share_subplans=False)
         engine.register(QUERIES[2])
         stats_after_first = engine.input_layer.stats.nodes
         engine.register(QUERIES[2])
         assert engine.input_layer.stats.nodes == stats_after_first
         assert engine.input_layer.stats.requests > engine.input_layer.stats.nodes
+
+    def test_identical_views_share_whole_subplans(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph, share_inputs=True)
+        engine.register(QUERIES[2])
+        nodes_after_first = engine.input_layer.stats.subplan_nodes
+        engine.register(QUERIES[2])
+        # the second view cut over at the plan root: no new interior nodes
+        assert engine.input_layer.stats.subplan_nodes == nodes_after_first
+        assert engine.input_layer.stats.subplan_hits >= 1
 
     def test_late_view_sees_current_state_once(self):
         graph, p1, p2, c1 = small_graph()
@@ -126,3 +147,396 @@ class TestSharingMechanics:
         )
         assert view_a.rows() == [("en",)]
         assert len(view_b.rows()) == 1
+
+
+# ---------------------------------------------------------------------------
+# subplan tier
+# ---------------------------------------------------------------------------
+
+#: heavily overlapping views: common join cores under differing tops,
+#: alpha-renamed twins, aggregation / dedup / projection variants
+SUBPLAN_QUERIES = (
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN c, p",
+    "MATCH (x:Post)-[:REPLY]->(y:Comm) RETURN x, y",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang "
+    "RETURN p.lang AS lang, count(*) AS n",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN DISTINCT p",
+    "MATCH (p:Post) RETURN p, p.lang",
+    "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+    "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm)-[:REPLY]->(d:Comm) RETURN p, d",
+)
+
+SP_LABELS = ("Post", "Comm", "Person")
+SP_EDGE_TYPES = ("REPLY", "KNOWS")
+SP_VALUES = ("en", "de", "hu", 1, 2, None)
+
+
+class _Abort(Exception):
+    pass
+
+
+def _random_op(rng: random.Random, vertices: list[int], edges: list[int]):
+    """One parameterised mutation, applicable to any identical graph."""
+    roll = rng.random()
+    if roll < 0.25 or not vertices:
+        labels = rng.sample(SP_LABELS, rng.randint(0, 2))
+        props = {"lang": rng.choice(SP_VALUES)} if rng.random() < 0.7 else {}
+        return lambda g: g.add_vertex(labels=labels, properties=props)
+    if roll < 0.45:
+        src, tgt = rng.choice(vertices), rng.choice(vertices)
+        edge_type = rng.choice(SP_EDGE_TYPES)
+        return lambda g: g.add_edge(src, tgt, edge_type)
+    if roll < 0.60:
+        vertex = rng.choice(vertices)
+        value = rng.choice(SP_VALUES)
+        return lambda g: g.set_vertex_property(vertex, "lang", value)
+    if roll < 0.72:
+        vertex, label = rng.choice(vertices), rng.choice(SP_LABELS)
+        if rng.random() < 0.5:
+            return lambda g: g.add_label(vertex, label)
+        return lambda g: g.remove_label(vertex, label)
+    if roll < 0.85 and edges:
+        edge = rng.choice(edges)
+        return lambda g: g.remove_edge(edge)
+    vertex = rng.choice(vertices)
+    return lambda g: g.remove_vertex(vertex, detach=True)
+
+
+class SubplanMirrorPair:
+    """A subplan-sharing engine and its input-only baseline, fed identically."""
+
+    def __init__(self, batch_transactions: bool = False):
+        self.graphs = (PropertyGraph(), PropertyGraph())
+        self.engines = (
+            QueryEngine(
+                self.graphs[0],
+                share_subplans=True,
+                batch_transactions=batch_transactions,
+            ),
+            QueryEngine(
+                self.graphs[1],
+                share_subplans=False,
+                batch_transactions=batch_transactions,
+            ),
+        )
+        self.queries: list[str] = []
+        self.views: list[tuple] = []
+        self.logs: list[tuple] = []
+
+    def register(self, query: str) -> None:
+        pair, logs = [], []
+        for engine in self.engines:
+            view = engine.register(query)
+            log: list = []
+            view.on_change(log.append)
+            pair.append(view)
+            logs.append(log)
+        self.queries.append(query)
+        self.views.append(tuple(pair))
+        self.logs.append(tuple(logs))
+
+    def detach(self, index: int) -> None:
+        for view in self.views.pop(index):
+            view.detach()
+        self.queries.pop(index)
+        self.logs.pop(index)
+
+    def apply(self, op) -> None:
+        for graph in self.graphs:
+            op(graph)
+
+    def assert_consistent(self, oracle: bool = False) -> None:
+        for query, (shared, private) in zip(self.queries, self.views):
+            assert shared.multiset() == private.multiset(), query
+            if oracle:
+                assert (
+                    shared.multiset()
+                    == self.engines[0].evaluate(query).multiset()
+                ), query
+        for query, (shared_log, private_log) in zip(self.queries, self.logs):
+            assert shared_log == private_log, query
+
+
+def _drive(pair: SubplanMirrorPair, rng: random.Random, operations: int) -> None:
+    for step in range(operations):
+        vertices = list(pair.graphs[0].vertices())
+        edges = list(pair.graphs[0].edges())
+        if rng.random() < 0.08:
+            # an aborted transaction: compensation must leave both engines'
+            # shared and private memories untouched
+            ops = [
+                _random_op(rng, vertices, edges) for _ in range(rng.randint(1, 4))
+            ]
+
+            def aborted(graph, ops=ops):
+                try:
+                    with graph.transaction():
+                        for op in ops:
+                            op(graph)
+                        raise _Abort()
+                except (_Abort, GraphError):
+                    pass
+
+            pair.apply(aborted)
+        else:
+            pair.apply(_random_op(rng, vertices, edges))
+        pair.assert_consistent(oracle=step % 20 == 0)
+    pair.assert_consistent(oracle=True)
+
+
+class TestSubplanDifferential:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_stream_matches_input_only_baseline(self, seed):
+        pair = SubplanMirrorPair()
+        for query in SUBPLAN_QUERIES:
+            pair.register(query)
+        _drive(pair, random.Random(200 + seed), operations=60)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_batched_transactions_match_baseline(self, seed):
+        """Committed and rolled-back transactions under batch_transactions."""
+        rng = random.Random(300 + seed)
+        pair = SubplanMirrorPair(batch_transactions=True)
+        for query in SUBPLAN_QUERIES:
+            pair.register(query)
+        for _ in range(20):
+            vertices = list(pair.graphs[0].vertices())
+            edges = list(pair.graphs[0].edges())
+            ops = [
+                _random_op(rng, vertices, edges) for _ in range(rng.randint(1, 5))
+            ]
+            abort = rng.random() < 0.3
+
+            def run(graph, ops=ops, abort=abort):
+                try:
+                    with graph.transaction():
+                        for op in ops:
+                            op(graph)
+                        if abort:
+                            raise _Abort()
+                except (_Abort, GraphError):
+                    pass
+
+            pair.apply(run)
+            pair.assert_consistent(oracle=True)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_mid_stream_register_and_detach(self, seed):
+        """Views joining and leaving a live shared beta layer stay exact."""
+        rng = random.Random(400 + seed)
+        pair = SubplanMirrorPair()
+        for query in SUBPLAN_QUERIES[:5]:
+            pair.register(query)
+        pool = list(SUBPLAN_QUERIES)
+        for step in range(50):
+            vertices = list(pair.graphs[0].vertices())
+            edges = list(pair.graphs[0].edges())
+            roll = rng.random()
+            if roll < 0.10:
+                pair.register(pool[rng.randrange(len(pool))])
+            elif roll < 0.18 and len(pair.views) > 1:
+                pair.detach(rng.randrange(len(pair.views)))
+            else:
+                pair.apply(_random_op(rng, vertices, edges))
+            pair.assert_consistent(oracle=step % 10 == 0)
+        pair.assert_consistent(oracle=True)
+
+    def test_mid_batch_register_matches_baseline(self):
+        rng = random.Random(17)
+        pair = SubplanMirrorPair()
+        for query in SUBPLAN_QUERIES[:4]:
+            pair.register(query)
+        for graph in pair.graphs:
+            post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+            comm = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+            graph.add_edge(post, comm, "REPLY")
+        scopes = [engine.batch() for engine in pair.engines]
+        for scope in scopes:
+            scope.__enter__()
+        try:
+            for _ in range(8):
+                vertices = list(pair.graphs[0].vertices())
+                edges = list(pair.graphs[0].edges())
+                pair.apply(_random_op(rng, vertices, edges))
+            for query in SUBPLAN_QUERIES[4:]:
+                pair.register(query)
+            for _ in range(8):
+                vertices = list(pair.graphs[0].vertices())
+                edges = list(pair.graphs[0].edges())
+                pair.apply(_random_op(rng, vertices, edges))
+        finally:
+            for scope in scopes:
+                scope.__exit__(None, None, None)
+        pair.assert_consistent(oracle=True)
+
+
+class TestSubplanMechanics:
+    def test_alpha_renamed_views_share(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph)
+        engine.register(SUBPLAN_QUERIES[0])
+        nodes_before = engine.input_layer.stats.subplan_nodes
+        engine.register(SUBPLAN_QUERIES[2])  # same plan, renamed variables
+        assert engine.input_layer.stats.subplan_hits >= 1
+        # the join core is reused; only the top projection may be new
+        assert engine.input_layer.stats.subplan_nodes <= nodes_before + 1
+
+    def test_shared_beta_layer_reduces_memory(self):
+        engines = {}
+        for share in (True, False):
+            graph = generate_social(persons=10, posts_per_person=2, seed=3).graph
+            engine = IncrementalEngine(graph, share_subplans=share)
+            for query in SUBPLAN_QUERIES[:6]:
+                engine.register(query)
+                engine.register(query)  # a second identical subscriber
+            engines[share] = engine
+        assert engines[True].memory_cells() < engines[False].memory_cells()
+
+    def test_late_view_replays_interior_state_once(self):
+        graph, p1, p2, c1 = small_graph()
+        engine = IncrementalEngine(graph)
+        first = engine.register(SUBPLAN_QUERIES[3])
+        late = engine.register(SUBPLAN_QUERIES[3])
+        assert late.multiset() == first.multiset()
+        c2 = graph.add_vertex(labels=["Comm"], properties={"lang": "de"})
+        graph.add_edge(p2, c2, "REPLY")
+        assert late.multiset() == first.multiset()
+
+    def test_equal_but_differently_typed_bindings_do_not_share(self):
+        """1 == True == 1.0 in Python; the cache key must not conflate them."""
+        graph = PropertyGraph()
+        graph.add_vertex(labels=["Post"])
+        engine = IncrementalEngine(graph)
+        query = "MATCH (p:Post) RETURN p, $x AS x"
+        as_int = engine.register(query, parameters={"x": 1})
+        as_bool = engine.register(query, parameters={"x": True})
+        as_float = engine.register(query, parameters={"x": 1.0})
+        assert [row[1] for row in as_int.rows()] == [1]
+        assert [row[1] for row in as_bool.rows()] == [True]
+        assert [row[1] for row in as_float.rows()] == [1.0]
+        assert all(isinstance(row[1], int) for row in as_int.rows())
+        assert all(isinstance(row[1], bool) for row in as_bool.rows())
+        assert all(isinstance(row[1], float) for row in as_float.rows())
+
+    def test_parameterised_views_share_only_equal_bindings(self):
+        graph = PropertyGraph()
+        for score in (1, 2, 3):
+            graph.add_vertex(labels=["Post"], properties={"score": score})
+        engine = IncrementalEngine(graph)
+        query = "MATCH (p:Post) WHERE p.score > $min RETURN p"
+        low = engine.register(query, parameters={"min": 1})
+        hits_before = engine.input_layer.stats.subplan_hits
+        low_twin = engine.register(query, parameters={"min": 1})
+        assert engine.input_layer.stats.subplan_hits > hits_before
+        high = engine.register(query, parameters={"min": 2})
+        assert low.multiset() == low_twin.multiset()
+        assert len(low.rows()) == 2
+        assert len(high.rows()) == 1
+
+    def test_identical_subtrees_within_one_plan_share_a_node(self):
+        """Intra-plan sharing: both cross-product arms are the same node,
+        and the sequential self-join rule keeps the result exact."""
+        graph = PropertyGraph()
+        c1 = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+        c2 = graph.add_vertex(labels=["Comm"], properties={"lang": "de"})
+        graph.add_edge(c1, c2, "REPLY")
+        query = (
+            "MATCH (a:Comm)-[:REPLY]->(b:Comm), (c:Comm)-[:REPLY]->(d:Comm) "
+            "RETURN a, d"
+        )
+        engine = IncrementalEngine(graph)
+        view = engine.register(query)
+        assert view.multiset() == engine_oracle(engine, query)
+        c3 = graph.add_vertex(labels=["Comm"], properties={"lang": "hu"})
+        graph.add_edge(c2, c3, "REPLY")
+        assert view.multiset() == engine_oracle(engine, query)
+        graph.remove_edge(next(iter(graph.edges("REPLY"))))
+        assert view.multiset() == engine_oracle(engine, query)
+
+    def test_profile_marks_shared_interior_nodes(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph)
+        view = engine.register(SUBPLAN_QUERIES[3])
+        assert "(shared)" in view.profile()
+        assert "Join (shared)" in view.profile()
+
+
+class TestSubplanLifecycle:
+    def test_detach_releases_refcounts_bottom_up(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph)
+        layer = engine.input_layer
+        assert isinstance(layer, SharedSubplanLayer)
+        view_a = engine.register(SUBPLAN_QUERIES[3])
+        view_b = engine.register(SUBPLAN_QUERIES[4])  # shares the σ(⋈) core
+        count_with_both = layer.subplan_count
+        assert count_with_both > 0
+        view_b.detach()
+        # the shared core survives: view_a still reads it
+        assert layer.subplan_count > 0
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        assert view_a.multiset() == engine_oracle(engine, SUBPLAN_QUERIES[3])
+        view_a.detach()
+        assert layer.subplan_count == 0
+        assert layer.node_count == 0
+
+    def test_interior_chain_outlives_its_creator(self):
+        """A subplan created by view A must keep feeding view B after A dies."""
+        graph, p1, p2, c1 = small_graph()
+        engine = IncrementalEngine(graph)
+        creator = engine.register(SUBPLAN_QUERIES[3])
+        survivor = engine.register(SUBPLAN_QUERIES[3])
+        creator.detach()
+        c2 = graph.add_vertex(labels=["Comm"], properties={"lang": "de"})
+        graph.add_edge(p2, c2, "REPLY")
+        assert survivor.multiset() == engine_oracle(engine, SUBPLAN_QUERIES[3])
+
+    def test_memories_freed_and_rebuild_is_correct(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph)
+        view = engine.register(SUBPLAN_QUERIES[3])
+        assert engine.memory_cells() > 0
+        view.detach()
+        assert engine.input_layer.memory_cells() == 0
+        assert engine.input_layer.subplan_count == 0
+        # events while nothing is registered are harmless
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        rebuilt = engine.register(SUBPLAN_QUERIES[3])
+        assert rebuilt.multiset() == engine_oracle(engine, SUBPLAN_QUERIES[3])
+
+    def test_random_register_detach_cycles_leave_no_garbage(self):
+        rng = random.Random(99)
+        bundle = generate_social(persons=6, posts_per_person=2, seed=11)
+        engine = IncrementalEngine(bundle.graph)
+        live = []
+        for _ in range(40):
+            if live and rng.random() < 0.45:
+                live.pop(rng.randrange(len(live))).detach()
+            else:
+                live.append(
+                    engine.register(
+                        SUBPLAN_QUERIES[rng.randrange(len(SUBPLAN_QUERIES))]
+                    )
+                )
+        for view in live:
+            view.detach()
+        assert engine.input_layer.subplan_count == 0
+        assert engine.input_layer.node_count == 0
+
+    def test_ablation_engine_has_no_subplan_cache(self):
+        graph, *_ = small_graph()
+        engine = IncrementalEngine(graph, share_subplans=False)
+        engine.register(SUBPLAN_QUERIES[3])
+        assert not isinstance(engine.input_layer, SharedSubplanLayer)
+        assert engine.input_layer.stats.subplan_nodes == 0
+
+
+def engine_oracle(engine: IncrementalEngine, query: str):
+    """One-shot recomputation over the engine's graph (the IVM oracle)."""
+    from repro.compiler.pipeline import compile_query
+    from repro.eval.interpreter import Interpreter
+
+    return Interpreter(engine.graph).run(compile_query(query).plan).multiset()

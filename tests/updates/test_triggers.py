@@ -82,8 +82,7 @@ class TestProfile:
 
     def test_emit_counters_accumulate(self, engine):
         view = engine.register("MATCH (p:Post) RETURN p")
-        root = view.network.all_nodes[-1]  # production
         engine.execute("CREATE (p:Post)")
         engine.execute("CREATE (p:Post)")
-        total_rows = sum(n.emitted_rows for n in view.network.all_nodes)
+        total_rows = sum(n.emitted_rows for n in view.network.nodes())
         assert total_rows >= 2
