@@ -78,7 +78,7 @@ def test_recompute_new_reply(benchmark):
 
     def add_comment_and_recompute():
         social.add_comment(net, posts[next(counter) % len(posts)], "en")
-        engine.evaluate(QUERY)
+        engine.evaluate(QUERY, use_views=False)
 
     benchmark(add_comment_and_recompute)
 
@@ -105,7 +105,7 @@ def test_oracle_agreement():
     view = engine.register(QUERY)
     for _ in social.update_stream(net, 50, seed=3):
         pass
-    assert view.multiset() == engine.evaluate(QUERY).multiset()
+    assert view.multiset() == engine.evaluate(QUERY, use_views=False).multiset()
 
 
 # -- standalone report --------------------------------------------------------
@@ -127,7 +127,7 @@ def main() -> None:
     with Timer() as t_inc:
         social.add_comment(net, net.posts[0], "en")
     with Timer() as t_re:
-        engine.evaluate(QUERY)
+        engine.evaluate(QUERY, use_views=False)
     rows.append(["insert reply", t_inc.seconds, t_re.seconds, speedup(t_re.seconds, t_inc.seconds)])
 
     edge = next(iter(net.graph.edges("REPLY")))
@@ -136,14 +136,14 @@ def main() -> None:
         net.graph.remove_edge(edge)
         net.graph.add_edge(s, t, "REPLY")
     with Timer() as t_re:
-        engine.evaluate(QUERY)
+        engine.evaluate(QUERY, use_views=False)
     rows.append(["delete+re-add edge (atomic paths)", t_inc.seconds, t_re.seconds, speedup(t_re.seconds, t_inc.seconds)])
 
     message = net.posts[0]
     with Timer() as t_inc:
         net.graph.set_vertex_property(message, "lang", "de")
     with Timer() as t_re:
-        engine.evaluate(QUERY)
+        engine.evaluate(QUERY, use_views=False)
     rows.append(["change lang property", t_inc.seconds, t_re.seconds, speedup(t_re.seconds, t_inc.seconds)])
 
     print(
@@ -153,7 +153,7 @@ def main() -> None:
             title=f"E1 — running example maintenance ({net.graph.stats()})",
         )
     )
-    assert view.multiset() == engine.evaluate(QUERY).multiset()
+    assert view.multiset() == engine.evaluate(QUERY, use_views=False).multiset()
 
 
 if __name__ == "__main__":

@@ -40,9 +40,9 @@ def measure(routes: int) -> dict:
     with Timer() as t_re:
         for _ in range(UPDATES):
             tb.inject(model, QUERY, 1, rng)
-            engine.evaluate(tb.QUERIES[QUERY]).multiset()
+            engine.evaluate(tb.QUERIES[QUERY], use_views=False).multiset()
 
-    assert view.multiset() == engine.evaluate(tb.QUERIES[QUERY]).multiset()
+    assert view.multiset() == engine.evaluate(tb.QUERIES[QUERY], use_views=False).multiset()
     return {
         "routes": routes,
         "vertices": model.graph.vertex_count,
@@ -79,7 +79,7 @@ def test_update_recompute_at_scale(benchmark, routes):
 
     def one_update():
         tb.inject(model, QUERY, 1, rng)
-        return engine.evaluate(tb.QUERIES[QUERY]).multiset()
+        return engine.evaluate(tb.QUERIES[QUERY], use_views=False).multiset()
 
     benchmark(one_update)
 

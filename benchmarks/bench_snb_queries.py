@@ -74,7 +74,7 @@ def test_recompute_stream(benchmark, bench_sizes):
         except StopIteration:  # pragma: no cover
             return
         for query in SNB_QUERIES.values():
-            engine.evaluate(query, parameters_for(query))
+            engine.evaluate(query, parameters_for(query), use_views=False)
 
     benchmark(step)
 
@@ -96,7 +96,7 @@ def test_topk_rejected_but_evaluates():
             raise AssertionError("top-k must be outside the fragment")
         except UnsupportedForIncrementalError:
             pass
-        assert len(engine.evaluate(query).rows()) <= 3
+        assert len(engine.evaluate(query, use_views=False).rows()) <= 3
 
 
 # -- standalone report --------------------------------------------------------------
@@ -130,7 +130,7 @@ def main() -> None:
         start = time.perf_counter()
         for _, apply in baseline_updates:
             apply()
-            baseline_engine.evaluate(query, parameters_for(query))
+            baseline_engine.evaluate(query, parameters_for(query), use_views=False)
         recompute = (time.perf_counter() - start) / len(baseline_updates)
         rows.append([key, incremental, recompute, speedup(recompute, incremental)])
 
@@ -148,7 +148,7 @@ def main() -> None:
         except UnsupportedForIncrementalError as exc:
             print(f"\n{key}: rejected for IVM ({exc});")
             start = time.perf_counter()
-            result = engine.evaluate(query)
+            result = engine.evaluate(query, use_views=False)
             elapsed = time.perf_counter() - start
             print(f"  one-shot evaluation: {elapsed * 1e3:.2f} ms, "
                   f"{len(result.rows())} rows")

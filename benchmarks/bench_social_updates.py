@@ -52,7 +52,7 @@ def test_stream_with_recompute(benchmark, bench_sizes):
     def target(net, engine):
         for _ in social.update_stream(net, STREAM_LENGTH, seed=2):
             for name in VIEW_NAMES:
-                engine.evaluate(social.QUERIES[name])
+                engine.evaluate(social.QUERIES[name], use_views=False)
 
     benchmark.pedantic(target, setup=setup, rounds=2, iterations=1)
 
@@ -64,7 +64,7 @@ def test_stream_correctness(bench_sizes):
     for _ in social.update_stream(net, STREAM_LENGTH, seed=2):
         pass
     for name, view in views.items():
-        assert view.multiset() == engine.evaluate(social.QUERIES[name]).multiset(), name
+        assert view.multiset() == engine.evaluate(social.QUERIES[name], use_views=False).multiset(), name
 
 
 # -- standalone report -----------------------------------------------------------------
@@ -86,10 +86,10 @@ def main(persons: int = 20, operations: int = 200) -> None:
     with Timer() as t_re:
         for _ in social.update_stream(net2, operations, seed=5):
             for name in VIEW_NAMES:
-                engine2.evaluate(social.QUERIES[name])
+                engine2.evaluate(social.QUERIES[name], use_views=False)
 
     for name, view in views.items():
-        assert view.multiset() == engine.evaluate(social.QUERIES[name]).multiset(), name
+        assert view.multiset() == engine.evaluate(social.QUERIES[name], use_views=False).multiset(), name
 
     rows = [
         [

@@ -90,7 +90,7 @@ def test_matrix_correctness():
         assert compile_query(query).is_incremental == in_fragment, name
         if in_fragment:
             view = engine.register(query)
-            assert view.multiset() == engine.evaluate(query).multiset(), name
+            assert view.multiset() == engine.evaluate(query, use_views=False).multiset(), name
         else:
             try:
                 engine.register(query)
@@ -98,7 +98,7 @@ def test_matrix_correctness():
                 pass
             else:  # pragma: no cover - defensive
                 raise AssertionError(f"{name} should be rejected for IVM")
-            engine.evaluate(query)  # one-shot stays supported
+            engine.evaluate(query, use_views=False)  # one-shot stays supported
 
 
 # -- standalone report -------------------------------------------------------------
@@ -115,7 +115,7 @@ def main() -> None:
             view = engine.register(query)
             with Timer() as update_t:
                 social.add_comment(net, net.posts[0], "en")
-            consistent = view.multiset() == engine.evaluate(query).multiset()
+            consistent = view.multiset() == engine.evaluate(query, use_views=False).multiset()
             rows.append(
                 [name, "yes", f"{update_t.seconds * 1e3:.2f}ms (all views)",
                  "ok" if consistent else "MISMATCH"]
@@ -126,7 +126,7 @@ def main() -> None:
                 status = "BUG: accepted"
             except UnsupportedForIncrementalError:
                 status = "rejected (ORD)"
-            engine.evaluate(query)
+            engine.evaluate(query, use_views=False)
             rows.append([name, "no", "-", status + ", one-shot ok"])
     print(
         format_table(

@@ -57,9 +57,9 @@ def test_repair_recompute(benchmark, query_name, bench_sizes):
         return (model, engine, random.Random(3)), {}
 
     def target(model, engine, rng):
-        matches = engine.evaluate(tb.QUERIES[query_name]).rows()
+        matches = engine.evaluate(tb.QUERIES[query_name], use_views=False).rows()
         tb.repair(model, query_name, matches, REPAIR_BATCH, rng)
-        return engine.evaluate(tb.QUERIES[query_name]).multiset()
+        return engine.evaluate(tb.QUERIES[query_name], use_views=False).multiset()
 
     benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
 
@@ -71,7 +71,7 @@ def test_repair_correctness(bench_sizes):
         while view.rows():
             before = len(view.rows())
             tb.repair(model, name, view.rows(), before, rng)
-            assert view.multiset() == engine.evaluate(tb.QUERIES[name]).multiset()
+            assert view.multiset() == engine.evaluate(tb.QUERIES[name], use_views=False).multiset()
             assert len(view.rows()) < before, f"{name}: repair made no progress"
 
 
@@ -92,9 +92,9 @@ def main(routes: int = 30) -> None:
         tb.inject(model2, name, 4, random.Random(33))
         rng = random.Random(3)
         with Timer() as t_re:
-            matches = engine2.evaluate(tb.QUERIES[name]).rows()
+            matches = engine2.evaluate(tb.QUERIES[name], use_views=False).rows()
             tb.repair(model2, name, matches, REPAIR_BATCH, rng)
-            remaining_re = engine2.evaluate(tb.QUERIES[name]).multiset()
+            remaining_re = engine2.evaluate(tb.QUERIES[name], use_views=False).multiset()
 
         assert remaining_inc == remaining_re, name
         rows.append(

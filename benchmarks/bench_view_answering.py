@@ -1,0 +1,232 @@
+"""E15 — answering one-shot queries from materialised views (SNB read mix).
+
+The serving-system regime: an SNB-style social network with a set of
+registered (incrementally maintained) views, a write stream trickling in,
+and a heavy snapshot-read mix on top — profile pages, friend lists,
+aggregate leaderboards, top-k variants.  With ``use_views=True`` (the
+engine default) each read is matched against the view catalog and served
+from live maintained state (O(view lookup + result)); with
+``use_views=False`` every read pays full recomputation (O(graph)), which
+is what a system without view answering must do.
+
+Every run is correctness-gated: each read in the mix is first answered
+from views *and* recomputed, and the multisets must agree — after every
+update round, so the gate also covers maintained-state freshness.
+
+The standalone main asserts a ≥5x read-mix speedup when covering views
+are registered and writes a ``BENCH_view_answering.json`` trajectory
+point; ``--smoke`` runs the differential gate only (no timing claims)
+for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro import PropertyGraph, QueryEngine
+from repro.bench import Timer, format_table, speedup
+from repro.workloads.snb import SNB_QUERIES, generate_snb, update_stream
+
+SEED = 71
+SMOKE_SIZES = {
+    "persons": 12,
+    "forums": 2,
+    "posts_per_forum": 4,
+    "comments_per_post": 2,
+    "update_rounds": 3,
+    "updates_per_round": 10,
+    "read_rounds": 2,
+}
+FULL_SIZES = {
+    "persons": 40,
+    "forums": 6,
+    "posts_per_forum": 10,
+    "comments_per_post": 4,
+    "update_rounds": 5,
+    "updates_per_round": 40,
+    "read_rounds": 10,
+}
+
+#: the registered (covering) views — parameter-free SNB interactive cores
+VIEW_KEYS = (
+    "is3_friends",
+    "ic2_friend_messages",
+    "ic4_friend_tags",
+    "ic5_forum_posts",
+    "ic7_likers",
+    "ic8_replies",
+)
+
+#: the snapshot-read mix: exact hits, alpha-renamed hits, residual hits
+#: (DISTINCT / top-k / HAVING over maintained cores)
+READ_MIX: tuple[tuple[str, str], ...] = tuple(
+    [(key, SNB_QUERIES[key]) for key in VIEW_KEYS]
+    + [
+        (
+            "is3_renamed",
+            "MATCH (a:Person)-[:KNOWS]->(z:Person) "
+            "RETURN a.name AS person, z.name AS friend",
+        ),
+        (
+            "ic7_top3",
+            "MATCH (fan:Person)-[:LIKES]->(m:Post)-[:HAS_CREATOR]->(auth:Person) "
+            "RETURN auth.name AS author, count(*) AS likes "
+            "ORDER BY likes DESC LIMIT 3",
+        ),
+        (
+            "ic4_hot_tags",
+            "MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(m:Post)"
+            "-[:HAS_TAG]->(t:Tag) "
+            "WITH t.name AS tag, count(*) AS posts WHERE posts > 1 "
+            "RETURN tag, posts",
+        ),
+        (
+            "ic2_distinct_friends",
+            "MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(m:Post) "
+            "WHERE m.recent = TRUE RETURN DISTINCT f.name AS friend",
+        ),
+    ]
+)
+
+
+def build(sizes: dict) -> tuple[QueryEngine, object]:
+    net = generate_snb(
+        persons=sizes["persons"],
+        forums=sizes["forums"],
+        posts_per_forum=sizes["posts_per_forum"],
+        comments_per_post=sizes["comments_per_post"],
+        seed=SEED,
+    )
+    engine = QueryEngine(net.graph)
+    for key in VIEW_KEYS:
+        engine.register(SNB_QUERIES[key])
+    return engine, net
+
+
+def verify(engine: QueryEngine) -> None:
+    """The differential oracle gate, per read."""
+    for name, query in READ_MIX:
+        served = engine.evaluate(query, use_views=True).multiset()
+        direct = engine.evaluate(query, use_views=False).multiset()
+        assert served == direct, f"view answer diverged from oracle: {name}"
+
+
+def run(sizes: dict) -> dict:
+    engine, net = build(sizes)
+    verify(engine)
+    served_seconds = 0.0
+    direct_seconds = 0.0
+    reads = 0
+    for _ in range(sizes["update_rounds"]):
+        for _, apply in update_stream(net, sizes["updates_per_round"], seed=SEED):
+            apply()
+        verify(engine)  # maintained state stays oracle-fresh mid-stream
+        for _ in range(sizes["read_rounds"]):
+            for _, query in READ_MIX:
+                with Timer() as timer:
+                    engine.evaluate(query, use_views=True)
+                served_seconds += timer.seconds
+                with Timer() as timer:
+                    engine.evaluate(query, use_views=False)
+                direct_seconds += timer.seconds
+                reads += 1
+    stats = engine.answer_stats()
+    return {
+        "reads": reads,
+        "served_seconds": served_seconds,
+        "direct_seconds": direct_seconds,
+        "answered": stats.answered,
+        "exact": stats.exact,
+        "residual": stats.residual,
+        "root_hits": stats.root_hits,
+        "subplan_hits": stats.subplan_hits,
+        "fallbacks": stats.fallbacks,
+    }
+
+
+# -- pytest-benchmark kernels --------------------------------------------------
+
+
+def test_view_answering_differential():
+    engine, net = build(SMOKE_SIZES)
+    for _, apply in update_stream(net, 20, seed=SEED):
+        apply()
+    verify(engine)
+
+
+def test_read_mix_served(benchmark):
+    engine, _ = build(SMOKE_SIZES)
+    benchmark.pedantic(
+        lambda: [engine.evaluate(q) for _, q in READ_MIX], rounds=3, iterations=1
+    )
+
+
+def test_read_mix_recomputed(benchmark):
+    engine, _ = build(SMOKE_SIZES)
+    benchmark.pedantic(
+        lambda: [engine.evaluate(q, use_views=False) for _, q in READ_MIX],
+        rounds=3,
+        iterations=1,
+    )
+
+
+# -- standalone report ---------------------------------------------------------
+
+
+def main(smoke: bool = False) -> None:
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    print(
+        f"view answering: {len(VIEW_KEYS)} registered views, "
+        f"{len(READ_MIX)}-query SNB read mix, "
+        f"{sizes['update_rounds']}x{sizes['updates_per_round']} updates"
+    )
+    point = run(sizes)
+    print("differential oracle: view-answered == full recomputation ✓")
+    ratio = point["direct_seconds"] / max(point["served_seconds"], 1e-9)
+    reads = point["reads"]
+    rows = [
+        [
+            "full recomputation (use_views=False)",
+            point["direct_seconds"],
+            f"{reads / point['direct_seconds']:.0f}",
+            "1.0x",
+        ],
+        [
+            "view answering (catalog)",
+            point["served_seconds"],
+            f"{reads / point['served_seconds']:.0f}",
+            speedup(point["direct_seconds"], point["served_seconds"]),
+        ],
+    ]
+    print(
+        format_table(
+            ["read path", "total", "reads/sec", "vs baseline"],
+            rows,
+            title="E15 — snapshot reads from materialised views (SNB mix)",
+        )
+    )
+    print(
+        f"hits: {point['exact']} exact, {point['residual']} residual "
+        f"({point['root_hits']} view roots, {point['subplan_hits']} shared "
+        f"subplans), {point['fallbacks']} fallbacks"
+    )
+    if smoke:
+        assert point["answered"] > 0, "smoke run should serve some reads"
+        print("\nsmoke mode: answering paths exercised, timings not asserted")
+        return
+    point["speedup"] = ratio
+    Path("BENCH_view_answering.json").write_text(
+        json.dumps(point, indent=2) + "\n"
+    )
+    print(f"\nwrote BENCH_view_answering.json (speedup {ratio:.1f}x)")
+    assert ratio >= 5.0, (
+        f"view answering should be ≥5x faster than recomputation on the "
+        f"covered SNB read mix, got {ratio:.1f}x"
+    )
+    print("≥5x snapshot-read speedup with covering views registered ✓")
+
+
+if __name__ == "__main__":
+    main(smoke="--smoke" in sys.argv[1:])

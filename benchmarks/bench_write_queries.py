@@ -97,7 +97,7 @@ def test_write_stream_recompute_baseline(benchmark):
         for statement in statements(5, seed=1):
             engine.execute(statement)
             for view in VIEWS:
-                engine.evaluate(view)
+                engine.evaluate(view, use_views=False)
 
     benchmark(step)
 
@@ -108,7 +108,7 @@ def test_views_stay_consistent():
     run_statements(engine, statements(60))
     for query, view in zip(VIEWS, views):
         assert sorted(view.rows(), key=repr) == sorted(
-            engine.evaluate(query).rows(), key=repr
+            engine.evaluate(query, use_views=False).rows(), key=repr
         )
 
 
@@ -140,7 +140,7 @@ def main() -> None:
         for statement in batch:
             engine.execute(statement)
             for query in VIEWS:
-                engine.evaluate(query)
+                engine.evaluate(query, use_views=False)
     rows.append(
         [
             "recompute 6 queries/stmt",

@@ -93,7 +93,11 @@ def infer_kind(expr: ast.Expr, schema: Schema) -> AttrKind:
 class Operator:
     """Base class; subclasses set ``children`` and ``schema`` in __init__."""
 
-    __slots__ = ("children", "schema")
+    # ``_fingerprint`` lazily caches the canonical subplan fingerprint (or
+    # None for unshareable subtrees); operators are immutable, so the value
+    # can never go stale.  It is written by repro.compiler.fingerprint via
+    # object.__setattr__ (the same escape hatch _init/_set use).
+    __slots__ = ("children", "schema", "_fingerprint")
 
     children: tuple["Operator", ...]
     schema: Schema
@@ -554,3 +558,23 @@ class Unit(Operator):
 
     def __init__(self) -> None:
         self._init((), Schema(()))
+
+
+class ViewScan(Operator):
+    """A materialised scan: reads a maintained view or shared subplan bag.
+
+    Spliced into one-shot plans by the view-answering rewriter
+    (:mod:`repro.views`) in place of a subtree some live materialisation
+    already computes — never produced by the compiler and not part of any
+    algebra stage, so it appears only in plans handed directly to the
+    interpreter.  ``source`` is a zero-argument callable returning a fresh
+    ``row → multiplicity`` bag whose tuple layout matches the replaced
+    subtree (and therefore ``schema``: fingerprint equality guarantees
+    positional layout equality even when variable names differ).
+    """
+
+    __slots__ = ("source", "label")
+
+    def __init__(self, schema: Schema, source, label: str = "view"):
+        self._init((), schema)
+        self._set(source=source, label=label)

@@ -101,6 +101,8 @@ def _node_label(op: ops.Operator) -> str:
         )
     if isinstance(op, ops.Unit):
         return "unit"
+    if isinstance(op, ops.ViewScan):
+        return f"scan⟨{op.label}⟩"
     return type(op).__name__
 
 

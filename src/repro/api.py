@@ -36,11 +36,22 @@ from .eval.results import ResultTable
 from .graph.graph import PropertyGraph
 from .rete.engine import IncrementalEngine, View
 from .updates import ExecutionResult, UpdateExecutor, UpdateSummary
+from .views import AnswerStats, ViewCatalog
 
 
 class QueryEngine:
     """Evaluate openCypher queries over a property graph, one-shot or
-    incrementally."""
+    incrementally.
+
+    With ``answer_from_views=True`` (the default) one-shot ``evaluate``
+    calls first consult the :class:`~repro.views.ViewCatalog`: when a
+    registered view — or a shared interior subplan of one — already
+    materialises the query (or a subtree the query is residual work over),
+    the result is served from live maintained state instead of re-scanning
+    the graph.  ``evaluate(..., use_views=False)`` forces the full
+    recomputation baseline per call; ``answer_from_views=False`` disables
+    the catalog engine-wide (the ablation configuration).
+    """
 
     def __init__(
         self,
@@ -50,6 +61,8 @@ class QueryEngine:
         batch_transactions: bool = False,
         route_events: bool = True,
         share_subplans: bool = True,
+        answer_from_views: bool = True,
+        detached_cache_size: int = 4,
     ):
         self.graph = graph
         self._incremental = IncrementalEngine(
@@ -59,7 +72,10 @@ class QueryEngine:
             batch_transactions=batch_transactions,
             route_events=route_events,
             share_subplans=share_subplans,
+            detached_cache_size=detached_cache_size,
         )
+        self.answer_from_views = answer_from_views
+        self._catalog = ViewCatalog(self._incremental)
         self._plan_cache: dict[str, CompiledQuery] = {}
 
     @property
@@ -91,10 +107,27 @@ class QueryEngine:
         return compiled
 
     def evaluate(
-        self, query: str, parameters: Mapping[str, Any] | None = None
+        self,
+        query: str,
+        parameters: Mapping[str, Any] | None = None,
+        use_views: bool | None = None,
     ) -> ResultTable:
-        """One-shot evaluation by full recomputation (the baseline)."""
+        """One-shot evaluation: from materialised views when possible.
+
+        With ``use_views`` unset, the engine default (``answer_from_views``)
+        decides.  A catalog miss — no covering view, parameter mismatch,
+        open batch window — always falls back to full recomputation, so
+        the result is identical either way; ``use_views=False`` is the
+        explicit recomputation baseline (and what differential oracles
+        should ask for).
+        """
         compiled = self.compile(query)
+        if use_views is None:
+            use_views = self.answer_from_views
+        if use_views:
+            answered = self._catalog.try_answer(compiled, parameters)
+            if answered is not None:
+                return answered
         return Interpreter(self.graph, parameters).run(compiled.plan)
 
     def execute(
@@ -177,9 +210,23 @@ class QueryEngine:
         """Whether *query* lies in the incrementally maintainable fragment."""
         return self.compile(query).is_incremental
 
-    def explain(self, query: str) -> str:
-        """The compilation pipeline's stages for *query*."""
-        return self.compile(query).explain()
+    def explain(
+        self, query: str, parameters: Mapping[str, Any] | None = None
+    ) -> str:
+        """The compilation pipeline's stages for *query*, plus how view
+        answering would serve it against the current catalog."""
+        compiled = self.compile(query)
+        match = self._catalog.describe_match(compiled, parameters)
+        return compiled.explain() + f"\n\n== View answering ==\n{match}"
+
+    @property
+    def catalog(self) -> ViewCatalog:
+        """The view-answering catalog (matching stats, entry counts)."""
+        return self._catalog
+
+    def answer_stats(self) -> AnswerStats:
+        """Counters of how evaluate() calls were served."""
+        return self._catalog.stats
 
     @property
     def views(self) -> tuple[View, ...]:

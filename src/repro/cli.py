@@ -36,7 +36,8 @@ what changed.  Meta commands:
   :views                list registered incremental views
   :register <query>     register an incremental view
   :detach <n>           drop view number n
-  :explain <query>      show the GRA/NRA/FRA compilation stages
+  :catalog              view-answering catalog: entries and hit counters
+  :explain <query>      show the compilation stages and view-answering plan
   :profile <n>          per-node counters of view n
   :index <Label> <key>  create a property index
   :indexes              list property indexes
@@ -119,6 +120,18 @@ class Shell:
             else:
                 views[index].detach()
                 self._print(f"detached view [{index}]")
+        elif command == ":catalog":
+            catalog = self.engine.catalog
+            self._print(
+                f"{catalog.root_count} view root(s), "
+                f"{catalog.subplan_count} shared subplan(s) servable"
+            )
+            stats = catalog.stats
+            self._print(
+                f"answered {stats.answered}/{stats.queries} one-shot queries "
+                f"from views ({stats.exact} exact, {stats.residual} residual, "
+                f"{stats.fallbacks} full evaluations)"
+            )
         elif command == ":explain":
             self._print(self.engine.explain(argument))
         elif command == ":profile":

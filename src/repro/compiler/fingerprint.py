@@ -28,6 +28,13 @@ unhashable literal) makes the subtree — and therefore every ancestor —
 unshareable; :func:`fingerprint` returns ``None`` and the network builder
 falls back to a private node.  That keeps sharing a pure optimisation:
 opting out is always safe.
+
+Fingerprints are **memoised per operator** (operators are immutable, so
+the cached value can never go stale): each subtree is canonicalised once,
+its parents embed the cached child structures, and repeated callers —
+``ReteNetwork._build`` asking per level, the view-answering matcher asking
+per query — pay a dict-free attribute read instead of re-walking the
+subtree, turning the total cost per plan from O(depth·size) into O(size).
 """
 
 from __future__ import annotations
@@ -58,13 +65,35 @@ class SubplanFingerprint:
 
 
 def fingerprint(op: ops.Operator) -> SubplanFingerprint | None:
-    """Canonical fingerprint of *op*'s subtree, or ``None`` if unshareable."""
+    """Canonical fingerprint of *op*'s subtree, or ``None`` if unshareable.
+
+    Memoised on the operator itself (``op._fingerprint``); children are
+    fingerprinted through this entry point too, so one pass over a fresh
+    plan caches every subtree bottom-up.
+    """
+    try:
+        return op._fingerprint
+    except AttributeError:
+        pass
     parameters: set[str] = set()
+    result: SubplanFingerprint | None
     try:
         structure = _fp(op, parameters)
     except _Unfingerprintable:
-        return None
-    return SubplanFingerprint(structure, frozenset(parameters))
+        result = None
+    else:
+        result = SubplanFingerprint(structure, frozenset(parameters))
+    object.__setattr__(op, "_fingerprint", result)
+    return result
+
+
+def _child(op: ops.Operator, parameters: set[str]) -> tuple:
+    """Memoised recursion step: a child's cached structure, or raise."""
+    fp = fingerprint(op)
+    if fp is None:
+        raise _Unfingerprintable(type(op).__name__)
+    parameters |= fp.parameters
+    return fp.structure
 
 
 # ---------------------------------------------------------------------------
@@ -140,7 +169,7 @@ def _fp(op: ops.Operator, parameters: set[str]) -> tuple:
         child = op.children[0]
         return (
             "select",
-            _fp(child, parameters),
+            _child(child, parameters),
             _canon_expr(op.predicate, child.schema, parameters),
         )
 
@@ -148,20 +177,20 @@ def _fp(op: ops.Operator, parameters: set[str]) -> tuple:
         child = op.children[0]
         return (
             "project",
-            _fp(child, parameters),
+            _child(child, parameters),
             tuple(
                 _canon_expr(expr, child.schema, parameters) for _, expr in op.items
             ),
         )
 
     if isinstance(op, ops.Dedup):
-        return ("dedup", _fp(op.children[0], parameters))
+        return ("dedup", _child(op.children[0], parameters))
 
     if isinstance(op, ops.Unwind):
         child = op.children[0]
         return (
             "unwind",
-            _fp(child, parameters),
+            _child(child, parameters),
             _canon_expr(op.expression, child.schema, parameters),
         )
 
@@ -169,7 +198,7 @@ def _fp(op: ops.Operator, parameters: set[str]) -> tuple:
         child = op.children[0]
         return (
             "aggregate",
-            _fp(child, parameters),
+            _child(child, parameters),
             tuple(_canon_expr(expr, child.schema, parameters) for _, expr in op.keys),
             tuple(
                 (
@@ -187,8 +216,8 @@ def _fp(op: ops.Operator, parameters: set[str]) -> tuple:
         left, right = op.children
         return (
             "join",
-            _fp(left, parameters),
-            _fp(right, parameters),
+            _child(left, parameters),
+            _child(right, parameters),
             tuple(left.schema.index_of(n) for n in op.common),
             tuple(right.schema.index_of(n) for n in op.common),
             tuple(i for i, a in enumerate(right.schema) if a.name not in op.common),
@@ -198,8 +227,8 @@ def _fp(op: ops.Operator, parameters: set[str]) -> tuple:
         left, right = op.children
         return (
             "antijoin",
-            _fp(left, parameters),
-            _fp(right, parameters),
+            _child(left, parameters),
+            _child(right, parameters),
             tuple(left.schema.index_of(n) for n in op.common),
             tuple(right.schema.index_of(n) for n in op.common),
         )
@@ -208,8 +237,8 @@ def _fp(op: ops.Operator, parameters: set[str]) -> tuple:
         left, right = op.children
         return (
             "leftouterjoin",
-            _fp(left, parameters),
-            _fp(right, parameters),
+            _child(left, parameters),
+            _child(right, parameters),
             tuple(left.schema.index_of(n) for n in op.common),
             tuple(right.schema.index_of(n) for n in op.common),
             tuple(i for i, a in enumerate(right.schema) if a.name not in op.common),
@@ -218,8 +247,8 @@ def _fp(op: ops.Operator, parameters: set[str]) -> tuple:
     if isinstance(op, ops.Union):
         return (
             "union",
-            _fp(op.children[0], parameters),
-            _fp(op.children[1], parameters),
+            _child(op.children[0], parameters),
+            _child(op.children[1], parameters),
             op.right_permutation,
         )
 
@@ -227,8 +256,8 @@ def _fp(op: ops.Operator, parameters: set[str]) -> tuple:
         left = op.children[0]
         return (
             "transitive",
-            _fp(left, parameters),
-            _fp(op.edges, parameters),
+            _child(left, parameters),
+            _child(op.edges, parameters),
             left.schema.index_of(op.source),
             op.direction,
             op.min_hops,

@@ -197,6 +197,12 @@ class Interpreter:
     def _eval_Unit(self, op: ops.Unit) -> Bag:
         return {(): 1}
 
+    def _eval_ViewScan(self, op: ops.ViewScan) -> Bag:
+        # The view-answering rewriter spliced this leaf in: read the live
+        # materialisation instead of recomputing the subtree from the
+        # graph.  ``source`` returns a fresh bag, safe to hand upstream.
+        return op.source()
+
     def _eval_GetVertices(self, op: ops.GetVertices) -> Bag:
         graph = self.graph
         bag: Bag = {}

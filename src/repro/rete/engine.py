@@ -116,25 +116,36 @@ class IncrementalEngine:
         batch_transactions: bool = False,
         route_events: bool = True,
         share_subplans: bool = True,
+        detached_cache_size: int = 4,
     ):
         self.graph = graph
         self.transitive_mode = transitive_mode
         self.route_events = route_events
         if share_inputs:
-            layer_cls = SharedSubplanLayer if share_subplans else SharedInputLayer
-            self.input_layer: SharedInputLayer | None = layer_cls(
-                graph, route_events=route_events
-            )
+            if share_subplans:
+                self.input_layer: SharedInputLayer | None = SharedSubplanLayer(
+                    graph,
+                    route_events=route_events,
+                    detached_cache_size=detached_cache_size,
+                )
+            else:
+                self.input_layer = SharedInputLayer(
+                    graph, route_events=route_events
+                )
         else:
             self.input_layer = None
         self._views: list[View] = []
         # views whose networks own private input nodes (share_inputs=False);
         # with a shared layer per-view dispatch would be a guaranteed no-op
         self._private_views: list[View] = []
+        # view-lifecycle observers (the view-answering catalog), called with
+        # ("register" | "detach", view) after the engine state is consistent
+        self._view_listeners: list[Callable[[str, View], None]] = []
         self._subscribed = False
         self.batch_transactions = batch_transactions
         self._accumulator: BatchAccumulator | None = None
         self._batch_depth = 0
+        self._dispatch_depth = 0
         if batch_transactions:
             graph.subscribe_transactions(self._on_transaction)
 
@@ -172,16 +183,29 @@ class IncrementalEngine:
         if not self._subscribed:
             self.graph.subscribe(self._on_event)
             self._subscribed = True
+        for listener in self._view_listeners:
+            listener("register", view)
         return view
+
+    def subscribe_views(self, listener: Callable[[str, "View"], None]) -> None:
+        """Observe view lifecycle: called with ("register"|"detach", view)."""
+        self._view_listeners.append(listener)
 
     def _on_event(self, event: ev.GraphEvent) -> None:
         if self._accumulator is not None:
             self._accumulator.record(event)
             return
-        if self.input_layer is not None:
-            self.input_layer.dispatch(event)
-        for view in self._private_views:
-            view.network.dispatch(event)
+        # Mid-propagation, some networks have seen the delta and some have
+        # not; on_change callbacks run inside this window and must not be
+        # served half-updated maintained state (see pending_changes).
+        self._dispatch_depth += 1
+        try:
+            if self.input_layer is not None:
+                self.input_layer.dispatch(event)
+            for view in self._private_views:
+                view.network.dispatch(event)
+        finally:
+            self._dispatch_depth -= 1
 
     # -- batched propagation --------------------------------------------------
 
@@ -262,6 +286,24 @@ class IncrementalEngine:
         view.network.disconnect_shared()
         if self.input_layer is not None:
             self.input_layer.prune()
+        for listener in self._view_listeners:
+            listener("detach", view)
+
+    def pending_changes(self) -> bool:
+        """Whether view contents may lag the graph right now.
+
+        True inside any open batch/transaction window — buffered events
+        have mutated the graph but not yet reached the networks — and
+        while an event is mid-propagation (an ``on_change`` callback
+        evaluating a query must not read sibling views that have not seen
+        the delta yet); maintained state must not serve snapshot reads
+        until both have settled.
+        """
+        return (
+            self._batch_depth > 0
+            or self._dispatch_depth > 0
+            or (self._accumulator is not None and bool(self._accumulator))
+        )
 
     @property
     def views(self) -> tuple[View, ...]:

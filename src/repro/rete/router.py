@@ -158,13 +158,42 @@ class EventRouter:
         self._e_eprop_watch = _Bucketed()  # edge property key / wildcard
         # id(node) → (interest, [(bucketed index, key-or-wildcard)])
         self._registered: dict[int, tuple[object, list[tuple]]] = {}
+        # hot multi-bucket candidate unions, keyed by event signature;
+        # registrations change bucket contents, so any register/unregister
+        # clears the whole cache (events vastly outnumber registrations)
+        self._union_cache: dict[tuple, list[object]] = {}
 
     def __len__(self) -> int:
         return len(self._registered)
 
+    #: cap on memoised unions — signatures are data-dependent (property
+    #: keys, label sets), so an adversarial stream could otherwise grow
+    #: the cache for the engine's lifetime; overflow just resets it
+    _UNION_CACHE_LIMIT = 1024
+
+    def _union(self, cache_key: tuple, *buckets) -> list[object]:
+        """Memoised :func:`_ordered` for per-event candidate collection.
+
+        The same event signature (a label set, an edge type, a property
+        key) recurs for the lifetime of a workload; merging and re-sorting
+        its buckets per event was pure rework.  Empty unions (signatures
+        no node is interested in) are not cached — they are free to
+        recompute and would otherwise leak one entry per distinct
+        irrelevant key.
+        """
+        cached = self._union_cache.get(cache_key)
+        if cached is None:
+            cached = _ordered(*buckets)
+            if cached:
+                if len(self._union_cache) >= self._UNION_CACHE_LIMIT:
+                    self._union_cache.clear()
+                self._union_cache[cache_key] = cached
+        return cached
+
     # -- registration -------------------------------------------------------
 
     def register_vertex_node(self, node: "VertexInputNode") -> None:
+        self._union_cache.clear()
         interest = node.interest()
         seq = self._seq
         self._seq += 1
@@ -188,6 +217,7 @@ class EventRouter:
         self._registered[id(node)] = (interest, buckets)
 
     def register_edge_node(self, node: "EdgeInputNode") -> None:
+        self._union_cache.clear()
         interest = node.interest()
         seq = self._seq
         self._seq += 1
@@ -218,6 +248,7 @@ class EventRouter:
         entry = self._registered.pop(id(node), None)
         if entry is None:
             return
+        self._union_cache.clear()
         for bucketed, key in entry[1]:
             bucketed.discard(key, id(node))
 
@@ -226,10 +257,16 @@ class EventRouter:
     def _vertex_membership_candidates(
         self, labels: Iterable[str]
     ) -> list[object]:
-        """Vertex nodes whose required labels can be ⊆ *labels*."""
-        return _ordered(
+        """Vertex nodes whose required labels can be ⊆ *labels*.
+
+        ``frozenset(labels)`` is the cache key; when *labels* already is a
+        frozenset (lifecycle events carry one) this is a no-copy identity.
+        """
+        key = labels if isinstance(labels, frozenset) else frozenset(labels)
+        return self._union(
+            ("vm", key),
             self._v_membership.wildcard,
-            *[self._v_membership.get(label) for label in labels],
+            *[self._v_membership.get(label) for label in key],
         )
 
     def vertex_candidates(self, event: ev.GraphEvent) -> list[object]:
@@ -237,7 +274,8 @@ class EventRouter:
         if isinstance(event, (ev.VertexAdded, ev.VertexRemoved)):
             return self._vertex_membership_candidates(event.labels)
         if isinstance(event, (ev.VertexLabelAdded, ev.VertexLabelRemoved)):
-            return _ordered(
+            return self._union(
+                ("vl", event.label),
                 self._v_label_watch.wildcard,
                 self._v_label_watch.get(event.label),
             )
@@ -257,11 +295,14 @@ class EventRouter:
     def edge_candidates(self, event: ev.GraphEvent) -> list[object]:
         """⇑ nodes that may produce a non-empty delta for *event*."""
         if isinstance(event, (ev.EdgeAdded, ev.EdgeRemoved)):
-            return _ordered(
-                self._e_type.wildcard, self._e_type.get(event.edge_type)
+            return self._union(
+                ("et", event.edge_type),
+                self._e_type.wildcard,
+                self._e_type.get(event.edge_type),
             )
         if isinstance(event, ev.EdgePropertySet):
-            candidates = _ordered(
+            candidates = self._union(
+                ("ee", event.key),
                 self._e_eprop_watch.wildcard,
                 self._e_eprop_watch.get(event.key),
             )
@@ -274,12 +315,14 @@ class EventRouter:
                 if not node.types or edge_type in node.types
             ]
         if isinstance(event, (ev.VertexLabelAdded, ev.VertexLabelRemoved)):
-            return _ordered(
+            return self._union(
+                ("el", event.label),
                 self._e_label_watch.wildcard,
                 self._e_label_watch.get(event.label),
             )
         if isinstance(event, ev.VertexPropertySet):
-            return _ordered(
+            return self._union(
+                ("ev", event.key),
                 self._e_vprop_watch.wildcard,
                 self._e_vprop_watch.get(event.key),
             )

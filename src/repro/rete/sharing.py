@@ -30,11 +30,12 @@ pure ``transform``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..algebra import ops
-from ..compiler.fingerprint import fingerprint
+from ..compiler.fingerprint import SubplanFingerprint, fingerprint
 from ..graph import events as ev
 from ..graph.graph import PropertyGraph
 from ..graph.values import freeze_value
@@ -56,6 +57,9 @@ class SharingStats:
     subplan_requests: int = 0
     subplan_hits: int = 0
     subplan_nodes: int = 0
+    detached_retained: int = 0
+    detached_revived: int = 0
+    detached_evicted: int = 0
 
     @property
     def requests(self) -> int:
@@ -233,6 +237,65 @@ class SharedInputLayer:
 _MISSING_BINDING = ("$missing",)
 
 
+def binding_key(value: Any) -> tuple:
+    """An equality key for one parameter binding.
+
+    Python conflates ``1 == True == 1.0``, so raw values would let a
+    view reuse a subplan evaluated under a differently-*typed* binding.
+    The type tag plus ``repr`` (distinct for every frozen value the
+    expression layer can observe, nested values included) makes the key
+    exactly discriminate; over-discrimination would merely forgo a
+    share, never corrupt one.
+    """
+    frozen = freeze_value(value)
+    return (type(frozen).__name__, repr(frozen), frozen)
+
+
+def parameter_bindings(
+    fp: SubplanFingerprint, parameters: Mapping[str, Any]
+) -> tuple | None:
+    """Resolved bindings of exactly the parameters *fp* mentions.
+
+    ``None`` signals an unhashable binding (the subtree is then
+    uncacheable/unmatchable); unbound parameters get a sentinel so two
+    plans that both leave ``$x`` unbound still agree.
+    """
+    if not fp.parameters:
+        return ()
+    try:
+        bindings = tuple(
+            (name, binding_key(parameters[name]))
+            if name in parameters
+            else (name, _MISSING_BINDING)
+            for name in sorted(fp.parameters)
+        )
+        hash(bindings)
+    except TypeError:
+        return None
+    return bindings
+
+
+def subplan_cache_key(
+    op: ops.Operator, parameters: Mapping[str, Any], variant: tuple = ()
+) -> tuple | None:
+    """Canonical cache/match key for *op*'s subtree, or ``None``.
+
+    The key pairs the alpha-equivalent structural fingerprint with the
+    resolved bindings of exactly the parameters the subtree mentions, plus
+    a *variant* folding in build options that change node semantics (the
+    engine's transitive mode).  Both the sharing layer and the
+    view-answering catalog key by this, which is what lets a one-shot
+    query's plan be matched directly against live maintained state.
+    """
+    fp = fingerprint(op)
+    if fp is None:
+        return None
+    bindings = parameter_bindings(fp, parameters)
+    if bindings is None:
+        return None
+    return (fp, bindings, variant)
+
+
 @dataclass
 class _SubplanEntry:
     """One cached interior node: who feeds it, and how many views hold it."""
@@ -242,6 +305,7 @@ class _SubplanEntry:
     refcount: int = 0
 
 
+@dataclass
 class SharedSubplanLayer(SharedInputLayer):
     """Input sharing plus a fingerprint-keyed cache of interior subplans.
 
@@ -257,12 +321,31 @@ class SharedSubplanLayer(SharedInputLayer):
     subscriber still reads, unsubscribing them from their upstreams — which
     can free upstream shared subplans and, finally, input nodes, so one
     pass cascades the release down the whole shared chain.
+
+    **Detached-subplan LRU.**  Register/detach churn otherwise rebuilds a
+    just-pruned subplan from scratch on the next registration.  With
+    ``detached_cache_size > 0``, :meth:`prune` instead *retains* up to that
+    many dead subplan roots: a retained node stays subscribed to its
+    upstreams and keeps receiving deltas, so its memory stays exactly
+    current (it is still a correct materialisation of its subtree, and the
+    view-answering catalog may serve from it).  A later registration that
+    needs the same subtree revives it for free; the least-recently-touched
+    root is genuinely dropped when the cache overflows, which can cascade
+    its upstream chain into the cache or out of the layer.  The retained
+    chain's upkeep (per-event delta work) is the price of instant revival —
+    bounded by the cache size; ``detached_cache_size=0`` restores strict
+    eager pruning.
     """
+
+    detached_cache_size: int = 4
 
     def __post_init__(self) -> None:
         super().__post_init__()
         self._subplans: dict[tuple, _SubplanEntry] = {}
         self._key_by_node: dict[int, tuple] = {}
+        # dead-but-retained subplan roots, least-recently-used first;
+        # members are also (still) present in _subplans
+        self._detached_lru: OrderedDict[tuple, None] = OrderedDict()
 
     # -- cache keys -----------------------------------------------------------
 
@@ -272,44 +355,8 @@ class SharedSubplanLayer(SharedInputLayer):
         parameters: Mapping[str, Any],
         variant: tuple = (),
     ) -> tuple | None:
-        """Cache key for *op*'s subtree, or ``None`` when unshareable.
-
-        The key pairs the alpha-equivalent structural fingerprint with the
-        resolved bindings of exactly the parameters the subtree mentions —
-        two views share a parameterised subplan only when their bindings
-        for those parameters agree.  *variant* folds in build options that
-        change node semantics (the engine's transitive mode).
-        """
-        fp = fingerprint(op)
-        if fp is None:
-            return None
-        bindings: tuple = ()
-        if fp.parameters:
-            try:
-                bindings = tuple(
-                    (name, self._binding_key(parameters[name]))
-                    if name in parameters
-                    else (name, _MISSING_BINDING)
-                    for name in sorted(fp.parameters)
-                )
-                hash(bindings)
-            except TypeError:
-                return None
-        return (fp, bindings, variant)
-
-    @staticmethod
-    def _binding_key(value: Any) -> tuple:
-        """An equality key for one parameter binding.
-
-        Python conflates ``1 == True == 1.0``, so raw values would let a
-        view reuse a subplan evaluated under a differently-*typed* binding.
-        The type tag plus ``repr`` (distinct for every frozen value the
-        expression layer can observe, nested values included) makes the key
-        exactly discriminate; over-discrimination would merely forgo a
-        share, never corrupt one.
-        """
-        frozen = freeze_value(value)
-        return (type(frozen).__name__, repr(frozen), frozen)
+        """Cache key for *op*'s subtree, or ``None`` when unshareable."""
+        return subplan_cache_key(op, parameters, variant)
 
     # -- node acquisition -----------------------------------------------------
 
@@ -319,6 +366,22 @@ class SharedSubplanLayer(SharedInputLayer):
         if entry is None:
             return None
         self.stats.subplan_hits += 1
+        if key in self._detached_lru:
+            self.stats.detached_revived += 1
+        return entry.node
+
+    def subplan_peek(self, key: tuple) -> Node | None:
+        """The cached node for *key* without counting a sharing request.
+
+        Read path for the view-answering catalog: a retained (detached)
+        node is servable — it is still maintained — and a peek refreshes
+        its LRU recency, but does not revive it.
+        """
+        entry = self._subplans.get(key)
+        if entry is None:
+            return None
+        if key in self._detached_lru:
+            self._detached_lru.move_to_end(key)
         return entry.node
 
     def subplan_adopt(
@@ -331,6 +394,8 @@ class SharedSubplanLayer(SharedInputLayer):
 
     def acquire(self, key: tuple) -> None:
         self._subplans[key].refcount += 1
+        # a held subplan is live again, not a detached-cache resident
+        self._detached_lru.pop(key, None)
 
     def release(self, key: tuple) -> None:
         entry = self._subplans.get(key)
@@ -362,27 +427,66 @@ class SharedSubplanLayer(SharedInputLayer):
         """Drop dead subplans (cascading) and then dead input nodes.
 
         A subplan dies when no view holds it (refcount zero) and no live
-        node still subscribes to its output; dropping it unsubscribes it
-        from its upstreams, which can push *them* to zero subscribers, so
-        the scan repeats until a fixpoint before the input tier is swept.
+        node still subscribes to its output.  Dead roots first enter the
+        detached LRU (still connected and maintained, see the class
+        docstring); only overflow — or ``detached_cache_size=0`` — makes
+        them genuinely drop, unsubscribing from their upstreams, which can
+        push *them* to zero subscribers, so the scan repeats until a
+        fixpoint before the input tier is swept.
         """
         removed = 0
+        # upstreams orphaned by an eviction this sweep: they died only
+        # because their (colder) downstream was dropped, so they must not
+        # enter the LRU as most-recent and displace genuinely warm roots
+        cascade_orphans: set[int] = set()
         changed = True
         while changed:
             changed = False
             for key, entry in list(self._subplans.items()):
-                if entry.refcount == 0 and entry.node.subscriber_count == 0:
-                    del self._subplans[key]
-                    self._key_by_node.pop(id(entry.node), None)
-                    for upstream, side in entry.upstreams:
-                        upstream.unsubscribe(entry.node, side)
+                if self._subplans.get(key) is not entry:
+                    continue  # dropped by an eviction earlier in this sweep
+                if entry.refcount != 0 or entry.node.subscriber_count != 0:
+                    continue
+                if key in self._detached_lru:
+                    continue  # already retained; ages out via overflow
+                if self.detached_cache_size > 0:
+                    self._detached_lru[key] = None
+                    if id(entry.node) in cascade_orphans:
+                        self._detached_lru.move_to_end(key, last=False)
+                    self.stats.detached_retained += 1
+                    while len(self._detached_lru) > self.detached_cache_size:
+                        oldest, _ = self._detached_lru.popitem(last=False)
+                        cascade_orphans |= self._drop_subplan(oldest)
+                        self.stats.detached_evicted += 1
+                        removed += 1
+                        changed = True
+                else:
+                    cascade_orphans |= self._drop_subplan(key)
                     removed += 1
                     changed = True
         return removed + super().prune()
 
+    def _drop_subplan(self, key: tuple) -> set[int]:
+        """Genuinely remove one cached subplan and detach it upstream.
+
+        Returns the ids of the upstream nodes it unsubscribed from — the
+        candidates the drop may have orphaned.
+        """
+        entry = self._subplans.pop(key)
+        self._detached_lru.pop(key, None)
+        self._key_by_node.pop(id(entry.node), None)
+        for upstream, side in entry.upstreams:
+            upstream.unsubscribe(entry.node, side)
+        return {id(upstream) for upstream, _ in entry.upstreams}
+
     @property
     def subplan_count(self) -> int:
         return len(self._subplans)
+
+    @property
+    def detached_count(self) -> int:
+        """Dead-but-retained subplan roots currently in the LRU."""
+        return len(self._detached_lru)
 
     @property
     def node_count(self) -> int:

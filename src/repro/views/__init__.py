@@ -1,0 +1,27 @@
+"""Answering one-shot queries from materialised views (view matching).
+
+The subsystem has three parts, wired through
+:meth:`repro.api.QueryEngine.evaluate`:
+
+* :mod:`.catalog` — :class:`ViewCatalog` indexes every live view's FRA
+  root and (via the sharing layer) every shared interior subplan by the
+  canonical fingerprint key;
+* :mod:`.matcher` — finds the highest-covering catalog entry for a
+  one-shot plan, exact hits first, then containment hits where the query
+  is residual work over a cached subtree, with parameter-binding checks;
+* :mod:`.rewriter` — splices :class:`~repro.algebra.ops.ViewScan` leaves
+  reading the live materialisations under the residual operators.
+"""
+
+from .catalog import AnswerStats, MaterializedSource, ViewCatalog
+from .matcher import rewrite_plan
+from .rewriter import RewriteResult, make_view_scan
+
+__all__ = [
+    "AnswerStats",
+    "MaterializedSource",
+    "RewriteResult",
+    "ViewCatalog",
+    "make_view_scan",
+    "rewrite_plan",
+]

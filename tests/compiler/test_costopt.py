@@ -162,5 +162,5 @@ class TestEngineIntegration:
         compiled = compile_query(QUERY_POOL[0], stats)
         view = engine.register(compiled)
         assert sorted(view.rows(), key=repr) == sorted(
-            engine.evaluate(QUERY_POOL[0]).rows(), key=repr
+            engine.evaluate(QUERY_POOL[0], use_views=False).rows(), key=repr
         )

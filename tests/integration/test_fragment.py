@@ -55,13 +55,13 @@ def test_excluded_queries_raise_on_registration(paper_graph, query, in_fragment)
 def test_included_queries_register_and_match_oracle(paper_graph, query, in_fragment):
     engine = QueryEngine(paper_graph)
     view = engine.register(query)
-    assert view.multiset() == engine.evaluate(query).multiset()
+    assert view.multiset() == engine.evaluate(query, use_views=False).multiset()
 
 
 @pytest.mark.parametrize("query,in_fragment", FRAGMENT_MATRIX)
 def test_every_query_evaluates_one_shot(paper_graph, query, in_fragment):
     """Queries outside the fragment remain supported non-incrementally."""
-    QueryEngine(paper_graph).evaluate(query)
+    QueryEngine(paper_graph).evaluate(query, use_views=False)
 
 
 def test_path_unwinding_loses_order_into_bag(paper_graph):

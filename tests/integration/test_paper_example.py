@@ -22,19 +22,19 @@ def expected_rows():
 
 class TestOneShot:
     def test_result_table_matches_paper(self, paper_engine):
-        table = paper_engine.evaluate(PAPER_QUERY)
+        table = paper_engine.evaluate(PAPER_QUERY, use_views=False)
         assert table.columns == ("p", "t")
         assert table.rows() == expected_rows()
 
     def test_display_form_matches_paper_convention(self, paper_engine):
-        table = paper_engine.evaluate(PAPER_QUERY)
+        table = paper_engine.evaluate(PAPER_QUERY, use_views=False)
         rendered = table.to_text()
         assert "[1, 2]" in rendered
         assert "[1, 2, 3]" in rendered
 
     def test_language_filter_is_load_bearing(self, paper_graph, paper_engine):
         paper_graph.set_vertex_property(2, "lang", "de")
-        table = paper_engine.evaluate(PAPER_QUERY)
+        table = paper_engine.evaluate(PAPER_QUERY, use_views=False)
         # thread [1,2] now fails p.lang = c.lang; [1,2,3] still matches via 3
         assert [r[1].vertices for r in table.rows()] == [(1, 2, 3)]
 
@@ -42,7 +42,7 @@ class TestOneShot:
 class TestIncremental:
     def test_view_equals_one_shot(self, paper_engine):
         view = paper_engine.register(PAPER_QUERY)
-        assert view.multiset() == paper_engine.evaluate(PAPER_QUERY).multiset()
+        assert view.multiset() == paper_engine.evaluate(PAPER_QUERY, use_views=False).multiset()
 
     def test_full_update_cycle(self, paper_graph, paper_engine):
         view = paper_engine.register(PAPER_QUERY)

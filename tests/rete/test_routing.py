@@ -85,7 +85,7 @@ class MirrorPair:
             if oracle:
                 assert (
                     routed.multiset()
-                    == self.engines[0].evaluate(query).multiset()
+                    == self.engines[0].evaluate(query, use_views=False).multiset()
                 ), query
         for query, (routed_log, broadcast_log) in zip(self.queries, self.logs):
             assert routed_log == broadcast_log, query
@@ -240,7 +240,7 @@ def test_mid_batch_register_matches_broadcast():
 def test_detach_withdraws_interests():
     """Pruned shared input nodes stop receiving routed events entirely."""
     graph = PropertyGraph()
-    engine = QueryEngine(graph, route_events=True)
+    engine = QueryEngine(graph, route_events=True, detached_cache_size=0)
     view = engine.register("MATCH (p:Post) RETURN p")
     keeper = engine.register("MATCH (c:Comm) RETURN c")
     router = engine._incremental.input_layer.router
@@ -253,7 +253,7 @@ def test_detach_withdraws_interests():
     post = graph.add_vertex(labels=["Post"])  # routed nowhere, must not raise
     graph.add_vertex(labels=["Comm"])
     graph.remove_vertex(post)
-    assert keeper.multiset() == engine.evaluate("MATCH (c:Comm) RETURN c").multiset()
+    assert keeper.multiset() == engine.evaluate("MATCH (c:Comm) RETURN c", use_views=False).multiset()
 
 
 def test_private_layer_routes_too():

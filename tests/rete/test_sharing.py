@@ -69,7 +69,7 @@ class TestTransparency:
         graph.set_vertex_property(post, "lang", "zz")
         for query, view in zip(QUERIES, views):
             assert sorted(view.rows(), key=repr) == sorted(
-                engine.evaluate(query).rows(), key=repr
+                engine.evaluate(query, use_views=False).rows(), key=repr
             )
 
 
@@ -112,7 +112,8 @@ class TestSharingMechanics:
 
     def test_detach_stops_updates_and_prunes(self):
         graph, *_ = small_graph()
-        engine = IncrementalEngine(graph, share_inputs=True)
+        # strict eager pruning: no detached-subplan retention
+        engine = IncrementalEngine(graph, share_inputs=True, detached_cache_size=0)
         view_a = engine.register(QUERIES[0])
         view_b = engine.register(QUERIES[2])
         assert engine.input_layer.node_count > 0
@@ -254,7 +255,7 @@ class SubplanMirrorPair:
             if oracle:
                 assert (
                     shared.multiset()
-                    == self.engines[0].evaluate(query).multiset()
+                    == self.engines[0].evaluate(query, use_views=False).multiset()
                 ), query
         for query, (shared_log, private_log) in zip(self.queries, self.logs):
             assert shared_log == private_log, query
@@ -467,7 +468,7 @@ class TestSubplanMechanics:
 class TestSubplanLifecycle:
     def test_detach_releases_refcounts_bottom_up(self):
         graph, *_ = small_graph()
-        engine = IncrementalEngine(graph)
+        engine = IncrementalEngine(graph, detached_cache_size=0)
         layer = engine.input_layer
         assert isinstance(layer, SharedSubplanLayer)
         view_a = engine.register(SUBPLAN_QUERIES[3])
@@ -496,7 +497,7 @@ class TestSubplanLifecycle:
 
     def test_memories_freed_and_rebuild_is_correct(self):
         graph, *_ = small_graph()
-        engine = IncrementalEngine(graph)
+        engine = IncrementalEngine(graph, detached_cache_size=0)
         view = engine.register(SUBPLAN_QUERIES[3])
         assert engine.memory_cells() > 0
         view.detach()
@@ -510,7 +511,7 @@ class TestSubplanLifecycle:
     def test_random_register_detach_cycles_leave_no_garbage(self):
         rng = random.Random(99)
         bundle = generate_social(persons=6, posts_per_person=2, seed=11)
-        engine = IncrementalEngine(bundle.graph)
+        engine = IncrementalEngine(bundle.graph, detached_cache_size=0)
         live = []
         for _ in range(40):
             if live and rng.random() < 0.45:

@@ -40,7 +40,7 @@ class TestWith:
             "MATCH (p:Post) WITH p.v * 10 AS scaled CREATE (q:Scaled {v: scaled})"
         )
         assert result.summary.nodes_created == 3
-        values = engine.evaluate("MATCH (q:Scaled) RETURN q.v AS v").rows()
+        values = engine.evaluate("MATCH (q:Scaled) RETURN q.v AS v", use_views=False).rows()
         assert sorted(v for (v,) in values) == [10, 20, 30]
 
     def test_with_where_filters(self, engine):
@@ -61,7 +61,7 @@ class TestWith:
         )
         rows = engine.evaluate(
             "MATCH (s:Stat) RETURN s.lang AS lang, s.n AS n"
-        ).rows()
+        , use_views=False).rows()
         assert sorted(rows) == [("de", 1), ("en", 2)]
 
     def test_with_distinct(self, engine):
@@ -78,7 +78,7 @@ class TestWith:
         )
         assert engine.evaluate(
             "MATCH (p:Smallest) RETURN p.v AS v"
-        ).rows() == [(1,)]
+        , use_views=False).rows() == [(1,)]
 
 
 class TestOptionalMatch:
@@ -91,7 +91,7 @@ class TestOptionalMatch:
         assert result.summary.nodes_created == 1
         assert engine.evaluate(
             "MATCH (l:Log) RETURN l.found AS f"
-        ).rows() == [(False,)]
+        , use_views=False).rows() == [(False,)]
 
 
 class TestReturnModifiers:
@@ -160,4 +160,4 @@ class TestViewIntegration:
         ]
         for statement in statements:
             engine.execute(statement)
-            assert sorted(view.rows()) == sorted(engine.evaluate(query).rows())
+            assert sorted(view.rows()) == sorted(engine.evaluate(query, use_views=False).rows())

@@ -51,7 +51,7 @@ class TestTriggers:
             engine.execute("CREATE (p:Post) WITH p MATCH (x:Post)-[:R]->() DELETE x")
         assert engine.graph.stats()["vertices"] == vertices_before
         assert sorted(watched.rows(), key=repr) == sorted(
-            engine.evaluate("MATCH (p:Post) RETURN p").rows(), key=repr
+            engine.evaluate("MATCH (p:Post) RETURN p", use_views=False).rows(), key=repr
         )
 
     def test_trigger_cascade_two_levels(self, engine):
@@ -60,7 +60,7 @@ class TestTriggers:
         level1.on_change(lambda d: engine.execute("CREATE (b:B)"))
         level2.on_change(lambda d: engine.execute("CREATE (c:C)"))
         engine.execute("CREATE (a:A)")
-        assert engine.evaluate("MATCH (c:C) RETURN count(*) AS n").rows() == [(1,)]
+        assert engine.evaluate("MATCH (c:C) RETURN count(*) AS n", use_views=False).rows() == [(1,)]
 
 
 class TestProfile:

@@ -1,0 +1,473 @@
+"""Answering one-shot queries from materialised views: the differential gate.
+
+The central contract: ``evaluate(use_views=True)`` must be row-for-row
+identical to ``evaluate(use_views=False)`` — across exact hits, residual
+(containment) hits, parameter mismatches (which must fall back), mid-stream
+detach (stale entries must never serve), and batched/rollback transaction
+windows (in-flight state must never serve).  Random graphs and random
+update streams drive the property form of the claim.
+"""
+
+import random
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.compiler.fingerprint import fingerprint
+from repro.rete.sharing import SharedSubplanLayer
+from repro.workloads.random_graphs import random_graph, random_updates
+
+#: registered view shapes over the random-graph schema
+VIEW_QUERIES = [
+    "MATCH (p:Post) WHERE p.lang = 'en' RETURN p",
+    "MATCH (a:Post)-[:REPLY]->(b:Comm) WHERE a.lang = b.lang RETURN a, b",
+    "MATCH (c:Comm) RETURN c.lang AS l, count(*) AS n",
+    "MATCH (a)-[e:LIKES]->(b) WHERE e.score >= 2 RETURN a, b",
+    "MATCH (p:Post) OPTIONAL MATCH (p)-[:REPLY]->(c:Comm) RETURN p, c",
+]
+
+#: one-shot reads: exact hits, alpha-renamed hits, residual hits over view
+#: roots and shared subplans, ordering residuals, and guaranteed misses
+READ_QUERIES = [
+    "MATCH (p:Post) WHERE p.lang = 'en' RETURN p",
+    "MATCH (x:Post) WHERE x.lang = 'en' RETURN x",
+    "MATCH (u:Post)-[:REPLY]->(v:Comm) WHERE u.lang = v.lang RETURN DISTINCT u",
+    "MATCH (c:Comm) RETURN c.lang AS l, count(*) AS n ORDER BY n DESC LIMIT 2",
+    "MATCH (c:Comm) WITH c.lang AS l, count(*) AS n WHERE n > 1 RETURN l, n",
+    "MATCH (a)-[e:LIKES]->(b) WHERE e.score >= 2 RETURN a, b ORDER BY a LIMIT 3",
+    "MATCH (q:Person) RETURN q",
+    "MATCH (a:Person)-[:KNOWS]-(b:Person) RETURN a, b",
+]
+
+
+def assert_answers_match(engine: QueryEngine, queries=READ_QUERIES) -> None:
+    """The differential gate: view-answered ≡ full recomputation."""
+    for query in queries:
+        served = engine.evaluate(query, use_views=True).rows()
+        direct = engine.evaluate(query, use_views=False).rows()
+        assert served == direct, query
+
+
+def small_engine(**kwargs) -> tuple[PropertyGraph, QueryEngine]:
+    graph = PropertyGraph()
+    engine = QueryEngine(graph, **kwargs)
+    p1 = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+    p2 = graph.add_vertex(labels=["Post"], properties={"lang": "de"})
+    c1 = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+    c2 = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+    graph.add_edge(p1, c1, "REPLY")
+    graph.add_edge(p2, c2, "REPLY")
+    return graph, engine
+
+
+class TestExactHits:
+    def test_same_text_is_served_from_the_view_root(self):
+        graph, engine = small_engine()
+        query = "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+        view = engine.register(query)
+        result = engine.evaluate(query)
+        assert result.multiset() == view.multiset()
+        assert result.rows() == engine.evaluate(query, use_views=False).rows()
+        stats = engine.answer_stats()
+        assert stats.exact == 1 and stats.root_hits == 1
+
+    def test_alpha_renamed_query_hits_the_same_view(self):
+        graph, engine = small_engine()
+        engine.register(
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+        )
+        renamed = (
+            "MATCH (x:Post)-[:REPLY]->(y:Comm) WHERE x.lang = y.lang RETURN x, y"
+        )
+        assert (
+            engine.evaluate(renamed).rows()
+            == engine.evaluate(renamed, use_views=False).rows()
+        )
+        assert engine.answer_stats().exact == 1
+
+    def test_served_reads_track_updates(self):
+        graph, engine = small_engine()
+        query = "MATCH (p:Post) WHERE p.lang = 'en' RETURN p"
+        engine.register(query)
+        for lang in ("en", "fr", "en", None):
+            vertex = graph.add_vertex(labels=["Post"])
+            if lang is not None:
+                graph.set_vertex_property(vertex, "lang", lang)
+            assert (
+                engine.evaluate(query).rows()
+                == engine.evaluate(query, use_views=False).rows()
+            )
+        assert engine.answer_stats().answered == 4
+
+    def test_engine_wide_ablation_switch(self):
+        graph, engine = small_engine(answer_from_views=False)
+        query = "MATCH (p:Post) WHERE p.lang = 'en' RETURN p"
+        engine.register(query)
+        engine.evaluate(query)
+        assert engine.answer_stats().queries == 0  # catalog never consulted
+        engine.evaluate(query, use_views=True)  # per-call override still works
+        assert engine.answer_stats().answered == 1
+
+
+class TestResidualHits:
+    def test_distinct_over_shared_join_core(self):
+        graph, engine = small_engine()
+        engine.register(
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+        )
+        read = (
+            "MATCH (u:Post)-[:REPLY]->(v:Comm) WHERE u.lang = v.lang "
+            "RETURN DISTINCT u"
+        )
+        assert (
+            engine.evaluate(read).rows()
+            == engine.evaluate(read, use_views=False).rows()
+        )
+        stats = engine.answer_stats()
+        assert stats.residual == 1 and stats.subplan_hits >= 1
+
+    def test_topk_over_maintained_aggregate(self):
+        """Top-k is outside the maintainable fragment, but a maintained
+        aggregate plus a small residual sort answers it."""
+        graph, engine = small_engine()
+        engine.register("MATCH (c:Comm) RETURN c.lang AS l, count(*) AS n")
+        read = (
+            "MATCH (c:Comm) RETURN c.lang AS l, count(*) AS n "
+            "ORDER BY n DESC LIMIT 1"
+        )
+        assert (
+            engine.evaluate(read).rows()
+            == engine.evaluate(read, use_views=False).rows()
+        )
+        stats = engine.answer_stats()
+        assert stats.answered == 1 and stats.residual == 1
+
+    def test_explain_reports_the_hit(self):
+        graph, engine = small_engine()
+        query = "MATCH (p:Post) WHERE p.lang = 'en' RETURN p"
+        report = engine.explain(query)
+        assert "no covering view" in report
+        engine.register(query)
+        report = engine.explain(query)
+        assert "exact hit" in report and query in report
+        # explain is pure: no answering counters moved
+        assert engine.answer_stats().queries == 0
+
+
+class TestParameterCompatibility:
+    QUERY = "MATCH (p:Post) WHERE p.lang = $lang RETURN p"
+
+    def test_matching_bindings_serve(self):
+        graph, engine = small_engine()
+        engine.register(self.QUERY, parameters={"lang": "en"})
+        served = engine.evaluate(self.QUERY, {"lang": "en"})
+        assert (
+            served.rows()
+            == engine.evaluate(self.QUERY, {"lang": "en"}, use_views=False).rows()
+        )
+        assert engine.answer_stats().answered == 1
+
+    def test_mismatched_bindings_fall_back(self):
+        graph, engine = small_engine()
+        engine.register(self.QUERY, parameters={"lang": "en"})
+        served = engine.evaluate(self.QUERY, {"lang": "de"})
+        assert (
+            served.rows()
+            == engine.evaluate(self.QUERY, {"lang": "de"}, use_views=False).rows()
+        )
+        stats = engine.answer_stats()
+        assert stats.answered == 0 and stats.fallbacks == 1
+
+    def test_type_conflating_bindings_fall_back(self):
+        """1 == True in Python, but a view bound at 1 must not serve True."""
+        graph, engine = small_engine()
+        query = "MATCH (p:Post) WHERE p.flag = $f RETURN p"
+        graph.set_vertex_property(next(iter(graph.vertices("Post"))), "flag", True)
+        engine.register(query, parameters={"f": 1})
+        assert (
+            engine.evaluate(query, {"f": True}).rows()
+            == engine.evaluate(query, {"f": True}, use_views=False).rows()
+        )
+        assert engine.answer_stats().answered == 0
+
+
+class TestStalenessGates:
+    def test_mid_stream_detach_stops_serving_the_root(self):
+        graph, engine = small_engine(detached_cache_size=0)
+        query = "MATCH (p:Post) WHERE p.lang = 'en' RETURN p"
+        view = engine.register(query)
+        engine.evaluate(query)
+        assert engine.answer_stats().answered == 1
+        view.detach()
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        assert (
+            engine.evaluate(query).rows()
+            == engine.evaluate(query, use_views=False).rows()
+        )
+        assert engine.answer_stats().answered == 1  # second read fell back
+
+    def test_retained_subplans_keep_serving_correctly(self):
+        """With the detached LRU, pruned-but-retained subplans are still
+        maintained — serving from them must stay oracle-equal under
+        subsequent updates."""
+        graph, engine = small_engine(detached_cache_size=4)
+        query = (
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+        )
+        engine.register(query).detach()
+        layer = engine._incremental.input_layer
+        assert isinstance(layer, SharedSubplanLayer)
+        assert layer.detached_count > 0
+        post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        comm = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+        graph.add_edge(post, comm, "REPLY")
+        assert (
+            engine.evaluate(query).rows()
+            == engine.evaluate(query, use_views=False).rows()
+        )
+        assert engine.answer_stats().subplan_hits >= 1
+
+    def test_open_batch_window_declines(self):
+        graph, engine = small_engine()
+        query = "MATCH (p:Post) WHERE p.lang = 'en' RETURN p"
+        engine.register(query)
+        with engine.batch():
+            doomed = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+            # views are intentionally stale here; evaluate must not serve them
+            inside = engine.evaluate(query)
+            assert inside.rows() == engine.evaluate(
+                query, use_views=False
+            ).rows()
+            assert engine.answer_stats().stale_declines >= 1
+            graph.remove_vertex(doomed)
+        # window closed: serving resumes, still oracle-equal
+        before = engine.answer_stats().answered
+        assert (
+            engine.evaluate(query).rows()
+            == engine.evaluate(query, use_views=False).rows()
+        )
+        assert engine.answer_stats().answered == before + 1
+
+    def test_on_change_callbacks_never_see_half_propagated_state(self):
+        """An on_change callback runs while sibling networks may not have
+        processed the delta yet; evaluate() inside it must fall back."""
+        graph, engine = small_engine()
+        count_query = "MATCH (p:Post) RETURN count(*) AS n"
+        read_query = "MATCH (p:Post) RETURN p"
+        watcher = engine.register(read_query)
+        engine.register(count_query)
+        seen: list[tuple[list, list]] = []
+
+        def probe(delta):
+            seen.append(
+                (
+                    engine.evaluate(count_query).rows(),
+                    engine.evaluate(count_query, use_views=False).rows(),
+                )
+            )
+
+        watcher.on_change(probe)
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        assert seen and all(served == direct for served, direct in seen)
+        assert engine.answer_stats().stale_declines >= 1
+
+    def test_transaction_and_rollback_windows(self):
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, batch_transactions=True)
+        post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        query = "MATCH (p:Post) WHERE p.lang = 'en' RETURN p"
+        engine.register(query)
+        with graph.transaction():
+            graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+            assert (
+                engine.evaluate(query).rows()
+                == engine.evaluate(query, use_views=False).rows()
+            )
+        assert engine.answer_stats().stale_declines >= 1
+        # committed: serving resumes with the new row visible
+        assert len(engine.evaluate(query).rows()) == 2
+        try:
+            with graph.transaction():
+                graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+                raise RuntimeError("roll back")
+        except RuntimeError:
+            pass
+        assert (
+            engine.evaluate(query).rows()
+            == engine.evaluate(query, use_views=False).rows()
+        )
+        assert len(engine.evaluate(query).rows()) == 2
+
+
+class TestDetachedLru:
+    QUERY = (
+        "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+    )
+
+    def test_register_detach_churn_revives_subplans(self):
+        graph, engine = small_engine(detached_cache_size=4)
+        layer = engine._incremental.input_layer
+        engine.register(self.QUERY).detach()
+        built_once = layer.stats.subplan_nodes
+        view = engine.register(self.QUERY)
+        assert layer.stats.subplan_nodes == built_once  # nothing rebuilt
+        assert layer.stats.detached_revived > 0
+        # the revived chain is live and correct
+        post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        comm = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+        graph.add_edge(post, comm, "REPLY")
+        assert view.multiset() == engine.evaluate(
+            self.QUERY, use_views=False
+        ).multiset()
+
+    def test_retention_is_bounded_and_evicts_lru(self):
+        graph, engine = small_engine(detached_cache_size=1)
+        layer = engine._incremental.input_layer
+        engine.register(self.QUERY).detach()
+        engine.register("MATCH (c:Comm) RETURN c.lang AS l, count(*) AS n").detach()
+        assert layer.detached_count <= 1
+        assert layer.stats.detached_evicted > 0
+
+    def test_eviction_cascade_does_not_displace_warm_roots(self):
+        """Evicting a cold root orphans its upstream chain; those orphans
+        must not enter the LRU as most-recent and push out the root that
+        was detached last (whose instant revival is the feature)."""
+        graph, engine = small_engine(detached_cache_size=1)
+        layer = engine._incremental.input_layer
+        engine.register("MATCH (p:Post) WHERE p.lang = 'en' RETURN p").detach()
+        engine.register(self.QUERY).detach()  # deep chain, detached last
+        assert layer.detached_count <= 1
+        # the retained root is the most recently detached chain's root:
+        # re-registering it rebuilds nothing
+        built = layer.stats.subplan_nodes
+        engine.register(self.QUERY)
+        assert layer.stats.subplan_nodes == built
+
+    def test_zero_cache_restores_strict_pruning(self):
+        graph, engine = small_engine(detached_cache_size=0)
+        layer = engine._incremental.input_layer
+        engine.register(self.QUERY).detach()
+        assert layer.subplan_count == 0
+        assert layer.node_count == 0
+        assert layer.detached_count == 0
+
+
+class TestMechanics:
+    def test_fingerprints_are_memoised_per_operator(self):
+        graph, engine = small_engine()
+        plan = engine.compile(VIEW_QUERIES[1]).plan
+        first = fingerprint(plan)
+        assert fingerprint(plan) is first  # cached object, not recomputed
+        assert plan._fingerprint is first
+        for child in plan.children:
+            assert child._fingerprint is not None or fingerprint(child) is None
+
+    def test_router_union_cache_hits_and_invalidates(self):
+        graph, engine = small_engine()
+        engine.register("MATCH (p:Post) RETURN p")
+        router = engine._incremental.input_layer.router
+        graph.add_vertex(labels=["Post"])
+        assert ("vm", frozenset({"Post"})) in router._union_cache
+        cached = router._union_cache[("vm", frozenset({"Post"}))]
+        graph.add_vertex(labels=["Post"])
+        # second identical event reuses the memoised candidate list
+        assert router._union_cache[("vm", frozenset({"Post"}))] is cached
+        engine.register("MATCH (c:Comm) RETURN c")  # new interests invalidate
+        assert not router._union_cache
+        # after invalidation, routing still reaches the right nodes
+        graph.add_vertex(labels=["Post"])
+        assert (
+            engine.evaluate("MATCH (p:Post) RETURN p", use_views=False).rows()
+            == engine.views[0].rows()
+        )
+
+    def test_router_union_cache_stays_bounded(self):
+        """Data-dependent signatures (novel property keys, label sets)
+        must not grow the cache for the engine's lifetime."""
+        graph, engine = small_engine()
+        engine.register("MATCH (p:Post) WHERE p.lang = 'en' RETURN p")
+        router = engine._incremental.input_layer.router
+        post = next(iter(graph.vertices("Post")))
+        for index in range(50):
+            graph.set_vertex_property(post, f"k{index}", index)  # novel keys
+        # irrelevant-key events cached nothing beyond the bounded unions
+        assert len(router._union_cache) <= router._UNION_CACHE_LIMIT
+        assert not any(key == ("ev", "k7") for key in router._union_cache)
+
+    def test_reachability_mode_never_serves_transitive_subtrees(self):
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, transitive_mode="reachability")
+        a = graph.add_vertex(labels=["Post"])
+        b = graph.add_vertex(labels=["Comm"])
+        c = graph.add_vertex(labels=["Comm"])
+        graph.add_edge(a, b, "REPLY")
+        graph.add_edge(b, c, "REPLY")
+        graph.add_edge(a, c, "REPLY")
+        query = "MATCH (p:Post)-[:REPLY*]->(x) RETURN p, x"
+        engine.register(query)
+        # trails oracle vs reachability view: multiplicities differ, so the
+        # catalog must refuse — evaluate stays trails-correct
+        assert (
+            engine.evaluate(query).rows()
+            == engine.evaluate(query, use_views=False).rows()
+        )
+        assert engine.answer_stats().answered == 0
+
+
+class TestRandomDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_streamed_updates_keep_served_reads_oracle_equal(self, seed):
+        state = random_graph(vertices=15, edges=20, seed=seed)
+        engine = QueryEngine(state.graph)
+        for query in VIEW_QUERIES:
+            engine.register(query)
+        assert_answers_match(engine)
+        step = 0
+        for _ in random_updates(state, 120, seed=seed + 50):
+            step += 1
+            if step % 20 == 0:
+                assert_answers_match(engine)
+        assert_answers_match(engine)
+        stats = engine.answer_stats()
+        assert stats.answered > 0 and stats.fallbacks > 0
+
+    def test_mid_stream_register_and_detach(self):
+        rng = random.Random(7)
+        state = random_graph(vertices=12, edges=18, seed=7)
+        engine = QueryEngine(state.graph)
+        live = []
+        step = 0
+        for _ in random_updates(state, 150, seed=57):
+            step += 1
+            if step % 12 == 0:
+                if live and rng.random() < 0.5:
+                    live.pop(rng.randrange(len(live))).detach()
+                else:
+                    live.append(
+                        engine.register(rng.choice(VIEW_QUERIES))
+                    )
+            if step % 25 == 0:
+                assert_answers_match(engine)
+        assert_answers_match(engine)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_batched_transactions_stream(self, seed):
+        state = random_graph(vertices=12, edges=18, seed=seed)
+        engine = QueryEngine(state.graph, batch_transactions=True)
+        for query in VIEW_QUERIES:
+            engine.register(query)
+        graph = state.graph
+        rng = random.Random(seed + 9)
+        updates = random_updates(state, 90, seed=seed + 77)
+        done = False
+        while not done:
+            with graph.transaction():
+                for _ in range(rng.randint(1, 6)):
+                    if next(updates, None) is None:
+                        done = True
+                        break
+                # inside the window: must decline and stay oracle-equal
+                assert_answers_match(engine, READ_QUERIES[:3])
+            assert_answers_match(engine, READ_QUERIES[:3])
+        assert_answers_match(engine)
+        assert engine.answer_stats().stale_declines > 0

@@ -53,10 +53,10 @@ class TestGenerator:
         )
         engine = QueryEngine(clean.graph)
         for name, query in tb.QUERIES.items():
-            assert engine.evaluate(query).rows() == [], name
+            assert engine.evaluate(query, use_views=False).rows() == [], name
 
     def test_default_rates_produce_violations(self, model, engine):
-        total = sum(len(engine.evaluate(q).rows()) for q in tb.QUERIES.values())
+        total = sum(len(engine.evaluate(q, use_views=False).rows()) for q in tb.QUERIES.values())
         assert total > 0
 
 
@@ -68,7 +68,7 @@ class TestQueries:
     def test_all_views_match_oracle(self, model, engine):
         for name, query in tb.QUERIES.items():
             view = engine.register(query)
-            assert view.multiset() == engine.evaluate(query).multiset(), name
+            assert view.multiset() == engine.evaluate(query, use_views=False).multiset(), name
             view.detach()
 
     def test_poslength_detects_exact_segments(self):
@@ -78,7 +78,7 @@ class TestQueries:
         engine = QueryEngine(clean.graph)
         segment = clean.segments[0]
         clean.graph.set_vertex_property(segment, "length", -1)
-        assert engine.evaluate(tb.QUERIES["PosLength"]).rows() == [(segment,)]
+        assert engine.evaluate(tb.QUERIES["PosLength"], use_views=False).rows() == [(segment,)]
 
 
 @pytest.mark.parametrize("query_name", list(tb.QUERIES))
@@ -97,11 +97,11 @@ def test_inject_repair_round_trip(query_name):
     assert applied > 0
     matches = view.rows()
     assert matches, f"{query_name}: inject produced no violations"
-    assert view.multiset() == engine.evaluate(tb.QUERIES[query_name]).multiset()
+    assert view.multiset() == engine.evaluate(tb.QUERIES[query_name], use_views=False).multiset()
 
     tb.repair(model, query_name, matches, len(matches), rng)
     assert view.rows() == [], f"{query_name}: repair left violations"
-    assert view.multiset() == engine.evaluate(tb.QUERIES[query_name]).multiset()
+    assert view.multiset() == engine.evaluate(tb.QUERIES[query_name], use_views=False).multiset()
 
 
 def test_unknown_transformation_rejected(model):
