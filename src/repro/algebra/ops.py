@@ -94,10 +94,13 @@ class Operator:
     """Base class; subclasses set ``children`` and ``schema`` in __init__."""
 
     # ``_fingerprint`` lazily caches the canonical subplan fingerprint (or
-    # None for unshareable subtrees); operators are immutable, so the value
-    # can never go stale.  It is written by repro.compiler.fingerprint via
-    # object.__setattr__ (the same escape hatch _init/_set use).
-    __slots__ = ("children", "schema", "_fingerprint")
+    # None for unshareable subtrees); ``_generalized`` caches the
+    # parameter-generalised variant (parameter names become occurrence
+    # positions, for cross-binding sharing).  Operators are immutable, so
+    # neither value can ever go stale.  Both are written by
+    # repro.compiler.fingerprint via object.__setattr__ (the same escape
+    # hatch _init/_set use).
+    __slots__ = ("children", "schema", "_fingerprint", "_generalized")
 
     children: tuple["Operator", ...]
     schema: Schema

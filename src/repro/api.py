@@ -63,6 +63,7 @@ class QueryEngine:
         share_subplans: bool = True,
         answer_from_views: bool = True,
         detached_cache_size: int = 4,
+        share_across_bindings: bool = True,
     ):
         self.graph = graph
         self._incremental = IncrementalEngine(
@@ -73,6 +74,7 @@ class QueryEngine:
             route_events=route_events,
             share_subplans=share_subplans,
             detached_cache_size=detached_cache_size,
+            share_across_bindings=share_across_bindings,
         )
         self.answer_from_views = answer_from_views
         self._catalog = ViewCatalog(self._incremental)

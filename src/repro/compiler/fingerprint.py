@@ -23,6 +23,11 @@ even though every variable differs.
   the sharing layer, which pairs the fingerprint with the resolved
   bindings of exactly the parameters the subtree mentions.
 
+:func:`generalized_fingerprint` abstracts one step further for the
+cross-binding sharing tier: parameter *names* become first-occurrence
+positions (``σ[x > $min]`` ≡ ``σ[x > $lo]``), with the subtree's own
+names recorded in position order so bindings translate across views.
+
 Anything the canonicaliser does not understand (an unknown operator, an
 unhashable literal) makes the subtree — and therefore every ancestor —
 unshareable; :func:`fingerprint` returns ``None`` and the network builder
@@ -51,6 +56,24 @@ class _Unfingerprintable(Exception):
     """Internal: this subtree cannot participate in subplan sharing."""
 
 
+class _ParamTag:
+    """Singleton head of parameter leaves in canonical structures.
+
+    A plain string head could collide with user data (a sorted label/type
+    tuple whose first element happens to be that string); an identity
+    singleton cannot appear in any canonicalised field, so parameter
+    leaves stay unambiguous for :func:`generalized_fingerprint`.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "$"
+
+
+PARAM_TAG = _ParamTag()
+
+
 @dataclass(frozen=True, slots=True)
 class SubplanFingerprint:
     """A canonical, hashable identity for one FRA subtree.
@@ -62,6 +85,27 @@ class SubplanFingerprint:
 
     structure: tuple
     parameters: frozenset[str]
+
+
+@dataclass(frozen=True, slots=True)
+class GeneralizedFingerprint:
+    """A fingerprint further canonicalised over parameter *names*.
+
+    The resolved :class:`SubplanFingerprint` keeps parameters symbolic but
+    name-sensitive (``σ[x > $min]`` ≢ ``σ[x > $lo]``).  For cross-binding
+    sharing the name is as irrelevant as the binding: two views asking the
+    same shape under any parameter name and any binding should feed from
+    one binding-indexed node.  Here every ``(PARAM_TAG, name)`` leaf is
+    replaced by its *first-occurrence position* in a deterministic walk of
+    the canonical structure (de Bruijn-style), and ``param_order`` records
+    this subtree's own names in exactly that position order — which is how
+    a probing view translates *its* bindings into the position-aligned
+    partition key (and how the node owner maps positions back to the
+    creator's names for evaluation).
+    """
+
+    structure: tuple
+    param_order: tuple[str, ...]
 
 
 def fingerprint(op: ops.Operator) -> SubplanFingerprint | None:
@@ -85,6 +129,45 @@ def fingerprint(op: ops.Operator) -> SubplanFingerprint | None:
         result = SubplanFingerprint(structure, frozenset(parameters))
     object.__setattr__(op, "_fingerprint", result)
     return result
+
+
+def generalized_fingerprint(op: ops.Operator) -> GeneralizedFingerprint | None:
+    """The parameter-generalised fingerprint of *op*'s subtree, or ``None``.
+
+    ``None`` exactly when :func:`fingerprint` is ``None`` (unshareable) —
+    generalisation never changes shareability, only the granularity the
+    sharing cache can be probed at.  Memoised on the operator
+    (``op._generalized``) like the resolved fingerprint.
+    """
+    try:
+        return op._generalized
+    except AttributeError:
+        pass
+    fp = fingerprint(op)
+    result: GeneralizedFingerprint | None
+    if fp is None:
+        result = None
+    else:
+        order: list[str] = []
+        structure = _generalize(fp.structure, order)
+        result = GeneralizedFingerprint(structure, tuple(order))
+    object.__setattr__(op, "_generalized", result)
+    return result
+
+
+def _generalize(structure, order: list[str]):
+    """Replace ``(PARAM_TAG, name)`` leaves by first-occurrence positions."""
+    if not isinstance(structure, tuple):
+        return structure
+    if len(structure) == 2 and structure[0] is PARAM_TAG:
+        name = structure[1]
+        try:
+            position = order.index(name)
+        except ValueError:
+            position = len(order)
+            order.append(name)
+        return (PARAM_TAG, position)
+    return tuple(_generalize(item, order) for item in structure)
 
 
 def _child(op: ops.Operator, parameters: set[str]) -> tuple:
@@ -116,7 +199,7 @@ def _canon_expr(expr: ast.Expr, schema: Schema, parameters: set[str]) -> tuple:
             raise _Unfingerprintable(expr.name) from None
     if isinstance(expr, ast.Parameter):
         parameters.add(expr.name)
-        return ("param", expr.name)
+        return (PARAM_TAG, expr.name)
     if isinstance(expr, ast.Literal):
         return ("lit",) + _canon_scalar(expr.value)
     # Every other expression node is a frozen dataclass whose fields are

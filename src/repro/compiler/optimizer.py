@@ -124,6 +124,106 @@ def optimize(plan: ops.Operator) -> ops.Operator:
     return _optimize(plan)
 
 
+# ---------------------------------------------------------------------------
+# parameter-selection lifting (the inverse pass, for cross-binding sharing)
+# ---------------------------------------------------------------------------
+
+
+def _mentions_parameter(expr: ast.Expr) -> bool:
+    return any(isinstance(node, ast.Parameter) for node in ast.walk(expr))
+
+
+def lifted_plan(compiled) -> ops.Operator:
+    """Memoised :func:`lift_parameter_selections` over a compiled query.
+
+    Registered once per distinct query object (the per-user workload
+    registers the *same* compiled query thousands of times, once per
+    binding), the lifted plan — and with it every operator's memoised
+    fingerprint — is computed once and cached on the object itself.
+    """
+    try:
+        return compiled._lifted_plan
+    except AttributeError:
+        pass
+    plan = lift_parameter_selections(compiled.plan)
+    object.__setattr__(compiled, "_lifted_plan", plan)
+    return plan
+
+
+def lift_parameter_selections(plan: ops.Operator) -> ops.Operator:
+    """Hoist parameter-dependent σ conjuncts as high as legality allows.
+
+    Selection pushdown is the right default for a single view, but it is
+    what makes the canonical "same query, one view per user" workload
+    share nothing: once ``σ[a.uid = $uid]`` sits at the bottom, every
+    interior subtree mentions the parameter and every view rebuilds the
+    whole chain privately.  This pass applies the *same* commutation rules
+    as :func:`optimize` in reverse, but only to conjuncts that mention a
+    ``$parameter``: they rise through joins (from the left side of ⟕ / ▷ /
+    ⋈* only — the same boundaries pushdown respects), dedup and unwind,
+    and stop below π / γ / ∪ and at the root, leaving a maximal
+    *binding-free core* underneath a single parameterised σ — exactly the
+    shape the binding-indexed sharing tier cuts over at.
+
+    Binding-free conjuncts stay pushed down (they shrink the shared core
+    for every binding alike).  The output plan is equivalent: both
+    directions of each commutation are semantics-preserving, which the
+    cross-binding differential suite exercises end to end.
+    """
+    if not any(
+        isinstance(op, ops.Select) and _mentions_parameter(op.predicate)
+        for op in plan.walk()
+    ):
+        return plan  # identity keeps memoised fingerprints and is-checks
+    lifted, rising = _lift(plan)
+    return _select(lifted, rising)
+
+
+def _lift(op: ops.Operator) -> tuple[ops.Operator, list[ast.Expr]]:
+    """Returns *op* rebuilt plus the parameter conjuncts still rising."""
+    if isinstance(op, ops.Select):
+        child, rising = _lift(op.children[0])
+        staying = []
+        for conjunct in split_conjuncts(op.predicate):
+            if _mentions_parameter(conjunct):
+                rising.append(conjunct)
+            else:
+                staying.append(conjunct)
+        return _select(child, staying), rising
+
+    if isinstance(op, ops.Join):
+        left, left_rising = _lift(op.children[0])
+        right, right_rising = _lift(op.children[1])
+        # every lifted column survives a natural join, so both sides rise
+        return ops.Join(left, right), left_rising + right_rising
+
+    if isinstance(op, (ops.LeftOuterJoin, ops.AntiJoin, ops.TransitiveJoin)):
+        # only the left side commutes (null-extension / negation / closure
+        # boundaries — the mirror of pushdown's left-only rule); right-side
+        # conjuncts re-apply where they were
+        left, left_rising = _lift(op.children[0])
+        if isinstance(op, ops.TransitiveJoin):
+            right = op.children[1]  # the edges child is structural
+        else:
+            right_child, right_rising = _lift(op.children[1])
+            right = _select(right_child, right_rising)
+        return rebuild(op, [left, right]), left_rising
+
+    if isinstance(op, (ops.Dedup, ops.Unwind)):
+        # σ δ ≡ δ σ; ω only appends a column, so conjuncts from below
+        # (which cannot mention the alias) commute
+        child, rising = _lift(op.children[0])
+        return rebuild(op, [child]), rising
+
+    # Barrier operators (Project, Aggregate, Union, ordering, base ops):
+    # children keep their lifted conjuncts directly below this operator.
+    children = []
+    for child in op.children:
+        lifted, rising = _lift(child)
+        children.append(_select(lifted, rising))
+    return rebuild(op, children), []
+
+
 def prune_unused_path_aliases(plan: ops.Operator) -> ops.Operator:
     """Drop path attributes no expression ever observes (GRA stage).
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
+from ..compiler.optimizer import lifted_plan
 from ..compiler.pipeline import CompiledQuery, compile_query
 from ..errors import TransactionError
 from ..eval.results import ResultTable
@@ -106,6 +107,15 @@ class IncrementalEngine:
     work — keyed by the canonical subplan fingerprint.
     ``share_subplans=False`` keeps input-only sharing as the ablation
     baseline.
+
+    With ``share_across_bindings=True`` (the default; requires
+    ``share_subplans``) sharing additionally crosses *parameter bindings*:
+    the same parameterised query registered once per user shares one
+    binding-free core (plans are registered with parameter-dependent
+    selections lifted back above it) topped by a single value-indexed σ
+    node with one output partition per live binding.
+    ``share_across_bindings=False`` keeps the exact-binding cache keys —
+    and the pushed-down plans — as the ablation baseline.
     """
 
     def __init__(
@@ -117,6 +127,7 @@ class IncrementalEngine:
         route_events: bool = True,
         share_subplans: bool = True,
         detached_cache_size: int = 4,
+        share_across_bindings: bool = True,
     ):
         self.graph = graph
         self.transitive_mode = transitive_mode
@@ -127,6 +138,7 @@ class IncrementalEngine:
                     graph,
                     route_events=route_events,
                     detached_cache_size=detached_cache_size,
+                    share_across_bindings=share_across_bindings,
                 )
             else:
                 self.input_layer = SharedInputLayer(
@@ -167,9 +179,20 @@ class IncrementalEngine:
         # flush the pending window to the existing views first.
         if self._accumulator is not None and self._accumulator:
             self._flush_pending()
+        plan = compiled.plan
+        if (
+            isinstance(self.input_layer, SharedSubplanLayer)
+            and self.input_layer.share_across_bindings
+        ):
+            # Hoist parameter-dependent σ conjuncts above their binding-free
+            # cores: the builder can then cut the σ over to one
+            # binding-indexed node shared by every binding, instead of a
+            # per-binding private chain all the way down (see
+            # compiler.optimizer.lift_parameter_selections).
+            plan = lifted_plan(compiled)
         network = ReteNetwork(
             self.graph,
-            compiled.plan,
+            plan,
             parameters=parameters,
             transitive_mode=self.transitive_mode,
             input_layer=self.input_layer,

@@ -29,7 +29,11 @@ Node sharing happens at three scopes:
 * **across views, subplans** — with a
   :class:`~.sharing.SharedSubplanLayer` *any* interior subtree whose
   canonical fingerprint matches a live cached node is cut over to that
-  node, so overlapping views share join memories and per-event work.
+  node, so overlapping views share join memories and per-event work;
+* **across bindings** — a parameterised σ over a binding-free core is cut
+  over at its *generalised* fingerprint (parameter names and bindings
+  abstracted away) to one binding-indexed node shared by every binding,
+  this view subscribing below its own binding's partition.
 
 The builder classifies every subscription edge it creates:
 
@@ -49,6 +53,9 @@ from typing import Any, Mapping
 from ..algebra import ops
 from ..algebra.expressions import EvalContext, compile_expr
 from ..algebra.fra import check_incremental_fragment, validate_fra
+from ..compiler.fingerprint import generalized_fingerprint
+from ..compiler.optimizer import split_conjuncts
+from ..cypher import ast
 from ..errors import CompilerError
 from ..graph import events as ev
 from ..graph.graph import PropertyGraph
@@ -58,7 +65,13 @@ from .nodes.input import EdgeInputNode, UnitNode, VertexInputNode
 from .nodes.join import AntiJoinNode, JoinNode, LeftOuterJoinNode, UnionNode
 from .nodes.production import ProductionNode
 from .nodes.transitive import EDGES, ReachabilityNode, TransitiveClosureNode
-from .nodes.unary import DedupNode, ProjectionNode, SelectionNode, UnwindNode
+from .nodes.unary import (
+    BindingIndexedSelectionNode,
+    DedupNode,
+    ProjectionNode,
+    SelectionNode,
+    UnwindNode,
+)
 from .router import EventRouter
 from .sharing import SharedInputLayer, SharedSubplanLayer
 
@@ -184,6 +197,10 @@ class ReteNetwork:
             return self._register(node)
 
         layer = self.subplan_layer
+        if layer is not None:
+            partition = self._build_binding_partition(op, layer)
+            if partition is not None:
+                return partition
         key = (
             layer.subplan_key(op, self.ctx.parameters, (self.transitive_mode,))
             if layer is not None
@@ -207,6 +224,97 @@ class ReteNetwork:
         for upstream, side in edges:
             self._connect(upstream, node, side)
         return node
+
+    def _build_binding_partition(
+        self, op: ops.Operator, layer: SharedSubplanLayer
+    ) -> Node | None:
+        """Cut a parameterised σ over to the binding-indexed tier.
+
+        Returns the partition facade this view subscribes below, or
+        ``None`` when *op* is not an eligible parameterised selection (the
+        resolved exact-binding tier then proceeds as before).  Three
+        cases:
+
+        * the partition for this binding already exists (live or retained
+          in the detached LRU) — an ordinary shared hit; the generic
+          replay machinery feeds its current state to this view's nodes;
+        * the node exists but this binding is new — the partition is
+          created on the live node; it is *not* marked fresh, so populate
+          replays the shared core's state through the partition's
+          ``transform`` onto exactly this network's edges;
+        * nothing exists — the binding-free core is built (sharing as
+          usual), topped with a fresh binding-indexed node carrying the
+          first partition; both are fresh, so population flows through
+          the core's replay/activation.
+        """
+        variant = (self.transitive_mode,)
+        pkey = layer.partition_key(op, self.ctx.parameters, variant)
+        if pkey is None:
+            return None
+        facade = layer.subplan_lookup(pkey)
+        if facade is not None:
+            layer.acquire(pkey)
+            self._acquired_keys.append(pkey)
+            return self._use_shared(facade)
+        node = layer.param_node(pkey)
+        fresh_node = node is None
+        if fresh_node:
+            # first binding of this σ shape anywhere: build the binding-free
+            # core (sharing as usual) and top it with the indexed node
+            child_node = self._build(op.children[0])
+            node = BindingIndexedSelectionNode(
+                op.schema,
+                compile_expr(op.predicate, op.children[0].schema),
+                generalized_fingerprint(op).param_order,
+                discriminant=self._equality_discriminant(op),
+            )
+            layer.param_adopt(pkey, node, child_node, LEFT)
+            self._use_shared(node)
+            self._fresh_shared.add(id(node))
+            self._connect(child_node, node, LEFT)
+        # an existing node already owns its core (alpha-equivalent to this
+        # plan's child, possibly under different variable names), and its
+        # subscription keeps that whole chain alive — nothing to rebuild
+        facade = layer.partition_adopt(pkey, op, self.ctx.parameters)
+        layer.acquire(pkey)
+        self._acquired_keys.append(pkey)
+        self._use_shared(facade)
+        if fresh_node:
+            self._fresh_shared.add(id(facade))
+        return facade
+
+    def _equality_discriminant(self, op: ops.Operator):
+        """A ``(param position, compiled expr)`` value index, if one exists.
+
+        Looks for a top-level ``expr = $param`` conjunct whose non-param
+        side mentions no parameter: the binding-indexed node then routes
+        each row by evaluating that side once instead of evaluating the
+        predicate once per live binding.
+        """
+        param_order = generalized_fingerprint(op).param_order
+        child_schema = op.children[0].schema
+        for conjunct in split_conjuncts(op.predicate):
+            if not (
+                isinstance(conjunct, ast.Comparison) and conjunct.ops == ("=",)
+            ):
+                continue
+            for param_side, value_side in (
+                conjunct.operands,
+                conjunct.operands[::-1],
+            ):
+                if (
+                    isinstance(param_side, ast.Parameter)
+                    and param_side.name in param_order
+                    and not any(
+                        isinstance(node, ast.Parameter)
+                        for node in ast.walk(value_side)
+                    )
+                ):
+                    return (
+                        param_order.index(param_side.name),
+                        compile_expr(value_side, child_schema),
+                    )
+        return None
 
     def _make_node(
         self, op: ops.Operator

@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from ...algebra.expressions import CompiledExpr, EvalContext
-from ...graph.values import ListValue
+from ...graph.values import ListValue, freeze_value
 from ..deltas import Delta, bag_insert
 from .base import Node
+
+#: atom types whose Python hashing/equality agree with Cypher ``=`` closely
+#: enough for value-index bucketing (a bucket is only ever a *candidate*
+#: set — the full predicate re-confirms every hit, so Python's coarser
+#: ``1 == True == 1.0`` conflation merely over-approximates, never corrupts)
+_INDEXABLE_ATOMS = (bool, int, float, str)
+
+#: shared empty context for evaluating parameter-free expressions
+_NO_PARAMS = EvalContext({})
 
 
 class SelectionNode(Node):
@@ -29,6 +40,168 @@ class SelectionNode(Node):
 
     def apply(self, delta: Delta, side: int) -> None:
         self.emit(self.transform(delta, side))
+
+
+class SelectionPartitionNode(Node):
+    """One live binding's output channel of a binding-indexed σ.
+
+    The partition is the *per-binding face* of a shared
+    :class:`BindingIndexedSelectionNode`: downstream (per-view) nodes
+    subscribe to it, so detaching one binding's view never disturbs the
+    subscribers of any other binding.  It is stateless — its current
+    output is reconstructed by folding the owner's predicate (under this
+    partition's resolved bindings) over the shared core's state, exactly
+    the ``transform`` protocol the sharing layer already uses for plain
+    stateless nodes.
+    """
+
+    def __init__(self, schema, owner: "BindingIndexedSelectionNode", ctx: EvalContext):
+        super().__init__(schema)
+        self.owner = owner
+        self.ctx = ctx
+
+    def passes(self, row: tuple) -> bool:
+        return self.owner.predicate(row, self.ctx) is True
+
+    def transform(self, delta: Delta, side: int) -> Delta:
+        out = Delta()
+        predicate = self.owner.predicate
+        ctx = self.ctx
+        for row, multiplicity in delta.items():
+            if predicate(row, ctx) is True:
+                out.add(row, multiplicity)
+        return out
+
+    def apply(self, delta: Delta, side: int) -> None:  # pragma: no cover
+        raise AssertionError("partitions are fed by their owning node")
+
+
+class BindingIndexedSelectionNode(Node):
+    """Parameterised σ shared across *differing* bindings (value-indexed).
+
+    One node serves every live binding of a parameterised selection: it is
+    fed once by the shared binding-free core below the σ, and keeps one
+    :class:`SelectionPartitionNode` per binding as its output partitions.
+    When the predicate contains an ``expr = $param`` conjunct, partitions
+    are indexed by their binding's value for that parameter, so routing an
+    input row costs one discriminant evaluation plus a dict probe —
+    O(matching bindings), not O(live bindings) — the alpha-memory hashing
+    trick that makes "the same view once per user" affordable.  Buckets
+    are candidate sets only: the full predicate re-confirms each hit under
+    the partition's own bindings, so index coarseness (Python equality vs
+    Cypher ``=``) can never leak a row into the wrong binding.
+
+    Partitions whose indexed binding is null or a collection — and every
+    partition when no equality conjunct exists — fall back to the scan
+    list, which evaluates the predicate per partition exactly like today's
+    per-binding σ nodes (still sharing the core's memory and per-event
+    translation work).
+    """
+
+    def __init__(
+        self,
+        schema,
+        predicate: CompiledExpr,
+        param_order: tuple[str, ...],
+        discriminant: "tuple[int, CompiledExpr] | None" = None,
+    ):
+        super().__init__(schema)
+        self.predicate = predicate
+        #: the creating view's parameter names, in generalised (first
+        #: occurrence) order — later views translate their own names to
+        #: these positions when a partition's evaluation context is built
+        self.param_order = param_order
+        if discriminant is None:
+            self._disc_name: str | None = None
+            self._disc_expr: CompiledExpr | None = None
+        else:
+            position, expr = discriminant
+            self._disc_name = param_order[position]
+            self._disc_expr = expr
+        self._partitions: dict[tuple, SelectionPartitionNode] = {}
+        #: atomic indexed-binding value → candidate partitions
+        self._index: dict[Any, list[SelectionPartitionNode]] = {}
+        #: partitions the index cannot discriminate (no equality conjunct,
+        #: null or collection binding) — always evaluated
+        self._scan: list[SelectionPartitionNode] = []
+
+    # -- partition lifecycle -------------------------------------------------
+
+    def _index_value(self, facade: SelectionPartitionNode):
+        """(indexable, value) classification of one partition's binding."""
+        if self._disc_name is None:
+            return False, None
+        value = freeze_value(facade.ctx.parameters.get(self._disc_name))
+        if value is None or not isinstance(value, _INDEXABLE_ATOMS):
+            return False, None
+        return True, value
+
+    def add_partition(self, binding: tuple, facade: SelectionPartitionNode) -> None:
+        self._partitions[binding] = facade
+        indexable, value = self._index_value(facade)
+        if indexable:
+            self._index.setdefault(value, []).append(facade)
+        else:
+            self._scan.append(facade)
+
+    def remove_partition(self, binding: tuple) -> None:
+        facade = self._partitions.pop(binding)
+        indexable, value = self._index_value(facade)
+        if indexable:
+            bucket = self._index[value]
+            bucket.remove(facade)
+            if not bucket:
+                del self._index[value]
+        else:
+            self._scan.remove(facade)
+
+    @property
+    def has_partitions(self) -> bool:
+        return bool(self._partitions)
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    # -- propagation ---------------------------------------------------------
+
+    def _candidates(self, row: tuple):
+        try:
+            value = self._disc_expr(row, _NO_PARAMS)
+        except Exception:
+            # the predicate would raise the same way per partition; let the
+            # scan below reproduce the baseline behaviour faithfully
+            return self._partitions.values()
+        if value is None:
+            # ``expr = $param`` is unknown for null, never true: no binding
+            # can accept this row through the indexed conjunct
+            return ()
+        if isinstance(value, _INDEXABLE_ATOMS):
+            # atomic row value: collection/null bindings can never equal it
+            # (Cypher cross-type equality is false), so scan-list partitions
+            # need no look
+            return self._index.get(value, ())
+        # collection-valued row: only collection bindings can match
+        return self._scan
+
+    def apply(self, delta: Delta, side: int) -> None:
+        if not self._partitions:
+            return
+        if self._disc_expr is None:
+            for facade in self._partitions.values():
+                facade.emit(facade.transform(delta, side))
+            return
+        routed: dict[int, tuple[SelectionPartitionNode, Delta]] = {}
+        for row, multiplicity in delta.items():
+            for facade in self._candidates(row):
+                if facade.passes(row):
+                    slot = routed.get(id(facade))
+                    if slot is None:
+                        slot = (facade, Delta())
+                        routed[id(facade)] = slot
+                    slot[1].add(row, multiplicity)
+        for facade, out in routed.values():
+            facade.emit(out)
 
 
 class ProjectionNode(Node):

@@ -16,6 +16,16 @@ This module extends the idea across *views*, in two tiers:
   per view and released on detach; ``prune()`` cascades the release down
   shared chains until only live subplans remain.
 
+  The layer's **binding-indexed tier** (``share_across_bindings``)
+  additionally shares parameterised selections across *differing*
+  bindings: one :class:`~.nodes.unary.BindingIndexedSelectionNode` per
+  generalised σ shape, fed by the binding-free core below it, with one
+  partition per live binding.  Partitions are ordinary refcounted
+  entries under :data:`BINDING_TIER`-tagged keys, so the LRU, stats and
+  targeted activation are the same machinery; only their drop path
+  differs (the binding leaves the node; the node leaves the core with
+  its last binding).
+
 ingraph and Viatra (the paper's lineage, refs [31, 33]) both rely on
 subnetwork sharing to keep many-view workloads affordable.
 
@@ -30,19 +40,28 @@ pure ``transform``.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..algebra import ops
-from ..compiler.fingerprint import SubplanFingerprint, fingerprint
+from ..algebra.expressions import EvalContext
+from ..compiler.fingerprint import (
+    SubplanFingerprint,
+    fingerprint,
+    generalized_fingerprint,
+)
 from ..graph import events as ev
 from ..graph.graph import PropertyGraph
-from ..graph.values import freeze_value
+from ..graph.values import ListValue, MapValue, PathValue, freeze_value
 from .deltas import Delta
 from .nodes.base import Node
 from .nodes.input import EdgeInputNode, UnitNode, VertexInputNode
+from .nodes.unary import BindingIndexedSelectionNode, SelectionPartitionNode
 from .router import EventRouter
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(slots=True)
@@ -57,9 +76,12 @@ class SharingStats:
     subplan_requests: int = 0
     subplan_hits: int = 0
     subplan_nodes: int = 0
+    binding_nodes: int = 0
+    binding_partitions: int = 0
     detached_retained: int = 0
     detached_revived: int = 0
     detached_evicted: int = 0
+    release_underflows: int = 0
 
     @property
     def requests(self) -> int:
@@ -241,14 +263,25 @@ def binding_key(value: Any) -> tuple:
     """An equality key for one parameter binding.
 
     Python conflates ``1 == True == 1.0``, so raw values would let a
-    view reuse a subplan evaluated under a differently-*typed* binding.
-    The type tag plus ``repr`` (distinct for every frozen value the
-    expression layer can observe, nested values included) makes the key
-    exactly discriminate; over-discrimination would merely forgo a
-    share, never corrupt one.
+    view reuse a subplan evaluated under a differently-*typed* binding:
+    every key therefore pairs a type tag with the value.  Keys hold one
+    compact form of the binding (atoms stay themselves; collections
+    become plain tagged tuples; paths keep both their vertex and edge
+    sequences — their ``repr`` alone elides edges) rather than the frozen
+    value *plus* a ``repr`` of it, so a large bound collection is no
+    longer pinned twice in every cache/catalog key that mentions it.
     """
-    frozen = freeze_value(value)
-    return (type(frozen).__name__, repr(frozen), frozen)
+    return _binding_key_form(freeze_value(value))
+
+
+def _binding_key_form(frozen: Any) -> tuple:
+    if isinstance(frozen, PathValue):
+        return ("path", frozen.vertices, frozen.edges)
+    if isinstance(frozen, ListValue):
+        return ("list", tuple(_binding_key_form(v) for v in frozen))
+    if isinstance(frozen, MapValue):
+        return ("map", tuple((k, _binding_key_form(v)) for k, v in frozen.items()))
+    return (type(frozen).__name__, frozen)
 
 
 def parameter_bindings(
@@ -305,6 +338,41 @@ class _SubplanEntry:
     refcount: int = 0
 
 
+class _BindingTier:
+    """Singleton head of binding-partition cache keys.
+
+    Partition entries live in the same ``_subplans`` map as resolved-key
+    entries (so refcounting, the detached LRU, stats and ``state_delta``
+    reconstruction are shared machinery); the identity-singleton head
+    keeps them unmistakable — a resolved key always starts with a
+    :class:`~repro.compiler.fingerprint.SubplanFingerprint`.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "σ∂"
+
+
+BINDING_TIER = _BindingTier()
+
+
+@dataclass
+class _ParamNodeEntry:
+    """One binding-indexed σ node: its shared core and its partitions.
+
+    The node itself is *not* refcounted — it lives exactly as long as it
+    has partitions, and each partition is an ordinary refcounted
+    ``_subplans`` entry.  ``prune()`` therefore drops individual bindings
+    first; only the last partition's drop detaches the node from its core
+    (which may then cascade the core itself into the detached LRU).
+    """
+
+    node: BindingIndexedSelectionNode
+    upstream: Node
+    side: int
+
+
 @dataclass
 class SharedSubplanLayer(SharedInputLayer):
     """Input sharing plus a fingerprint-keyed cache of interior subplans.
@@ -338,11 +406,16 @@ class SharedSubplanLayer(SharedInputLayer):
     """
 
     detached_cache_size: int = 4
+    share_across_bindings: bool = True
 
     def __post_init__(self) -> None:
         super().__post_init__()
         self._subplans: dict[tuple, _SubplanEntry] = {}
         self._key_by_node: dict[int, tuple] = {}
+        # binding-indexed σ nodes, keyed by (generalised structure, variant);
+        # their per-binding partitions are ordinary _subplans entries under
+        # BINDING_TIER-tagged keys
+        self._param_nodes: dict[tuple, _ParamNodeEntry] = {}
         # dead-but-retained subplan roots, least-recently-used first;
         # members are also (still) present in _subplans
         self._detached_lru: OrderedDict[tuple, None] = OrderedDict()
@@ -366,8 +439,8 @@ class SharedSubplanLayer(SharedInputLayer):
         if entry is None:
             return None
         self.stats.subplan_hits += 1
-        if key in self._detached_lru:
-            self.stats.detached_revived += 1
+        # revival is an acquire()-side event: a bare probe (EXPLAIN, the
+        # view matcher, a lookup the builder abandons) must not count one
         return entry.node
 
     def subplan_peek(self, key: tuple) -> Node | None:
@@ -392,15 +465,125 @@ class SharedSubplanLayer(SharedInputLayer):
         self._key_by_node[id(node)] = key
         self.stats.subplan_nodes += 1
 
+    # -- binding-indexed tier (cross-binding sharing of parameterised σ) ------
+
+    def partition_key(
+        self,
+        op: ops.Operator,
+        parameters: Mapping[str, Any],
+        variant: tuple = (),
+    ) -> tuple | None:
+        """The binding-partition cache key for *op*, or ``None``.
+
+        Eligible subtrees are parameterised selections over a
+        *binding-free* core: the σ's own fingerprint mentions parameters,
+        its child's mentions none (so the whole child chain shares across
+        every binding already), and every mentioned parameter is bound to
+        a hashable value.  Anything else — missing bindings, unhashable
+        bindings, parameters below the σ, ``share_across_bindings=False``
+        — falls back to the resolved (exact-binding) tier unchanged.
+        """
+        if not self.share_across_bindings or not isinstance(op, ops.Select):
+            return None
+        fp = fingerprint(op)
+        if fp is None or not fp.parameters:
+            return None
+        child_fp = fingerprint(op.children[0])
+        if child_fp is None or child_fp.parameters:
+            return None
+        gfp = generalized_fingerprint(op)
+        try:
+            bindings = tuple(
+                binding_key(parameters[name]) for name in gfp.param_order
+            )
+            hash(bindings)
+        except (KeyError, TypeError):
+            return None
+        return (BINDING_TIER, gfp.structure, variant, bindings)
+
+    def param_node(self, key: tuple) -> BindingIndexedSelectionNode | None:
+        """The live binding-indexed node for a partition *key*, if any."""
+        entry = self._param_nodes.get((key[1], key[2]))
+        return entry.node if entry is not None else None
+
+    def param_adopt(
+        self, key: tuple, node: BindingIndexedSelectionNode, upstream: Node, side: int
+    ) -> None:
+        """Take ownership of a freshly built binding-indexed σ node."""
+        self._param_nodes[(key[1], key[2])] = _ParamNodeEntry(node, upstream, side)
+        self.stats.binding_nodes += 1
+
+    def partition_adopt(
+        self, key: tuple, op: ops.Operator, parameters: Mapping[str, Any]
+    ) -> SelectionPartitionNode:
+        """Create the partition for *key* on its (already live) node.
+
+        The partition's evaluation context binds the *creating* view's
+        parameter names — positions in the generalised fingerprint align
+        across views, so a probing view's differently-named parameters
+        translate by position.
+        """
+        entry = self._param_nodes[(key[1], key[2])]
+        gfp = generalized_fingerprint(op)
+        ctx = EvalContext(
+            {
+                creator_name: parameters[probe_name]
+                for creator_name, probe_name in zip(
+                    entry.node.param_order, gfp.param_order
+                )
+            }
+        )
+        facade = SelectionPartitionNode(entry.node.schema, entry.node, ctx)
+        entry.node.add_partition(key[3], facade)
+        self._subplans[key] = _SubplanEntry(
+            facade, ((entry.upstream, entry.side),)
+        )
+        self._key_by_node[id(facade)] = key
+        self.stats.binding_partitions += 1
+        return facade
+
+    def partition_peek(
+        self,
+        op: ops.Operator,
+        parameters: Mapping[str, Any],
+        variant: tuple = (),
+    ) -> SelectionPartitionNode | None:
+        """The live partition serving *op* under *parameters*, if any.
+
+        Read path for the view-answering catalog — same contract as
+        :meth:`subplan_peek` (refreshes LRU recency, never revives).
+        """
+        key = self.partition_key(op, parameters, variant)
+        if key is None:
+            return None
+        node = self.subplan_peek(key)
+        return node if isinstance(node, SelectionPartitionNode) else None
+
     def acquire(self, key: tuple) -> None:
         self._subplans[key].refcount += 1
-        # a held subplan is live again, not a detached-cache resident
-        self._detached_lru.pop(key, None)
+        # a held subplan is live again, not a detached-cache resident;
+        # leaving the LRU under an acquire is precisely a revival
+        if key in self._detached_lru:
+            del self._detached_lru[key]
+            self.stats.detached_revived += 1
 
     def release(self, key: tuple) -> None:
         entry = self._subplans.get(key)
-        if entry is not None:
-            entry.refcount -= 1
+        if entry is None:
+            return
+        if entry.refcount <= 0:
+            # a release without a live acquire (e.g. a detach racing a
+            # prune) must not drive the count negative: prune() reads
+            # ``refcount == 0`` as "no view holds this", and an underflow
+            # would let a *later* acquire sit at zero — a liveness bug
+            # that silently drops a held subplan
+            self.stats.release_underflows += 1
+            logger.warning(
+                "release() without matching acquire for shared subplan %r",
+                key,
+            )
+            return
+        entry.refcount -= 1
 
     # -- targeted activation --------------------------------------------------
 
@@ -470,11 +653,23 @@ class SharedSubplanLayer(SharedInputLayer):
         """Genuinely remove one cached subplan and detach it upstream.
 
         Returns the ids of the upstream nodes it unsubscribed from — the
-        candidates the drop may have orphaned.
+        candidates the drop may have orphaned.  Binding-partition keys
+        drop just their binding from the owning node; the node itself
+        (and its subscription to the shared core) goes only with its last
+        partition — individual bindings die before the core does.
         """
         entry = self._subplans.pop(key)
         self._detached_lru.pop(key, None)
         self._key_by_node.pop(id(entry.node), None)
+        if key[0] is BINDING_TIER:
+            gen_key = (key[1], key[2])
+            node_entry = self._param_nodes[gen_key]
+            node_entry.node.remove_partition(key[3])
+            if not node_entry.node.has_partitions:
+                del self._param_nodes[gen_key]
+                node_entry.upstream.unsubscribe(node_entry.node, node_entry.side)
+                return {id(node_entry.upstream)}
+            return set()
         for upstream, side in entry.upstreams:
             upstream.unsubscribe(entry.node, side)
         return {id(upstream) for upstream, _ in entry.upstreams}
@@ -484,15 +679,29 @@ class SharedSubplanLayer(SharedInputLayer):
         return len(self._subplans)
 
     @property
+    def binding_node_count(self) -> int:
+        """Live binding-indexed σ nodes (cross-binding tier)."""
+        return len(self._param_nodes)
+
+    @property
+    def binding_partition_count(self) -> int:
+        """Live binding partitions across all binding-indexed σ nodes."""
+        return sum(
+            entry.node.partition_count for entry in self._param_nodes.values()
+        )
+
+    @property
     def detached_count(self) -> int:
         """Dead-but-retained subplan roots currently in the LRU."""
         return len(self._detached_lru)
 
     @property
     def node_count(self) -> int:
-        return super().node_count + len(self._subplans)
+        return super().node_count + len(self._subplans) + len(self._param_nodes)
 
     def _shared_nodes(self):
         yield from super()._shared_nodes()
         for entry in self._subplans.values():
             yield entry.node
+        for param_entry in self._param_nodes.values():
+            yield param_entry.node

@@ -48,7 +48,7 @@ from ..algebra.printer import format_compact
 from ..eval.interpreter import Interpreter
 from ..eval.results import ResultTable
 from ..rete.sharing import SharedSubplanLayer, subplan_cache_key
-from .matcher import rewrite_plan
+from .matcher import rewrite_query
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..compiler.pipeline import CompiledQuery
@@ -147,6 +147,17 @@ class ViewCatalog:
         return layer if isinstance(layer, SharedSubplanLayer) else None
 
     @property
+    def probes_lifted_plans(self) -> bool:
+        """Whether maintained state may live under lifted plan shapes.
+
+        True exactly when cross-binding sharing is active: views are then
+        registered with parameter-dependent selections lifted above their
+        binding-free cores, so the matcher must probe that form too.
+        """
+        layer = self._subplan_layer()
+        return layer is not None and layer.share_across_bindings
+
+    @property
     def subplan_count(self) -> int:
         layer = self._subplan_layer()
         return layer.subplan_count if layer is not None else 0
@@ -197,6 +208,20 @@ class ViewCatalog:
                     description=f"subplan[{_compact(op)}]",
                     kind="subplan",
                 )
+            # binding-indexed tier: a parameterised σ whose shape is
+            # maintained for this exact binding as one partition of a
+            # shared node — reconstructed by filtering the shared core's
+            # state under the partition's bindings
+            partition = layer.partition_peek(op, parameters, self._variant())
+            if partition is not None and self._servable(op):
+                def fetch_partition(layer=layer, node=partition) -> Bag:
+                    return {row: m for row, m in layer.state_delta(node)}
+
+                return MaterializedSource(
+                    fetch=fetch_partition,
+                    description=f"binding-partition[{_compact(op)}]",
+                    kind="subplan",
+                )
         return None
 
     # -- answering ----------------------------------------------------------
@@ -217,7 +242,7 @@ class ViewCatalog:
         if not self._roots and self.subplan_count == 0:
             self.stats.fallbacks += 1
             return None
-        rewrite = rewrite_plan(self, compiled.plan, parameters)
+        rewrite = rewrite_query(self, compiled, parameters)
         if rewrite is None:
             self.stats.fallbacks += 1
             return None
@@ -247,7 +272,7 @@ class ViewCatalog:
                 "declined (open batch/transaction window — maintained "
                 "state lags the graph); full evaluation"
             )
-        rewrite = rewrite_plan(self, compiled.plan, parameters)
+        rewrite = rewrite_query(self, compiled, parameters)
         if rewrite is None:
             return "no covering view or shared subplan; full evaluation"
         lines = []

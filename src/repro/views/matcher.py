@@ -29,9 +29,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Mapping
 
 from ..algebra import ops
+from ..compiler.optimizer import lifted_plan
 from .rewriter import RewriteResult, make_view_scan, rebuild_residual
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..compiler.pipeline import CompiledQuery
     from .catalog import ViewCatalog
 
 #: operators the walk descends through without a catalog probe
@@ -68,3 +70,28 @@ def rewrite_plan(
     if not sources:
         return None
     return RewriteResult(rewritten, tuple(sources))
+
+
+def rewrite_query(
+    catalog: "ViewCatalog",
+    compiled: "CompiledQuery",
+    parameters: Mapping[str, Any] | None,
+) -> RewriteResult | None:
+    """Match a whole compiled query, probing both plan granularities.
+
+    The optimised plan is probed first (root hits and exact-binding
+    subplans key on that shape).  With cross-binding sharing active,
+    maintained parameterised selections live under *lifted* shapes — the
+    σ hoisted above its binding-free core, the form views are registered
+    in — so on a miss the equivalent lifted plan is probed too, which is
+    how a one-shot per-user query gets served from the shared core's
+    partition for its binding.
+    """
+    rewrite = rewrite_plan(catalog, compiled.plan, parameters)
+    if rewrite is not None:
+        return rewrite
+    if catalog.probes_lifted_plans:
+        lifted = lifted_plan(compiled)
+        if lifted is not compiled.plan:
+            return rewrite_plan(catalog, lifted, parameters)
+    return None

@@ -98,3 +98,100 @@ class TestFallbacks:
             ops.GetEdges("a", "e", "b"), ops.GetVertices("b", labels=("Gone",))
         )
         assert fingerprint(anti) is not None
+
+
+class TestGeneralizedFingerprint:
+    def gfp(self, query: str):
+        from repro.compiler.fingerprint import generalized_fingerprint
+
+        return generalized_fingerprint(compile_query(query).plan)
+
+    def test_parameter_names_generalize_away(self):
+        a = self.gfp("MATCH (p:Post) WHERE p.score > $min RETURN p")
+        b = self.gfp("MATCH (q:Post) WHERE q.score > $lo RETURN q")
+        assert a is not None
+        assert a.structure == b.structure
+        assert a.param_order == ("min",)
+        assert b.param_order == ("lo",)
+
+    def test_param_order_follows_first_occurrence(self):
+        g = self.gfp(
+            "MATCH (p:Post) WHERE p.score > $lo AND p.score < $hi RETURN p"
+        )
+        assert g.param_order == ("lo", "hi")
+
+    def test_repeated_parameter_keeps_one_position(self):
+        a = self.gfp(
+            "MATCH (p:Post) WHERE p.score > $x AND p.rank < $x RETURN p"
+        )
+        b = self.gfp(
+            "MATCH (p:Post) WHERE p.score > $y AND p.rank < $y RETURN p"
+        )
+        c = self.gfp(
+            "MATCH (p:Post) WHERE p.score > $y AND p.rank < $z RETURN p"
+        )
+        assert a.structure == b.structure
+        assert a.param_order == ("x",)
+        assert a.structure != c.structure  # one param vs two is structural
+
+    def test_position_swap_is_structural(self):
+        a = self.gfp("MATCH (p:Post) WHERE p.lo = $a AND p.hi = $b RETURN p")
+        b = self.gfp("MATCH (p:Post) WHERE p.lo = $b AND p.hi = $a RETURN p")
+        # both are (param0 on lo, param1 on hi) after generalisation
+        assert a.structure == b.structure
+        assert a.param_order == ("a", "b")
+        assert b.param_order == ("b", "a")
+
+    def test_unshareable_subtrees_have_no_generalized_fingerprint(self):
+        from repro.compiler.fingerprint import generalized_fingerprint
+
+        plan = ops.Select(
+            ops.GetVertices("p", labels=("Post",)),
+            ast.Comparison((ast.Variable("p"), ast.Literal(object())), ("=",)),
+        )
+        assert generalized_fingerprint(plan) is None
+
+
+class TestBindingKey:
+    """The sharing layer's per-binding equality key (satellite fix: the key
+    no longer stores the frozen value redundantly next to its own compact
+    form, but must discriminate exactly as before)."""
+
+    def key(self, value):
+        from repro.rete.sharing import binding_key
+
+        return binding_key(value)
+
+    def test_python_equal_values_stay_apart(self):
+        keys = [self.key(v) for v in (1, True, 1.0, "1", None)]
+        assert len(set(keys)) == len(keys)
+
+    def test_equal_values_agree(self):
+        assert self.key(1) == self.key(1)
+        assert self.key("en") == self.key("en")
+        assert self.key([1, "a"]) == self.key([1, "a"])
+        assert self.key({"a": 1}) == self.key({"a": 1})
+        assert self.key(None) == self.key(None)
+
+    def test_nested_collections_discriminate(self):
+        assert self.key([1, 2]) != self.key([1, 2.0])
+        assert self.key([1, [2]]) != self.key([1, [2, None]])
+        assert self.key({"a": 1}) != self.key({"a": True})
+        assert self.key({"a": 1}) != self.key({"b": 1})
+
+    def test_lists_and_tuples_freeze_to_the_same_key(self):
+        assert self.key([1, 2]) == self.key((1, 2))
+
+    def test_paths_keep_their_edges(self):
+        from repro.graph.values import PathValue
+
+        # same vertex sequence, different edges: repr() conflates these
+        # (paths display vertices only), the key must not
+        a = PathValue((1, 2), (10,))
+        b = PathValue((1, 2), (11,))
+        assert repr(a) == repr(b)
+        assert self.key(a) != self.key(b)
+
+    def test_keys_are_hashable(self):
+        for value in (1, "x", None, [1, [2, {"k": "v"}]], {"m": [True]}):
+            hash(self.key(value))

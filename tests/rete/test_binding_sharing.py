@@ -1,0 +1,546 @@
+"""Cross-binding sharing: one parameterised query, many bindings.
+
+The canonical "millions of users" workload registers the *same*
+parameterised view once per user, differing only in the binding.  With
+``share_across_bindings=True`` the engine lifts the parameterised σ above
+its binding-free core and cuts it over to one value-indexed
+:class:`~repro.rete.nodes.unary.BindingIndexedSelectionNode` with one
+output partition per live binding; ``share_across_bindings=False`` keeps
+the exact-binding cache keys (and pushed-down plans) as the ablation
+baseline.  The differential classes drive identical streams through both
+modes and require identical per-view contents and change logs throughout —
+random streams, rollback transactions, batched mode, and mid-stream
+register/detach across ≥3 distinct bindings.
+"""
+
+import logging
+import random
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import GraphError
+from repro.rete.engine import IncrementalEngine
+from repro.rete.sharing import SharedSubplanLayer
+
+from .test_sharing import _Abort, _random_op
+
+#: parameterised shapes: equality (value-indexed), range (scan path),
+#: equality under an extra binding-free σ, and a σ feeding an aggregate
+PARAM_QUERIES = (
+    "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.lang = $lang RETURN a, b",
+    "MATCH (p:Post) WHERE p.lang = $lang RETURN p",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang AND p.lang = $lang "
+    "RETURN p, c",
+    "MATCH (p:Post) WHERE p.lang = $lang RETURN p.lang AS lang, count(*) AS n",
+)
+
+BINDINGS = ("en", "de", "hu", 1, None)
+
+
+def param_oracle(engine: IncrementalEngine, query: str, parameters: dict):
+    from repro.compiler.pipeline import compile_query
+    from repro.eval.interpreter import Interpreter
+
+    return (
+        Interpreter(engine.graph, parameters)
+        .run(compile_query(query).plan)
+        .multiset()
+    )
+
+
+class BindingMirrorPair:
+    """A cross-binding engine and its exact-binding baseline, fed identically."""
+
+    def __init__(self, batch_transactions: bool = False):
+        self.graphs = (PropertyGraph(), PropertyGraph())
+        self.engines = (
+            QueryEngine(
+                self.graphs[0],
+                share_across_bindings=True,
+                batch_transactions=batch_transactions,
+            ),
+            QueryEngine(
+                self.graphs[1],
+                share_across_bindings=False,
+                batch_transactions=batch_transactions,
+            ),
+        )
+        self.registered: list[tuple[str, dict]] = []
+        self.views: list[tuple] = []
+        self.logs: list[tuple] = []
+
+    def register(self, query: str, parameters: dict) -> None:
+        pair, logs = [], []
+        for engine in self.engines:
+            view = engine.register(query, parameters=parameters)
+            log: list = []
+            view.on_change(log.append)
+            pair.append(view)
+            logs.append(log)
+        self.registered.append((query, parameters))
+        self.views.append(tuple(pair))
+        self.logs.append(tuple(logs))
+
+    def detach(self, index: int) -> None:
+        for view in self.views.pop(index):
+            view.detach()
+        self.registered.pop(index)
+        self.logs.pop(index)
+
+    def apply(self, op) -> None:
+        for graph in self.graphs:
+            op(graph)
+
+    def assert_consistent(self, oracle: bool = False) -> None:
+        for (query, parameters), (shared, baseline) in zip(
+            self.registered, self.views
+        ):
+            assert shared.multiset() == baseline.multiset(), (query, parameters)
+            if oracle:
+                assert shared.multiset() == param_oracle(
+                    self.engines[0]._incremental, query, parameters
+                ), (query, parameters)
+        for (query, parameters), (shared_log, baseline_log) in zip(
+            self.registered, self.logs
+        ):
+            assert shared_log == baseline_log, (query, parameters)
+
+
+def register_all(pair: BindingMirrorPair, bindings=BINDINGS) -> None:
+    for query in PARAM_QUERIES:
+        for value in bindings:
+            pair.register(query, {"lang": value})
+
+
+class TestBindingDifferential:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_stream_matches_exact_binding_baseline(self, seed):
+        pair = BindingMirrorPair()
+        register_all(pair)
+        rng = random.Random(500 + seed)
+        for step in range(60):
+            vertices = list(pair.graphs[0].vertices())
+            edges = list(pair.graphs[0].edges())
+            if rng.random() < 0.08:
+                ops = [
+                    _random_op(rng, vertices, edges)
+                    for _ in range(rng.randint(1, 4))
+                ]
+
+                def aborted(graph, ops=ops):
+                    try:
+                        with graph.transaction():
+                            for op in ops:
+                                op(graph)
+                            raise _Abort()
+                    except (_Abort, GraphError):
+                        pass
+
+                pair.apply(aborted)
+            else:
+                pair.apply(_random_op(rng, vertices, edges))
+            pair.assert_consistent(oracle=step % 20 == 0)
+        pair.assert_consistent(oracle=True)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_batched_transactions_match_baseline(self, seed):
+        rng = random.Random(600 + seed)
+        pair = BindingMirrorPair(batch_transactions=True)
+        register_all(pair)
+        for _ in range(20):
+            vertices = list(pair.graphs[0].vertices())
+            edges = list(pair.graphs[0].edges())
+            ops = [
+                _random_op(rng, vertices, edges)
+                for _ in range(rng.randint(1, 5))
+            ]
+            abort = rng.random() < 0.3
+
+            def run(graph, ops=ops, abort=abort):
+                try:
+                    with graph.transaction():
+                        for op in ops:
+                            op(graph)
+                        if abort:
+                            raise _Abort()
+                except (_Abort, GraphError):
+                    pass
+
+            pair.apply(run)
+            pair.assert_consistent(oracle=True)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_mid_stream_register_and_detach_across_bindings(self, seed):
+        """New bindings joining a live node (partition replay) stay exact."""
+        rng = random.Random(700 + seed)
+        pair = BindingMirrorPair()
+        for value in BINDINGS[:2]:
+            pair.register(PARAM_QUERIES[0], {"lang": value})
+        pool = [
+            (query, {"lang": value})
+            for query in PARAM_QUERIES
+            for value in BINDINGS
+        ]
+        for step in range(50):
+            vertices = list(pair.graphs[0].vertices())
+            edges = list(pair.graphs[0].edges())
+            roll = rng.random()
+            if roll < 0.15:
+                query, parameters = pool[rng.randrange(len(pool))]
+                pair.register(query, parameters)
+            elif roll < 0.25 and len(pair.views) > 1:
+                pair.detach(rng.randrange(len(pair.views)))
+            else:
+                pair.apply(_random_op(rng, vertices, edges))
+            pair.assert_consistent(oracle=step % 10 == 0)
+        pair.assert_consistent(oracle=True)
+
+    def test_mid_batch_register_of_new_binding_matches_baseline(self):
+        rng = random.Random(23)
+        pair = BindingMirrorPair()
+        for value in BINDINGS[:2]:
+            pair.register(PARAM_QUERIES[0], {"lang": value})
+        for graph in pair.graphs:
+            a = graph.add_vertex(labels=["Person"], properties={"lang": "en"})
+            b = graph.add_vertex(labels=["Person"], properties={"lang": "de"})
+            graph.add_edge(a, b, "KNOWS")
+        scopes = [engine.batch() for engine in pair.engines]
+        for scope in scopes:
+            scope.__enter__()
+        try:
+            for _ in range(8):
+                vertices = list(pair.graphs[0].vertices())
+                edges = list(pair.graphs[0].edges())
+                pair.apply(_random_op(rng, vertices, edges))
+            for value in BINDINGS[2:]:
+                pair.register(PARAM_QUERIES[0], {"lang": value})
+            for _ in range(8):
+                vertices = list(pair.graphs[0].vertices())
+                edges = list(pair.graphs[0].edges())
+                pair.apply(_random_op(rng, vertices, edges))
+        finally:
+            for scope in scopes:
+                scope.__exit__(None, None, None)
+        pair.assert_consistent(oracle=True)
+
+
+class TestBindingMechanics:
+    def graph_with_people(self):
+        graph = PropertyGraph()
+        people = []
+        for lang in ("en", "de", "hu", "en"):
+            people.append(
+                graph.add_vertex(labels=["Person"], properties={"lang": lang})
+            )
+        graph.add_edge(people[0], people[1], "KNOWS")
+        graph.add_edge(people[1], people[2], "KNOWS")
+        graph.add_edge(people[3], people[0], "KNOWS")
+        return graph, people
+
+    def test_differing_bindings_share_one_node_and_core(self):
+        graph, _ = self.graph_with_people()
+        engine = IncrementalEngine(graph)
+        layer = engine.input_layer
+        for value in ("en", "de", "hu"):
+            engine.register(PARAM_QUERIES[0], parameters={"lang": value})
+        assert layer.binding_node_count == 1
+        assert layer.binding_partition_count == 3
+        # the ⋈(©Person, ⇑KNOWS) core was built exactly once
+        join_entries = [
+            entry
+            for entry in layer._subplans.values()
+            if type(entry.node).__name__ == "JoinNode"
+        ]
+        assert len(join_entries) == 1
+
+    def test_same_binding_twins_share_the_partition(self):
+        graph, _ = self.graph_with_people()
+        engine = IncrementalEngine(graph)
+        layer = engine.input_layer
+        first = engine.register(PARAM_QUERIES[0], parameters={"lang": "en"})
+        hits_before = layer.stats.subplan_hits
+        twin = engine.register(PARAM_QUERIES[0], parameters={"lang": "en"})
+        assert layer.stats.subplan_hits > hits_before
+        assert layer.binding_partition_count == 1
+        assert twin.multiset() == first.multiset()
+
+    def test_differently_named_parameters_share_across_bindings(self):
+        """$lang vs $l: the generalised fingerprint ignores the name."""
+        graph, _ = self.graph_with_people()
+        engine = IncrementalEngine(graph)
+        layer = engine.input_layer
+        by_lang = engine.register(
+            "MATCH (p:Person) WHERE p.lang = $lang RETURN p",
+            parameters={"lang": "en"},
+        )
+        by_l = engine.register(
+            "MATCH (x:Person) WHERE x.lang = $l RETURN x",
+            parameters={"l": "de"},
+        )
+        assert layer.binding_node_count == 1
+        assert layer.binding_partition_count == 2
+        assert by_lang.multiset() == param_oracle(
+            engine, "MATCH (p:Person) WHERE p.lang = $lang RETURN p", {"lang": "en"}
+        )
+        assert by_l.multiset() == param_oracle(
+            engine, "MATCH (p:Person) WHERE p.lang = $l RETURN p", {"l": "de"}
+        )
+
+    def test_equal_but_differently_typed_bindings_stay_partitioned(self):
+        """1 == True == 1.0 in Python; partitions must not conflate them."""
+        graph = PropertyGraph()
+        for value in (1, True, 1.0, "1"):
+            graph.add_vertex(labels=["Post"], properties={"lang": value})
+        engine = IncrementalEngine(graph)
+        query = "MATCH (p:Post) WHERE p.lang = $lang RETURN p.lang AS v"
+        views = {
+            repr(value): engine.register(query, parameters={"lang": value})
+            for value in (1, True, 1.0, "1")
+        }
+        assert engine.input_layer.binding_partition_count == 4
+        for value in (1, True, 1.0, "1"):
+            rows = views[repr(value)].rows()
+            assert rows == [(value,)] or (
+                # Cypher numeric equality: 1 and 1.0 match each other's rows
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and sorted(rows, key=repr) == [(1,), (1.0,)]
+            ), (value, rows)
+        # exactness against recomputation is the real gate
+        for value in (1, True, 1.0, "1"):
+            assert views[repr(value)].multiset() == param_oracle(
+                engine, query, {"lang": value}
+            ), value
+
+    def test_collection_and_null_bindings_use_the_scan_path(self):
+        graph = PropertyGraph()
+        graph.add_vertex(labels=["Post"], properties={"lang": [1, 2]})
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        graph.add_vertex(labels=["Post"])
+        engine = IncrementalEngine(graph)
+        query = "MATCH (p:Post) WHERE p.lang = $lang RETURN p"
+        as_list = engine.register(query, parameters={"lang": [1, 2]})
+        as_null = engine.register(query, parameters={"lang": None})
+        as_str = engine.register(query, parameters={"lang": "en"})
+        assert engine.input_layer.binding_node_count == 1
+        assert len(as_list.rows()) == 1
+        assert as_null.rows() == []  # lang = null is never true
+        assert len(as_str.rows()) == 1
+        graph.add_vertex(labels=["Post"], properties={"lang": [1, 2]})
+        assert len(as_list.rows()) == 2
+        for view, value in ((as_list, [1, 2]), (as_null, None), (as_str, "en")):
+            assert view.multiset() == param_oracle(engine, query, {"lang": value})
+
+    def test_range_predicates_share_without_a_value_index(self):
+        graph = PropertyGraph()
+        for score in (1, 2, 3, 4):
+            graph.add_vertex(labels=["Post"], properties={"score": score})
+        engine = IncrementalEngine(graph)
+        query = "MATCH (p:Post) WHERE p.score > $min RETURN p"
+        views = {
+            value: engine.register(query, parameters={"min": value})
+            for value in (1, 2, 3)
+        }
+        assert engine.input_layer.binding_node_count == 1
+        assert engine.input_layer.binding_partition_count == 3
+        assert {v: len(view.rows()) for v, view in views.items()} == {
+            1: 3,
+            2: 2,
+            3: 1,
+        }
+        graph.add_vertex(labels=["Post"], properties={"score": 10})
+        assert {v: len(view.rows()) for v, view in views.items()} == {
+            1: 4,
+            2: 3,
+            3: 2,
+        }
+
+    def test_detach_of_one_binding_leaves_others_live(self):
+        graph, people = self.graph_with_people()
+        engine = IncrementalEngine(graph)
+        views = {
+            value: engine.register(PARAM_QUERIES[0], parameters={"lang": value})
+            for value in ("en", "de", "hu")
+        }
+        views["de"].detach()
+        late = graph.add_vertex(labels=["Person"], properties={"lang": "en"})
+        graph.add_edge(late, people[1], "KNOWS")
+        for value in ("en", "hu"):
+            assert views[value].multiset() == param_oracle(
+                engine, PARAM_QUERIES[0], {"lang": value}
+            ), value
+
+    def test_ablation_engine_keeps_exact_binding_keys(self):
+        graph, _ = self.graph_with_people()
+        engine = IncrementalEngine(graph, share_across_bindings=False)
+        layer = engine.input_layer
+        assert isinstance(layer, SharedSubplanLayer)
+        for value in ("en", "de"):
+            engine.register(PARAM_QUERIES[0], parameters={"lang": value})
+        assert layer.binding_node_count == 0
+        assert layer.binding_partition_count == 0
+
+    def test_profile_marks_the_shared_partition(self):
+        graph, _ = self.graph_with_people()
+        engine = IncrementalEngine(graph)
+        view = engine.register(PARAM_QUERIES[0], parameters={"lang": "en"})
+        assert "BindingIndexedSelection (shared)" in view.profile()
+        assert "SelectionPartition (shared)" in view.profile()
+
+
+class TestBindingLifecycle:
+    def test_all_bindings_detached_drops_node_and_core(self):
+        graph = PropertyGraph()
+        graph.add_vertex(labels=["Person"], properties={"lang": "en"})
+        engine = IncrementalEngine(graph, detached_cache_size=0)
+        layer = engine.input_layer
+        views = [
+            engine.register(PARAM_QUERIES[0], parameters={"lang": value})
+            for value in ("en", "de", "hu")
+        ]
+        assert layer.binding_node_count == 1
+        views[0].detach()
+        views[1].detach()
+        # surviving binding keeps node and core alive
+        assert layer.binding_node_count == 1
+        assert layer.binding_partition_count == 1
+        views[2].detach()
+        assert layer.binding_node_count == 0
+        assert layer.binding_partition_count == 0
+        assert layer.subplan_count == 0
+        assert layer.node_count == 0
+
+    def test_detached_binding_is_retained_and_revived(self):
+        graph = PropertyGraph()
+        graph.add_vertex(labels=["Person"], properties={"lang": "en"})
+        engine = IncrementalEngine(graph, detached_cache_size=4)
+        layer = engine.input_layer
+        view = engine.register(PARAM_QUERIES[1], parameters={"lang": "en"})
+        keeper = engine.register(PARAM_QUERIES[1], parameters={"lang": "de"})
+        partitions_before = layer.stats.binding_partitions
+        view.detach()
+        assert layer.binding_partition_count == 2  # retained, still maintained
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        revived = engine.register(PARAM_QUERIES[1], parameters={"lang": "en"})
+        # revival reused the retained partition instead of building anew
+        assert layer.stats.binding_partitions == partitions_before
+        assert layer.stats.detached_revived >= 1
+        assert revived.multiset() == param_oracle(
+            engine, PARAM_QUERIES[1], {"lang": "en"}
+        )
+        assert keeper.multiset() == param_oracle(
+            engine, PARAM_QUERIES[1], {"lang": "de"}
+        )
+
+    @pytest.mark.parametrize("cache_size", [0, 2])
+    def test_reregister_under_a_different_binding_is_not_served_stale(
+        self, cache_size
+    ):
+        """register → detach → re-register under a *different* binding.
+
+        The detached-LRU revival path must never hand the new binding the
+        old binding's partition (or, in the ablation, the old resolved
+        subplan) — partition keys carry the binding, so this pins that
+        isolation for both modes and both cache sizes.
+        """
+        for share in (True, False):
+            graph = PropertyGraph()
+            for lang in ("en", "en", "de"):
+                graph.add_vertex(labels=["Post"], properties={"lang": lang})
+            engine = IncrementalEngine(
+                graph,
+                detached_cache_size=cache_size,
+                share_across_bindings=share,
+            )
+            first = engine.register(PARAM_QUERIES[1], parameters={"lang": "en"})
+            assert len(first.rows()) == 2
+            first.detach()
+            second = engine.register(PARAM_QUERIES[1], parameters={"lang": "de"})
+            assert len(second.rows()) == 1, (share, cache_size)
+            assert second.multiset() == param_oracle(
+                engine, PARAM_QUERIES[1], {"lang": "de"}
+            ), (share, cache_size)
+            graph.add_vertex(labels=["Post"], properties={"lang": "de"})
+            graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+            assert second.multiset() == param_oracle(
+                engine, PARAM_QUERIES[1], {"lang": "de"}
+            ), (share, cache_size)
+
+    def test_random_register_detach_cycles_leave_no_garbage(self):
+        rng = random.Random(101)
+        graph = PropertyGraph()
+        for lang in ("en", "de", "hu"):
+            graph.add_vertex(labels=["Person"], properties={"lang": lang})
+            graph.add_vertex(labels=["Post"], properties={"lang": lang})
+        engine = IncrementalEngine(graph, detached_cache_size=0)
+        live = []
+        pool = [
+            (query, {"lang": value})
+            for query in PARAM_QUERIES
+            for value in BINDINGS[:4]
+        ]
+        for _ in range(50):
+            if live and rng.random() < 0.45:
+                live.pop(rng.randrange(len(live))).detach()
+            else:
+                query, parameters = pool[rng.randrange(len(pool))]
+                live.append(engine.register(query, parameters=parameters))
+        for view in live:
+            view.detach()
+        layer = engine.input_layer
+        assert layer.binding_node_count == 0
+        assert layer.binding_partition_count == 0
+        assert layer.subplan_count == 0
+        assert layer.node_count == 0
+
+
+class TestSharingLayerRegressions:
+    """The PR's satellite bugfixes, pinned."""
+
+    def test_double_release_clamps_at_zero(self, caplog):
+        graph = PropertyGraph()
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        engine = IncrementalEngine(graph, detached_cache_size=0)
+        layer = engine.input_layer
+        view = engine.register("MATCH (p:Post) RETURN p")
+        keeper = engine.register("MATCH (p:Post) RETURN p")
+        key = next(iter(layer._subplans))
+        entry = layer._subplans[key]
+        assert entry.refcount == 2  # one acquire per view
+        layer.release(key)
+        layer.release(key)
+        with caplog.at_level(logging.WARNING, logger="repro.rete.sharing"):
+            layer.release(key)  # the double release (detach raced a prune)
+        assert entry.refcount == 0  # clamped, never negative
+        assert layer.stats.release_underflows == 1
+        assert any(
+            "without matching acquire" in message for message in caplog.messages
+        )
+        # liveness is intact: a fresh acquire still protects the subplan
+        layer.acquire(key)
+        layer.prune()
+        assert key in layer._subplans
+        layer.release(key)
+        view.detach()
+        keeper.detach()
+        assert layer.subplan_count == 0
+
+    def test_probes_do_not_count_revivals(self):
+        graph = PropertyGraph()
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        engine = IncrementalEngine(graph, detached_cache_size=4)
+        layer = engine.input_layer
+        view = engine.register("MATCH (p:Post) RETURN p, p.lang")
+        view.detach()
+        assert layer.detached_count > 0
+        assert layer.stats.detached_revived == 0
+        key = next(iter(layer._detached_lru))
+        # EXPLAIN/matcher-style probes: neither peek nor bare lookup revive
+        layer.subplan_peek(key)
+        layer.subplan_lookup(key)
+        layer.subplan_lookup(key)
+        assert layer.stats.detached_revived == 0
+        # an actual re-registration acquires — exactly one revival
+        engine.register("MATCH (p:Post) RETURN p, p.lang")
+        assert layer.stats.detached_revived == 1

@@ -471,3 +471,115 @@ class TestRandomDifferential:
             assert_answers_match(engine, READ_QUERIES[:3])
         assert_answers_match(engine)
         assert engine.answer_stats().stale_declines > 0
+
+
+class TestBindingPartitionServing:
+    """One-shot queries served from a binding-indexed σ's partition.
+
+    With cross-binding sharing, the parameterised-σ state for every live
+    binding hangs off one shared node; a one-shot query under a binding
+    some view maintains must be servable even when no view root covers
+    the query's own shape (different projection on top)."""
+
+    QUERY = (
+        "MATCH (a:Post)-[:REPLY]->(b:Comm) WHERE a.lang = $lang RETURN a, b"
+    )
+    #: same σ/core, different residual top — can only hit the partition
+    READ = (
+        "MATCH (a:Post)-[:REPLY]->(b:Comm) WHERE a.lang = $lang "
+        "RETURN DISTINCT b"
+    )
+
+    def test_partition_serves_other_projections(self):
+        graph, engine = small_engine()
+        engine.register(self.QUERY, parameters={"lang": "en"})
+        engine.register(self.QUERY, parameters={"lang": "de"})
+        for lang in ("en", "de"):
+            explain = engine.explain(self.READ, parameters={"lang": lang})
+            assert "binding-partition[" in explain, explain
+            served = engine.evaluate(
+                self.READ, parameters={"lang": lang}, use_views=True
+            ).rows()
+            direct = engine.evaluate(
+                self.READ, parameters={"lang": lang}, use_views=False
+            ).rows()
+            assert served == direct
+        assert engine.answer_stats().subplan_hits >= 2
+
+    def test_unmaintained_binding_never_hits_a_partition(self):
+        graph, engine = small_engine()
+        engine.register(self.QUERY, parameters={"lang": "en"})
+        explain = engine.explain(self.READ, parameters={"lang": "hu"})
+        # no partition for "hu": the walk descends *past* the σ and serves
+        # the binding-free core residually (σ + δ on top) — never a
+        # partition keyed to another binding
+        assert "binding-partition[" not in explain
+        assert "subplan[" in explain
+        served = engine.evaluate(
+            self.READ, parameters={"lang": "hu"}, use_views=True
+        ).rows()
+        direct = engine.evaluate(
+            self.READ, parameters={"lang": "hu"}, use_views=False
+        ).rows()
+        assert served == direct
+
+    def test_partition_tracks_updates(self):
+        graph, engine = small_engine()
+        engine.register(self.QUERY, parameters={"lang": "en"})
+        post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        comm = graph.add_vertex(labels=["Comm"], properties={"lang": "hu"})
+        graph.add_edge(post, comm, "REPLY")
+        served = engine.evaluate(
+            self.READ, parameters={"lang": "en"}, use_views=True
+        ).rows()
+        direct = engine.evaluate(
+            self.READ, parameters={"lang": "en"}, use_views=False
+        ).rows()
+        assert served == direct
+
+    def test_detached_binding_keeps_serving_only_while_retained(self):
+        graph, engine = small_engine(detached_cache_size=4)
+        view = engine.register(self.QUERY, parameters={"lang": "en"})
+        keeper = engine.register(self.QUERY, parameters={"lang": "de"})
+        view.detach()
+        # the partition is LRU-retained and still maintained: serving it
+        # stays oracle-equal even under further updates
+        post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        comm = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+        graph.add_edge(post, comm, "REPLY")
+        served = engine.evaluate(
+            self.READ, parameters={"lang": "en"}, use_views=True
+        ).rows()
+        direct = engine.evaluate(
+            self.READ, parameters={"lang": "en"}, use_views=False
+        ).rows()
+        assert served == direct
+
+    def test_strictly_pruned_binding_never_serves_stale(self):
+        graph, engine = small_engine(detached_cache_size=0)
+        view = engine.register(self.QUERY, parameters={"lang": "en"})
+        keeper = engine.register(self.QUERY, parameters={"lang": "de"})
+        view.detach()
+        explain = engine.explain(self.READ, parameters={"lang": "en"})
+        # the "en" partition is gone for good; the keeper still holds the
+        # binding-free core, which may serve residually — but the dropped
+        # partition itself must never be consulted again
+        assert "binding-partition[" not in explain
+        served = engine.evaluate(
+            self.READ, parameters={"lang": "en"}, use_views=True
+        ).rows()
+        direct = engine.evaluate(
+            self.READ, parameters={"lang": "en"}, use_views=False
+        ).rows()
+        assert served == direct
+
+    def test_ablation_engine_serves_via_exact_binding_keys(self):
+        graph, engine = small_engine(share_across_bindings=False)
+        engine.register(self.QUERY, parameters={"lang": "en"})
+        served = engine.evaluate(
+            self.READ, parameters={"lang": "en"}, use_views=True
+        ).rows()
+        direct = engine.evaluate(
+            self.READ, parameters={"lang": "en"}, use_views=False
+        ).rows()
+        assert served == direct
