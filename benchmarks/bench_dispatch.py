@@ -123,13 +123,15 @@ def churn_ops(labels: int, by_label, operations: int, seed: int = SEED + 1):
     return ops
 
 
-def run_stream(sizes: dict, route_events: bool):
+def run_stream(sizes: dict, route_events: bool, columnar: bool = True):
     """Replay the churn stream under one dispatch mode.
 
     Returns (seconds, views, engine); timing covers only the event loop.
     """
     graph, by_label = build_graph(sizes["labels"], sizes["vertices_per_label"])
-    engine = QueryEngine(graph, route_events=route_events)
+    engine = QueryEngine(
+        graph, route_events=route_events, columnar_deltas=columnar
+    )
     views = register_views(engine, sizes["labels"])
     ops = churn_ops(sizes["labels"], by_label, sizes["operations"])
     with Timer() as timer:
@@ -148,14 +150,20 @@ def verify(sizes: dict, routed_views, broadcast_views, engine) -> None:
             assert routed == engine.evaluate(query, use_views=False).multiset(), name
 
 
-def run_pair(sizes: dict, rounds: int = 1):
+def run_pair(sizes: dict, rounds: int = 1, columnar: bool = True):
     """Best-of-*rounds* for each mode (both modes measured identically)."""
-    routed_seconds, routed_views, routed_engine = run_stream(sizes, True)
-    broadcast_seconds, broadcast_views, _ = run_stream(sizes, False)
+    routed_seconds, routed_views, routed_engine = run_stream(
+        sizes, True, columnar
+    )
+    broadcast_seconds, broadcast_views, _ = run_stream(sizes, False, columnar)
     verify(sizes, routed_views, broadcast_views, routed_engine)
     for _ in range(rounds - 1):
-        routed_seconds = min(routed_seconds, run_stream(sizes, True)[0])
-        broadcast_seconds = min(broadcast_seconds, run_stream(sizes, False)[0])
+        routed_seconds = min(
+            routed_seconds, run_stream(sizes, True, columnar)[0]
+        )
+        broadcast_seconds = min(
+            broadcast_seconds, run_stream(sizes, False, columnar)[0]
+        )
     return routed_seconds, broadcast_seconds
 
 
@@ -181,16 +189,18 @@ def test_routed_matches_broadcast_and_oracle():
 # -- standalone report ---------------------------------------------------------
 
 
-def main(smoke: bool = False) -> None:
+def main(smoke: bool = False, columnar: bool = True) -> None:
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     signatures = len(VIEW_SHAPES) * sizes["labels"]
     operations = sizes["operations"]
     print(
         f"dispatch churn: {operations} events, {signatures} registered "
         f"input signatures ({sizes['labels']} labels × {len(VIEW_SHAPES)} "
-        f"view shapes)"
+        f"view shapes), columnar_deltas={columnar}"
     )
-    routed_seconds, broadcast_seconds = run_pair(sizes, rounds=1 if smoke else 3)
+    routed_seconds, broadcast_seconds = run_pair(
+        sizes, rounds=1 if smoke else 3, columnar=columnar
+    )
     print("differential oracle: routed == broadcast == recomputation ✓")
     rows = [
         [
@@ -237,4 +247,7 @@ def main(smoke: bool = False) -> None:
 
 
 if __name__ == "__main__":
-    main(smoke="--smoke" in sys.argv[1:])
+    main(
+        smoke="--smoke" in sys.argv[1:],
+        columnar="--no-columnar" not in sys.argv[1:],
+    )

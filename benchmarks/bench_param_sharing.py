@@ -111,10 +111,16 @@ def layer_cells(engine: QueryEngine) -> int:
     return engine._incremental.input_layer.memory_cells()
 
 
-def run_stream(sizes: dict, views: int, share_across_bindings: bool):
+def run_stream(
+    sizes: dict, views: int, share_across_bindings: bool, columnar: bool = True
+):
     """Replay the churn stream under one mode at a given view count."""
     graph, _ = build_graph(sizes["persons"], sizes["degree"])
-    engine = QueryEngine(graph, share_across_bindings=share_across_bindings)
+    engine = QueryEngine(
+        graph,
+        share_across_bindings=share_across_bindings,
+        columnar_deltas=columnar,
+    )
     with Timer() as register_timer:
         registered = register_views(engine, views)
     ops = churn_ops(sizes)
@@ -145,13 +151,13 @@ def verify(shared: dict, baseline: dict) -> None:
         ), uid
 
 
-def run_pair(sizes: dict):
+def run_pair(sizes: dict, columnar: bool = True):
     """Both modes at half and full view counts (for the growth slopes)."""
     full, half = sizes["views"], max(1, sizes["views"] // 2)
-    shared_half = run_stream(sizes, half, True)
-    shared_full = run_stream(sizes, full, True)
-    baseline_half = run_stream(sizes, half, False)
-    baseline_full = run_stream(sizes, full, False)
+    shared_half = run_stream(sizes, half, True, columnar)
+    shared_full = run_stream(sizes, full, True, columnar)
+    baseline_half = run_stream(sizes, half, False, columnar)
+    baseline_full = run_stream(sizes, full, False, columnar)
     verify(shared_full, baseline_full)
     return shared_half, shared_full, baseline_half, baseline_full
 
@@ -194,14 +200,17 @@ def test_shared_core_memory_is_flat_in_view_count():
 # -- standalone report ---------------------------------------------------------
 
 
-def main(smoke: bool = False) -> None:
+def main(smoke: bool = False, columnar: bool = True) -> None:
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     operations = sizes["operations"]
     print(
         f"parameterised sharing: {sizes['views']} bindings of one per-user "
-        f"query over {sizes['persons']} persons, {operations} churn events"
+        f"query over {sizes['persons']} persons, {operations} churn events, "
+        f"columnar_deltas={columnar}"
     )
-    shared_half, shared_full, baseline_half, baseline_full = run_pair(sizes)
+    shared_half, shared_full, baseline_half, baseline_full = run_pair(
+        sizes, columnar=columnar
+    )
     print("differential oracle: cross-binding == exact-binding == recomputation ✓")
 
     shared_growth = growth(shared_half, shared_full)
@@ -295,4 +304,7 @@ def main(smoke: bool = False) -> None:
 
 
 if __name__ == "__main__":
-    main(smoke="--smoke" in sys.argv[1:])
+    main(
+        smoke="--smoke" in sys.argv[1:],
+        columnar="--no-columnar" not in sys.argv[1:],
+    )

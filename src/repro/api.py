@@ -64,6 +64,7 @@ class QueryEngine:
         answer_from_views: bool = True,
         detached_cache_size: int = 4,
         share_across_bindings: bool = True,
+        columnar_deltas: bool = True,
     ):
         self.graph = graph
         self._incremental = IncrementalEngine(
@@ -75,6 +76,7 @@ class QueryEngine:
             share_subplans=share_subplans,
             detached_cache_size=detached_cache_size,
             share_across_bindings=share_across_bindings,
+            columnar_deltas=columnar_deltas,
         )
         self.answer_from_views = answer_from_views
         self._catalog = ViewCatalog(self._incremental)

@@ -5,11 +5,34 @@ Griffin–Libkin (paper refs [10, 11]): every relation is a bag represented
 as ``tuple → multiplicity``, and changes travel as *deltas* mapping tuples
 to signed multiplicity changes.  A delta with ``+2`` means "two more copies
 of this row"; ``-1`` means "one copy retracted".
+
+Two physical representations carry the same logical object:
+
+* :class:`Delta` — the row-at-a-time form: a ``dict`` keyed by row tuple.
+  Always *consolidated* (zero-count entries vanish), which is what lets a
+  batch's insert/delete pairs cancel before they travel.
+* :class:`ColumnDelta` — the columnar batch form: parallel value columns
+  plus one signed multiplicity column.  It is an *unconsolidated* record
+  of changes (the same row may appear several times; occurrences sum),
+  built once at the batched input boundary and streamed through the
+  hot-path nodes without per-row dict churn.  Row tuples are materialised
+  lazily — column projection (:meth:`ColumnDelta.column`) and key
+  extraction (:meth:`ColumnDelta.key_column`) work on the columns
+  directly, one C-level ``zip`` per call instead of one Python-level
+  tuple build per row.
+
+Counting-linear operators (σ, π, ω, ∪, ⋈ and both antijoin/outer-join
+memories) consume a :class:`ColumnDelta` as-is: their maintenance rule is
+linear in occurrences, so an unconsolidated batch nets to exactly the same
+output.  Transition-sensitive operators (δ, γ, ⋈*, the production node) are
+defined on *net* per-row changes and consolidate at entry via
+:func:`as_row_delta` — the boundary-materialisation rule of the columnar
+hot path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 
 class Delta:
@@ -69,6 +92,113 @@ class Delta:
         return out
 
 
+class ColumnDelta:
+    """A columnar batch of signed row changes (see module docstring).
+
+    ``columns`` is a list of ``width`` parallel lists; ``mults`` is the
+    signed multiplicity column.  All columns have equal length.  The batch
+    is **not** consolidated: the same row may occur on several positions
+    and its net multiplicity is the sum of its occurrences.  Construction
+    from a :class:`Delta` (:meth:`from_delta`) yields a consolidated
+    batch; node outputs built with :meth:`from_rows` generally are not.
+    """
+
+    __slots__ = ("columns", "mults", "width")
+
+    def __init__(self, columns: list[list], mults: list[int], width: int):
+        self.columns = columns
+        self.mults = mults
+        self.width = width
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_delta(cls, delta: Delta, width: int) -> "ColumnDelta":
+        """Transpose a consolidated row delta into columns (one C pass)."""
+        counts = delta._counts
+        if not counts:
+            return cls([[] for _ in range(width)], [], width)
+        columns = [list(col) for col in zip(*counts.keys())] if width else []
+        return cls(columns, list(counts.values()), width)
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[tuple], mults: list[int], width: int
+    ) -> "ColumnDelta":
+        """Transpose a (possibly unconsolidated) row batch into columns."""
+        if not rows:
+            return cls([[] for _ in range(width)], [], width)
+        columns = [list(col) for col in zip(*rows)] if width else []
+        return cls(columns, list(mults), width)
+
+    # -- access -------------------------------------------------------------
+
+    def column(self, index: int) -> list:
+        """Zero-copy projection of one column."""
+        return self.columns[index]
+
+    def key_column(self, indices: Sequence[int]) -> list[tuple]:
+        """Key tuples for every position, extracted column-wise.
+
+        The result tuples are identical to ``tuple(row[i] for i in
+        indices)`` of the row-at-a-time path, so they probe the same hash
+        memories; the transpose happens in one C-level ``zip`` instead of
+        one Python expression per row.
+        """
+        n = len(self.mults)
+        if not indices:
+            return [()] * n
+        if len(indices) == 1:
+            return [(value,) for value in self.columns[indices[0]]]
+        return list(zip(*(self.columns[i] for i in indices)))
+
+    def rows(self) -> list[tuple]:
+        """All row tuples, materialised in one C-level transpose."""
+        if self.width == 0:
+            return [()] * len(self.mults)
+        return list(zip(*self.columns))
+
+    def items(self) -> Iterator[tuple[tuple, int]]:
+        return zip(self.rows(), self.mults)
+
+    def __iter__(self) -> Iterator[tuple[tuple, int]]:
+        return zip(self.rows(), self.mults)
+
+    def __len__(self) -> int:
+        return len(self.mults)
+
+    def __bool__(self) -> bool:
+        return bool(self.mults)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        inner = ", ".join(f"{row}: {m:+d}" for row, m in self.items())
+        return "ColumnDelta{" + inner + "}"
+
+    def to_delta(self) -> Delta:
+        """Consolidated row form — duplicate occurrences merge and cancel."""
+        out = Delta()
+        add = out.add
+        for row, multiplicity in zip(self.rows(), self.mults):
+            add(row, multiplicity)
+        return out
+
+
+#: either physical representation of a delta (see module docstring)
+AnyDelta = "Delta | ColumnDelta"
+
+
+def as_row_delta(delta: "Delta | ColumnDelta") -> Delta:
+    """*delta* as a consolidated :class:`Delta` (identity for row deltas).
+
+    The entry conversion of transition-sensitive nodes: their maintenance
+    rules are defined on net per-row changes, so a columnar batch must
+    consolidate before they see it.
+    """
+    if type(delta) is ColumnDelta:
+        return delta.to_delta()
+    return delta
+
+
 def merged(deltas: Iterable["Delta"]) -> Delta:
     """Consolidate several deltas into one net delta.
 
@@ -96,12 +226,52 @@ def bag_insert(bag: dict[tuple, int], row: tuple, multiplicity: int) -> int:
 def index_insert(
     index: dict, key: tuple, row: tuple, multiplicity: int
 ) -> None:
-    """Adjust a keyed bag index (key → bag of rows); prunes empty buckets."""
+    """Adjust a keyed bag index (key → bag of rows); prunes empty buckets.
+
+    Buckets never retain zero-count rows: a cancellation pops the row, and
+    a bucket whose last row cancels is deleted from the index.
+    """
+    if multiplicity == 0:
+        return
     bucket = index.get(key)
     if bucket is None:
+        index[key] = {row: multiplicity}
+        return
+    count = bucket.get(row, 0) + multiplicity
+    if count:
+        bucket[row] = count
+    else:
+        del bucket[row]
+        if not bucket:
+            del index[key]
+
+
+def index_update(
+    index: dict,
+    keys: Sequence[tuple],
+    rows: Sequence[tuple],
+    mults: Sequence[int],
+) -> None:
+    """Bulk :func:`index_insert` over parallel key/row/multiplicity columns.
+
+    One pass folds a whole columnar batch into a keyed bag index with the
+    dict probes hoisted out of the per-row path; the invariant is the same
+    as :func:`index_insert`'s — buckets never retain zero-count rows and
+    emptied buckets leave the index, even under repeated insert/delete
+    churn of the same row inside one batch.
+    """
+    get = index.get
+    for key, row, multiplicity in zip(keys, rows, mults):
         if multiplicity == 0:
-            return
-        bucket = {}
-        index[key] = bucket
-    if bag_insert(bucket, row, multiplicity) == 0 and not bucket:
-        del index[key]
+            continue
+        bucket = get(key)
+        if bucket is None:
+            index[key] = {row: multiplicity}
+            continue
+        count = bucket.get(row, 0) + multiplicity
+        if count:
+            bucket[row] = count
+        else:
+            del bucket[row]
+            if not bucket:
+                del index[key]

@@ -128,10 +128,16 @@ class IncrementalEngine:
         share_subplans: bool = True,
         detached_cache_size: int = 4,
         share_across_bindings: bool = True,
+        columnar_deltas: bool = True,
     ):
         self.graph = graph
         self.transitive_mode = transitive_mode
         self.route_events = route_events
+        #: batched deltas travel the networks in columnar form, and the two
+        #: value-level refinements (constant pushdown into input nodes and
+        #: composite binding discriminants) are enabled; ``False`` is the
+        #: exact row-at-a-time ablation baseline
+        self.columnar_deltas = columnar_deltas
         if share_inputs:
             if share_subplans:
                 self.input_layer: SharedInputLayer | None = SharedSubplanLayer(
@@ -139,10 +145,13 @@ class IncrementalEngine:
                     route_events=route_events,
                     detached_cache_size=detached_cache_size,
                     share_across_bindings=share_across_bindings,
+                    columnar_deltas=columnar_deltas,
                 )
             else:
                 self.input_layer = SharedInputLayer(
-                    graph, route_events=route_events
+                    graph,
+                    route_events=route_events,
+                    columnar_deltas=columnar_deltas,
                 )
         else:
             self.input_layer = None
@@ -197,6 +206,7 @@ class IncrementalEngine:
             transitive_mode=self.transitive_mode,
             input_layer=self.input_layer,
             route_events=self.route_events,
+            columnar_deltas=self.columnar_deltas,
         )
         network.populate()
         view = View(self, compiled, network)

@@ -66,6 +66,7 @@ from .nodes.join import AntiJoinNode, JoinNode, LeftOuterJoinNode, UnionNode
 from .nodes.production import ProductionNode
 from .nodes.transitive import EDGES, ReachabilityNode, TransitiveClosureNode
 from .nodes.unary import (
+    _INDEXABLE_ATOMS as _VALUE_ATOMS,
     BindingIndexedSelectionNode,
     DedupNode,
     ProjectionNode,
@@ -87,6 +88,7 @@ class ReteNetwork:
         transitive_mode: str = "trails",
         input_layer: "SharedInputLayer | None" = None,
         route_events: bool = True,
+        columnar_deltas: bool = True,
     ):
         validate_fra(plan)
         check_incremental_fragment(plan)
@@ -97,6 +99,12 @@ class ReteNetwork:
         self.ctx = EvalContext(dict(parameters or {}))
         self.transitive_mode = transitive_mode
         self.input_layer = input_layer
+        #: batch translations travel as ColumnDelta; also enables the two
+        #: value-level refinements that only pay off at batch granularity
+        #: (constant pushdown into input nodes / router value buckets, and
+        #: composite discriminants on the binding-indexed σ tier) — False
+        #: reproduces the row-at-a-time path exactly (ablation)
+        self.columnar_deltas = columnar_deltas
         self.subplan_layer: SharedSubplanLayer | None = (
             input_layer if isinstance(input_layer, SharedSubplanLayer) else None
         )
@@ -167,16 +175,7 @@ class ReteNetwork:
             return self._register(node)
 
         if isinstance(op, ops.GetVertices):
-            if self.input_layer is not None:
-                return self._use_shared(self.input_layer.vertex_node(op))
-            key = (op.labels, op.projections)
-            cached = self._vertex_cache.get(key)
-            if cached is not None:
-                return cached
-            node = VertexInputNode(op, self.graph)
-            self._vertex_cache[key] = node
-            self.vertex_inputs.append(node)
-            return self._register(node)
+            return self._vertex_input(op)
 
         if isinstance(op, ops.GetEdges):
             if self.input_layer is not None:
@@ -191,7 +190,7 @@ class ReteNetwork:
             cached = self._edge_cache.get(key)
             if cached is not None:
                 return cached
-            node = EdgeInputNode(op, self.graph)
+            node = EdgeInputNode(op, self.graph, columnar=self.columnar_deltas)
             self._edge_cache[key] = node
             self.edge_inputs.append(node)
             return self._register(node)
@@ -224,6 +223,96 @@ class ReteNetwork:
         for upstream, side in edges:
             self._connect(upstream, node, side)
         return node
+
+    def _vertex_input(
+        self, op: ops.GetVertices, value_filters: tuple = ()
+    ) -> Node:
+        """The (possibly value-filtered) © input node for *op*."""
+        if self.input_layer is not None:
+            return self._use_shared(
+                self.input_layer.vertex_node(op, value_filters)
+            )
+        key = (op.labels, op.projections, value_filters)
+        cached = self._vertex_cache.get(key)
+        if cached is not None:
+            return cached
+        node = VertexInputNode(
+            op,
+            self.graph,
+            value_filters=value_filters,
+            columnar=self.columnar_deltas,
+        )
+        self._vertex_cache[key] = node
+        self.vertex_inputs.append(node)
+        return self._register(node)
+
+    def _constant_conjuncts(
+        self, op: ops.Select
+    ) -> list[tuple[int, ast.Expression, Any]]:
+        """``(column, value expr, frozen atom)`` per constant equality conjunct.
+
+        A conjunct qualifies when it is ``<column variable> = <literal
+        atom>`` (either order) over the child schema.  Disabled along with
+        ``columnar_deltas`` so the ablation reproduces the plain σ path.
+        """
+        if not self.columnar_deltas:
+            return []
+        child_schema = op.children[0].schema
+        found: list[tuple[int, ast.Expression, Any]] = []
+        for conjunct in split_conjuncts(op.predicate):
+            if not (
+                isinstance(conjunct, ast.Comparison) and conjunct.ops == ("=",)
+            ):
+                continue
+            for var_side, const_side in (
+                conjunct.operands,
+                conjunct.operands[::-1],
+            ):
+                if (
+                    isinstance(var_side, ast.Variable)
+                    and isinstance(const_side, ast.Literal)
+                    and isinstance(const_side.value, _VALUE_ATOMS)
+                    and var_side.name in child_schema.names
+                ):
+                    found.append(
+                        (
+                            child_schema.index_of(var_side.name),
+                            var_side,
+                            const_side.value,
+                        )
+                    )
+                    break
+        return found
+
+    def _vertex_value_filters(
+        self,
+        op: ops.Select,
+        conjuncts: list[tuple[int, ast.Expression, Any]],
+    ) -> tuple[tuple[int, str, Any], ...]:
+        """Constant filters pushable into the © node below this σ.
+
+        Only columns backed by a pushed ``property`` projection qualify
+        (column 0 is the vertex id; ``labels()``/``properties()`` columns
+        carry collection values the value index cannot bucket), and only
+        when the predicate is parameter-free — parameterised σ belongs to
+        the binding tier, whose sharing keys must not fork per constant.
+        """
+        child = op.children[0]
+        if not isinstance(child, ops.GetVertices) or not conjuncts:
+            return ()
+        if any(
+            isinstance(node, ast.Parameter) for node in ast.walk(op.predicate)
+        ):
+            return ()
+        filters = []
+        for column, _, value in conjuncts:
+            if column == 0:
+                continue
+            projection = child.projections[column - 1]
+            if projection.kind != "property":
+                continue
+            filters.append((column, projection.key, value))
+        return tuple(filters)
 
     def _build_binding_partition(
         self, op: ops.Operator, layer: SharedSubplanLayer
@@ -266,7 +355,7 @@ class ReteNetwork:
                 op.schema,
                 compile_expr(op.predicate, op.children[0].schema),
                 generalized_fingerprint(op).param_order,
-                discriminant=self._equality_discriminant(op),
+                discriminants=self._equality_discriminants(op),
             )
             layer.param_adopt(pkey, node, child_node, LEFT)
             self._use_shared(node)
@@ -283,16 +372,23 @@ class ReteNetwork:
             self._fresh_shared.add(id(facade))
         return facade
 
-    def _equality_discriminant(self, op: ops.Operator):
-        """A ``(param position, compiled expr)`` value index, if one exists.
+    def _equality_discriminants(self, op: ops.Operator):
+        """``(param position, compiled expr, column)`` index components.
 
-        Looks for a top-level ``expr = $param`` conjunct whose non-param
+        Looks for top-level ``expr = $param`` conjuncts whose non-param
         side mentions no parameter: the binding-indexed node then routes
-        each row by evaluating that side once instead of evaluating the
-        predicate once per live binding.
+        each row by evaluating those sides once (a single *composite*
+        probe for ``a.x = $p AND a.y = $q``) instead of evaluating the
+        predicate once per live binding.  The third component is the
+        child-schema column index when the expr is a bare column variable
+        (``None`` otherwise) — the columnar path extracts such composite
+        keys with one transpose.  With ``columnar_deltas=False`` the list
+        is truncated to its first component, reproducing the
+        single-discriminant index exactly.
         """
         param_order = generalized_fingerprint(op).param_order
         child_schema = op.children[0].schema
+        found: list[tuple[int, Any, int | None]] = []
         for conjunct in split_conjuncts(op.predicate):
             if not (
                 isinstance(conjunct, ast.Comparison) and conjunct.ops == ("=",)
@@ -310,22 +406,47 @@ class ReteNetwork:
                         for node in ast.walk(value_side)
                     )
                 ):
-                    return (
-                        param_order.index(param_side.name),
-                        compile_expr(value_side, child_schema),
+                    column = (
+                        child_schema.index_of(value_side.name)
+                        if isinstance(value_side, ast.Variable)
+                        and value_side.name in child_schema.names
+                        else None
                     )
-        return None
+                    found.append(
+                        (
+                            param_order.index(param_side.name),
+                            compile_expr(value_side, child_schema),
+                            column,
+                        )
+                    )
+                    break
+        if not found:
+            return None
+        if not self.columnar_deltas:
+            return (found[0],)
+        return tuple(found)
 
     def _make_node(
         self, op: ops.Operator
     ) -> tuple[Node, list[tuple[Node, int]]]:
         """Build the node for *op* plus its (not yet subscribed) upstreams."""
         if isinstance(op, ops.Select):
-            child = self._build(op.children[0])
+            conjuncts = self._constant_conjuncts(op)
+            value_filters = self._vertex_value_filters(op, conjuncts)
+            if value_filters:
+                # value pushdown: the σ reads a constant-filtered © node, so
+                # the router narrows dispatch by value (the σ still runs the
+                # full predicate over every surviving tuple)
+                child = self._vertex_input(op.children[0], value_filters)
+            else:
+                child = self._build(op.children[0])
             node = SelectionNode(
                 op.schema,
                 compile_expr(op.predicate, op.children[0].schema),
                 self.ctx,
+                const_filters=tuple(
+                    (column, value) for column, _, value in conjuncts
+                ),
             )
             return node, [(child, LEFT)]
 
@@ -537,9 +658,9 @@ class ReteNetwork:
             self.router.dispatch_batch(batch)
             return
         for node in self.vertex_inputs:
-            node.emit(node.batch_delta(batch))
+            node.emit_batch(batch)
         for edge_node in self.edge_inputs:
-            edge_node.emit(edge_node.batch_delta(batch))
+            edge_node.emit_batch(batch)
 
     def profile(self) -> str:
         """PROFILE rendering: per-node traffic and memory counters.
@@ -550,7 +671,7 @@ class ReteNetwork:
         """
         header = (
             f"{'node':<28} {'schema':<34} {'deltas':>8} {'rows':>10} "
-            f"{'memory':>8} {'cells':>8}"
+            f"{'rows/call':>10} {'batch fill':>11} {'memory':>8} {'cells':>8}"
         )
         lines = [header, "-" * len(header)]
         for node in self._shared_nodes.values():
@@ -571,10 +692,23 @@ class ReteNetwork:
         columns = ", ".join(node.schema.names)
         if len(columns) > 32:
             columns = columns[:29] + "..."
+        # input-side batching metrics: rows consumed per apply() call, and
+        # the occupancy of columnar batches specifically (input nodes have
+        # no upstream and show "-")
+        rows_per_call = (
+            f"{node.applied_rows / node.applied_deltas:>10.1f}"
+            if node.applied_deltas
+            else f"{'-':>10}"
+        )
+        batch_fill = (
+            f"{node.columnar_rows / node.columnar_batches:>11.1f}"
+            if node.columnar_batches
+            else f"{'-':>11}"
+        )
         return (
             f"{name:<28} {columns:<34} {node.emitted_deltas:>8} "
-            f"{node.emitted_rows:>10} {node.memory_size():>8} "
-            f"{node.memory_cells():>8}"
+            f"{node.emitted_rows:>10} {rows_per_call} {batch_fill} "
+            f"{node.memory_size():>8} {node.memory_cells():>8}"
         )
 
     def memory_size(self) -> int:

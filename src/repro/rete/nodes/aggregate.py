@@ -16,7 +16,7 @@ from ...algebra.expressions import (
     CompiledExpr,
     EvalContext,
 )
-from ..deltas import Delta
+from ..deltas import ColumnDelta, Delta, as_row_delta
 from .base import Node
 
 
@@ -60,7 +60,11 @@ class AggregateNode(Node):
             delta.add(self._result_row((), group), 1)
             self.emit(delta)
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
+        # transition-sensitive boundary: aggregator state machines (notably
+        # min/max undo logs) depend on net per-row changes, so columnar
+        # batches consolidate at entry
+        delta = as_row_delta(delta)
         touched: dict[tuple, tuple | None] = {}
         for row, multiplicity in delta.items():
             key = tuple(fn(row, self.ctx) for fn in self.key_fns)

@@ -10,11 +10,17 @@ maintenance rule exact:
 
 (each side's delta is joined against the other side's *current* memory,
 then folded into this side's memory before anything else runs).
+
+Deltas travel in either physical representation — the row-at-a-time
+:class:`~repro.rete.deltas.Delta` or the columnar
+:class:`~repro.rete.deltas.ColumnDelta` batch — and every node's ``apply``
+accepts both (transition-sensitive nodes consolidate columnar batches at
+entry via :func:`~repro.rete.deltas.as_row_delta`).
 """
 
 from __future__ import annotations
 
-from ..deltas import Delta
+from ..deltas import ColumnDelta, Delta
 
 LEFT = 0
 RIGHT = 1
@@ -23,9 +29,13 @@ RIGHT = 1
 class Node:
     """A dataflow node with subscribers.
 
-    Every node keeps two cheap traffic counters (``emitted_deltas``,
-    ``emitted_rows``) that PROFILE output reads; they cost two integer
-    additions per emission.
+    Every node keeps cheap traffic counters that PROFILE output reads:
+    ``emitted_deltas``/``emitted_rows`` on the output side, and
+    ``applied_deltas``/``applied_rows`` plus the columnar pair
+    (``columnar_batches``/``columnar_rows``) on the input side — the
+    latter make the batch-at-a-time win observable per node (rows per
+    ``apply()`` call, columnar batch fill).  They cost a few integer
+    additions per propagated delta.
     """
 
     def __init__(self, schema) -> None:
@@ -33,6 +43,10 @@ class Node:
         self._subscribers: list[tuple["Node", int]] = []
         self.emitted_deltas = 0
         self.emitted_rows = 0
+        self.applied_deltas = 0
+        self.applied_rows = 0
+        self.columnar_batches = 0
+        self.columnar_rows = 0
 
     def subscribe(self, node: "Node", side: int = LEFT) -> None:
         self._subscribers.append((node, side))
@@ -45,15 +59,22 @@ class Node:
     def subscriber_count(self) -> int:
         return len(self._subscribers)
 
-    def emit(self, delta: Delta) -> None:
+    def emit(self, delta: "Delta | ColumnDelta") -> None:
         if not delta:
             return
+        rows = len(delta)
         self.emitted_deltas += 1
-        self.emitted_rows += len(delta)
+        self.emitted_rows += rows
+        columnar = type(delta) is ColumnDelta
         for node, side in self._subscribers:
+            node.applied_deltas += 1
+            node.applied_rows += rows
+            if columnar:
+                node.columnar_batches += 1
+                node.columnar_rows += rows
             node.apply(delta, side)
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         raise NotImplementedError
 
     def state_delta(self) -> Delta | None:
@@ -65,7 +86,8 @@ class Node:
         ``activation_delta`` protocol.  Stateful nodes reconstruct the bag
         from their memories; stateless nodes return ``None`` and the
         sharing layer derives their output by running :meth:`transform`
-        over the upstream states instead.
+        over the upstream states instead.  State always crosses this
+        boundary in row form.
         """
         return None
 

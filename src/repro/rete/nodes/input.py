@@ -18,7 +18,7 @@ from ...eval.projections import (
 )
 from ...graph import events as ev
 from ...graph.graph import PropertyGraph
-from ..deltas import Delta
+from ..deltas import ColumnDelta, Delta
 from ..router import EdgeInterest, VertexInterest
 from .base import Node
 
@@ -57,13 +57,33 @@ class UnitNode(Node):
 
 
 class VertexInputNode(Node):
-    """© — vertices carrying all required labels, with pushed-down columns."""
+    """© — vertices carrying all required labels, with pushed-down columns.
 
-    def __init__(self, op: GetVertices, graph: PropertyGraph):
+    ``value_filters`` — ``(column, property key, frozen atom)`` triples from
+    constant equality conjuncts the builder pushed below the σ — restrict
+    the relation to vertices whose pushed column equals the constant, so
+    the event router can narrow dispatch by *value* (its per-(key, value)
+    bucket index) and every tuple travelling the network already satisfied
+    the constant.  The filter is a necessary condition only (Python ``==``
+    over-approximates Cypher ``=`` on atoms; the downstream σ re-confirms),
+    and it is a pure function of each built tuple, so retract/assert pairs
+    filter symmetrically and net deltas stay exact.
+    """
+
+    def __init__(
+        self,
+        op: GetVertices,
+        graph: PropertyGraph,
+        value_filters: tuple[tuple[int, str, Any], ...] = (),
+        columnar: bool = False,
+    ):
         super().__init__(op.schema)
         self.graph = graph
         self.labels = frozenset(op.labels)
         self.projections = op.projections
+        self.value_filters = value_filters
+        #: emit batch translations as ColumnDelta (engine columnar flag)
+        self.columnar = columnar
         self._property_keys = frozenset(
             p.key for p in op.projections if p.kind == "property"
         )
@@ -77,7 +97,24 @@ class VertexInputNode(Node):
             property_keys=self._property_keys,
             all_properties=self._wants_properties,
             label_values=self._wants_labels,
+            property_values=tuple(
+                (key, value) for _, key, value in self.value_filters
+            ),
         )
+
+    # -- value filtering ----------------------------------------------------
+
+    def _passes(self, row: tuple) -> bool:
+        return all(row[i] == v for i, _, v in self.value_filters)
+
+    def _filtered(self, delta: Delta) -> Delta:
+        if not self.value_filters:
+            return delta
+        out = Delta()
+        for row, multiplicity in delta.items():
+            if self._passes(row):
+                out.add(row, multiplicity)
+        return out
 
     # -- tuple building -----------------------------------------------------
 
@@ -110,7 +147,9 @@ class VertexInputNode(Node):
         seed = next(iter(self.labels)) if self.labels else None
         for vertex in graph.vertices(seed):
             if self._matches(graph.labels_of(vertex)):
-                delta.add(self._tuple(vertex), 1)
+                row = self._tuple(vertex)
+                if self._passes(row):
+                    delta.add(row, 1)
         return delta
 
     def state_delta(self) -> Delta:
@@ -122,28 +161,26 @@ class VertexInputNode(Node):
     def on_event(self, event: ev.GraphEvent) -> None:
         if isinstance(event, ev.VertexAdded):
             if self._matches(event.labels):
-                delta = Delta()
-                delta.add(
-                    self._tuple(
-                        event.vertex_id,
-                        labels=event.labels,
-                        properties=_private_dict(event.properties),
-                    ),
-                    1,
+                row = self._tuple(
+                    event.vertex_id,
+                    labels=event.labels,
+                    properties=_private_dict(event.properties),
                 )
-                self.emit(delta)
+                if self._passes(row):
+                    delta = Delta()
+                    delta.add(row, 1)
+                    self.emit(delta)
         elif isinstance(event, ev.VertexRemoved):
             if self._matches(event.labels):
-                delta = Delta()
-                delta.add(
-                    self._tuple(
-                        event.vertex_id,
-                        labels=event.labels,
-                        properties=_private_dict(event.properties),
-                    ),
-                    -1,
+                row = self._tuple(
+                    event.vertex_id,
+                    labels=event.labels,
+                    properties=_private_dict(event.properties),
                 )
-                self.emit(delta)
+                if self._passes(row):
+                    delta = Delta()
+                    delta.add(row, -1)
+                    self.emit(delta)
         elif isinstance(event, ev.VertexLabelAdded):
             current = self.graph.labels_of(event.vertex_id)
             before = current - {event.label}
@@ -169,7 +206,7 @@ class VertexInputNode(Node):
             # membership unchanged but a labels(...) column changed value
             delta.add(self._tuple(vertex_id, labels=before), -1)
             delta.add(self._tuple(vertex_id, labels=current), 1)
-        self.emit(delta)
+        self.emit(self._filtered(delta))
 
     def batch_delta(self, batch) -> Delta:
         """Net delta for one :class:`~repro.rete.batch.CoalescedBatch`.
@@ -220,7 +257,20 @@ class VertexInputNode(Node):
                         ),
                         1,
                     )
-        return delta
+        return self._filtered(delta)
+
+    def emit_batch(self, batch) -> None:
+        """Translate one coalesced batch and emit it, columnar when enabled.
+
+        The net delta is built in row form either way — consolidation is
+        what cancels a batch's internal insert/delete pairs — and the
+        columnar flag only changes the *wire* representation handed to
+        subscribers (one transpose for the whole batch)."""
+        delta = self.batch_delta(batch)
+        if self.columnar and delta:
+            self.emit(ColumnDelta.from_delta(delta, len(self.schema.names)))
+        else:
+            self.emit(delta)
 
     def _property_change(self, event: ev.VertexPropertySet) -> None:
         if not (self._wants_properties or event.key in self._property_keys):
@@ -232,7 +282,7 @@ class VertexInputNode(Node):
         delta = Delta()
         delta.add(self._tuple(event.vertex_id, properties=before), -1)
         delta.add(self._tuple(event.vertex_id, properties=after), 1)
-        self.emit(delta)
+        self.emit(self._filtered(delta))
 
     def apply(self, delta: Delta, side: int) -> None:  # pragma: no cover
         raise AssertionError("input nodes have no upstream")
@@ -248,9 +298,11 @@ class EdgeInputNode(Node):
     change membership or pushed-column values of incident edge tuples).
     """
 
-    def __init__(self, op: GetEdges, graph: PropertyGraph):
+    def __init__(self, op: GetEdges, graph: PropertyGraph, columnar: bool = False):
         super().__init__(op.schema)
         self.graph = graph
+        #: emit batch translations as ColumnDelta (engine columnar flag)
+        self.columnar = columnar
         self.types = frozenset(op.types)
         self.src_labels = frozenset(op.src_labels)
         self.tgt_labels = frozenset(op.tgt_labels)
@@ -511,6 +563,15 @@ class EdgeInputNode(Node):
                 )
                 self._edge_delta(edge_id, source, target, 1, delta)
         return delta
+
+    def emit_batch(self, batch) -> None:
+        """Translate one coalesced batch and emit it, columnar when enabled
+        (see :meth:`VertexInputNode.emit_batch`)."""
+        delta = self.batch_delta(batch)
+        if self.columnar and delta:
+            self.emit(ColumnDelta.from_delta(delta, len(self.schema.names)))
+        else:
+            self.emit(delta)
 
     def _endpoint_change_relevant(self, event: ev.VertexChanged) -> bool:
         """Whether a net endpoint transition can move this node's tuples."""

@@ -4,11 +4,20 @@ All four maintain per-side memories indexed by the shared (natural-join)
 attributes and follow the sequential counting rule — an incoming delta is
 joined against the *other* side's current memory, then folded into this
 side's memory (see :mod:`.base`).
+
+Each node has two inner loops per side: the row-at-a-time loop over a
+:class:`~repro.rete.deltas.Delta` and a batch-at-a-time loop over a
+:class:`~repro.rete.deltas.ColumnDelta` — key columns are extracted with
+one C-level transpose, hash probes run over the prebuilt key column, and
+memory folds use the bulk :func:`~repro.rete.deltas.index_update`.  All
+four maintenance rules are linear in row occurrences, so the columnar
+loops are exact on unconsolidated batches (duplicate occurrences sum; any
+compensating output pairs cancel at the next consolidation boundary).
 """
 
 from __future__ import annotations
 
-from ..deltas import Delta, index_insert
+from ..deltas import ColumnDelta, Delta, index_insert, index_update
 from .base import LEFT, Node
 
 Index = dict  # key -> {row: multiplicity}
@@ -28,7 +37,10 @@ class JoinNode(Node):
     def _merge(self, left_row: tuple, right_row: tuple) -> tuple:
         return left_row + tuple(right_row[i] for i in self.right_extra)
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
+        if type(delta) is ColumnDelta:
+            self._apply_columnar(delta, side)
+            return
         out = Delta()
         if side == LEFT:
             for row, multiplicity in delta.items():
@@ -43,6 +55,39 @@ class JoinNode(Node):
                     out.add(self._merge(other, row), multiplicity * m2)
                 index_insert(self.right_index, key, row, multiplicity)
         self.emit(out)
+
+    def _apply_columnar(self, delta: ColumnDelta, side: int) -> None:
+        rows = delta.rows()
+        mults = delta.mults
+        extra = self.right_extra
+        out_rows: list[tuple] = []
+        out_mults: list[int] = []
+        append_row = out_rows.append
+        append_mult = out_mults.append
+        if side == LEFT:
+            keys = delta.key_column(self.left_key)
+            probe = self.right_index.get
+            for key, row, multiplicity in zip(keys, rows, mults):
+                bucket = probe(key)
+                if bucket:
+                    for other, m2 in bucket.items():
+                        append_row(row + tuple(other[i] for i in extra))
+                        append_mult(multiplicity * m2)
+            index_update(self.left_index, keys, rows, mults)
+        else:
+            keys = delta.key_column(self.right_key)
+            probe = self.left_index.get
+            for key, row, multiplicity in zip(keys, rows, mults):
+                bucket = probe(key)
+                if bucket:
+                    suffix = tuple(row[i] for i in extra)
+                    for other, m2 in bucket.items():
+                        append_row(other + suffix)
+                        append_mult(multiplicity * m2)
+            index_update(self.right_index, keys, rows, mults)
+        self.emit(
+            ColumnDelta.from_rows(out_rows, out_mults, len(self.schema.names))
+        )
 
     def state_delta(self) -> Delta:
         out = Delta()
@@ -83,7 +128,10 @@ class AntiJoinNode(Node):
         self.left_index: Index = {}
         self.right_counts: dict[tuple, int] = {}
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
+        if type(delta) is ColumnDelta:
+            self._apply_columnar(delta, side)
+            return
         out = Delta()
         if side == LEFT:
             for row, multiplicity in delta.items():
@@ -107,6 +155,42 @@ class AntiJoinNode(Node):
                     for left_row, m in self.left_index.get(key, {}).items():
                         out.add(left_row, m)
         self.emit(out)
+
+    def _apply_columnar(self, delta: ColumnDelta, side: int) -> None:
+        mults = delta.mults
+        out_rows: list[tuple] = []
+        out_mults: list[int] = []
+        if side == LEFT:
+            keys = delta.key_column(self.left_key)
+            rows = delta.rows()
+            unmatched = self.right_counts.get
+            for key, row, multiplicity in zip(keys, rows, mults):
+                if unmatched(key, 0) == 0:
+                    out_rows.append(row)
+                    out_mults.append(multiplicity)
+            index_update(self.left_index, keys, rows, mults)
+        else:
+            keys = delta.key_column(self.right_key)
+            counts = self.right_counts
+            left = self.left_index.get
+            for key, multiplicity in zip(keys, mults):
+                before = counts.get(key, 0)
+                after = before + multiplicity
+                if after:
+                    counts[key] = after
+                else:
+                    counts.pop(key, None)
+                if before == 0 and after > 0:
+                    for left_row, m in left(key, {}).items():
+                        out_rows.append(left_row)
+                        out_mults.append(-m)
+                elif before > 0 and after == 0:
+                    for left_row, m in left(key, {}).items():
+                        out_rows.append(left_row)
+                        out_mults.append(m)
+        self.emit(
+            ColumnDelta.from_rows(out_rows, out_mults, len(self.schema.names))
+        )
 
     def state_delta(self) -> Delta:
         out = Delta()
@@ -150,7 +234,10 @@ class LeftOuterJoinNode(Node):
     def _merge(self, left_row: tuple, right_row: tuple) -> tuple:
         return left_row + tuple(right_row[i] for i in self.right_extra)
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
+        if type(delta) is ColumnDelta:
+            self._apply_columnar(delta, side)
+            return
         out = Delta()
         if side == LEFT:
             for row, multiplicity in delta.items():
@@ -182,6 +269,59 @@ class LeftOuterJoinNode(Node):
                     for left_row, m in left_rows.items():
                         out.add(left_row + self._nulls, m)
         self.emit(out)
+
+    def _apply_columnar(self, delta: ColumnDelta, side: int) -> None:
+        rows = delta.rows()
+        mults = delta.mults
+        extra = self.right_extra
+        nulls = self._nulls
+        out_rows: list[tuple] = []
+        out_mults: list[int] = []
+        if side == LEFT:
+            keys = delta.key_column(self.left_key)
+            probe = self.right_index.get
+            for key, row, multiplicity in zip(keys, rows, mults):
+                matches = probe(key)
+                if matches:
+                    for other, m2 in matches.items():
+                        out_rows.append(row + tuple(other[i] for i in extra))
+                        out_mults.append(multiplicity * m2)
+                else:
+                    out_rows.append(row + nulls)
+                    out_mults.append(multiplicity)
+            index_update(self.left_index, keys, rows, mults)
+        else:
+            # the right side interleaves count transitions with memory folds
+            # per row occurrence (exactly the row loop's discipline), with
+            # the key column prebuilt and the dict probes hoisted
+            keys = delta.key_column(self.right_key)
+            counts = self.right_counts
+            left = self.left_index.get
+            right_index = self.right_index
+            for key, row, multiplicity in zip(keys, rows, mults):
+                left_rows = left(key, {})
+                suffix = tuple(row[i] for i in extra)
+                for left_row, m in left_rows.items():
+                    out_rows.append(left_row + suffix)
+                    out_mults.append(multiplicity * m)
+                before = counts.get(key, 0)
+                after = before + multiplicity
+                if after:
+                    counts[key] = after
+                else:
+                    counts.pop(key, None)
+                index_insert(right_index, key, row, multiplicity)
+                if before == 0 and after > 0:
+                    for left_row, m in left_rows.items():
+                        out_rows.append(left_row + nulls)
+                        out_mults.append(-m)
+                elif before > 0 and after == 0:
+                    for left_row, m in left_rows.items():
+                        out_rows.append(left_row + nulls)
+                        out_mults.append(m)
+        self.emit(
+            ColumnDelta.from_rows(out_rows, out_mults, len(self.schema.names))
+        )
 
     def state_delta(self) -> Delta:
         out = Delta()
@@ -223,15 +363,24 @@ class UnionNode(Node):
         # every tuple through an identity permutation is pure overhead
         self._identity = right_permutation == tuple(range(len(right_permutation)))
 
-    def transform(self, delta: Delta, side: int) -> Delta:
+    def transform(self, delta: "Delta | ColumnDelta", side: int):
         if side == LEFT or self._identity:
+            if type(delta) is ColumnDelta:
+                return delta  # pass-through: columns are immutable downstream
             out = Delta()
             out.update(delta)  # empty-destination bulk copy, no per-row adds
             return out
+        if type(delta) is ColumnDelta:
+            # zero-copy column projection: permute the column list itself
+            return ColumnDelta(
+                [delta.columns[i] for i in self.right_permutation],
+                delta.mults,
+                delta.width,
+            )
         out = Delta()
         for row, multiplicity in delta.items():
             out.add(tuple(row[i] for i in self.right_permutation), multiplicity)
         return out
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         self.emit(self.transform(delta, side))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..deltas import Delta, bag_insert, merged
+from ..deltas import ColumnDelta, Delta, as_row_delta, bag_insert, merged
 from .base import Node
 
 ChangeCallback = Callable[[Delta], None]
@@ -45,7 +45,10 @@ class ProductionNode(Node):
             for callback in self._callbacks:
                 callback(net)
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
+        # transition-sensitive boundary: consolidate columnar batches so a
+        # transient delete/insert pair can never trip the negative check
+        delta = as_row_delta(delta)
         real = Delta()
         for row, multiplicity in delta.items():
             before = self.results.get(row, 0)

@@ -28,7 +28,7 @@ ablation D2.
 from __future__ import annotations
 
 from ...graph.values import PathValue
-from ..deltas import Delta, index_insert
+from ..deltas import ColumnDelta, Delta, as_row_delta, index_insert
 from .base import LEFT, Node
 
 EDGES = 1
@@ -120,7 +120,10 @@ class TransitiveClosureNode(Node):
 
     # -- delta application --------------------------------------------------------
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
+        # transition-sensitive boundary: trail derivation replays edge
+        # occurrences one at a time, so columnar batches consolidate at entry
+        delta = as_row_delta(delta)
         out = Delta()
         if side == LEFT:
             for row, multiplicity in delta.items():
@@ -268,7 +271,9 @@ class ReachabilityNode(Node):
             for left_row, m in rows.items():
                 out.add(left_row + (target,), -m)
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
+        # transition-sensitive boundary (same rule as the trail mode above)
+        delta = as_row_delta(delta)
         out = Delta()
         if side == LEFT:
             for row, multiplicity in delta.items():

@@ -1,4 +1,12 @@
-"""Stateless and lightly-stateful unary nodes: σ, π, δ (dedup), unwind."""
+"""Stateless and lightly-stateful unary nodes: σ, π, δ (dedup), unwind.
+
+The stateless nodes (σ, π, ω and the binding-indexed σ's partitions) are
+counting-linear, so their ``transform`` accepts both delta representations
+and answers in kind: a columnar batch filters/maps column-wise without
+per-row dict churn, a row delta takes the original loop.  δ (dedup) is
+transition-sensitive and consolidates columnar batches at entry
+(:func:`~repro.rete.deltas.as_row_delta`).
+"""
 
 from __future__ import annotations
 
@@ -6,7 +14,7 @@ from typing import Any
 
 from ...algebra.expressions import CompiledExpr, EvalContext
 from ...graph.values import ListValue, freeze_value
-from ..deltas import Delta, bag_insert
+from ..deltas import ColumnDelta, Delta, as_row_delta, bag_insert
 from .base import Node
 
 #: atom types whose Python hashing/equality agree with Cypher ``=`` closely
@@ -24,21 +32,74 @@ class SelectionNode(Node):
 
     Stateless: deltas filter the same way in both directions, so a
     retraction of a previously-passed row passes again and cancels
-    downstream (counting maintenance of σ)."""
+    downstream (counting maintenance of σ).
 
-    def __init__(self, schema, predicate: CompiledExpr, ctx: EvalContext):
+    ``const_filters`` — ``(column, frozen atom)`` pairs extracted from
+    constant equality conjuncts (``n.lang = 'en'``) — run before the
+    compiled predicate.  They are *necessary* conditions only: Python
+    ``==`` accepts at least everything Cypher ``=`` does on atoms, so a
+    prefiltered row can never be one the predicate would have passed, and
+    every survivor still runs the full predicate.  On the columnar path
+    the prefilter scans the constant's column directly, skipping row
+    materialisation for the (typically vast) non-matching majority.
+    """
+
+    def __init__(
+        self,
+        schema,
+        predicate: CompiledExpr,
+        ctx: EvalContext,
+        const_filters: tuple[tuple[int, Any], ...] = (),
+    ):
         super().__init__(schema)
         self.predicate = predicate
         self.ctx = ctx
+        self.const_filters = const_filters
 
-    def transform(self, delta: Delta, side: int) -> Delta:
+    def transform(self, delta: "Delta | ColumnDelta", side: int):
+        if type(delta) is ColumnDelta:
+            return self._transform_columnar(delta)
         out = Delta()
+        predicate = self.predicate
+        ctx = self.ctx
+        filters = self.const_filters
         for row, multiplicity in delta.items():
-            if self.predicate(row, self.ctx) is True:
+            if filters and any(row[i] != v for i, v in filters):
+                continue
+            if predicate(row, ctx) is True:
                 out.add(row, multiplicity)
         return out
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def _transform_columnar(self, delta: ColumnDelta) -> ColumnDelta:
+        mults = delta.mults
+        predicate = self.predicate
+        ctx = self.ctx
+        out_rows: list[tuple] = []
+        out_mults: list[int] = []
+        if self.const_filters:
+            live: list[int] | None = None
+            for col_idx, value in self.const_filters:
+                column = delta.columns[col_idx]
+                if live is None:
+                    live = [i for i, v in enumerate(column) if v == value]
+                else:
+                    live = [i for i in live if column[i] == value]
+                if not live:
+                    break
+            columns = delta.columns
+            for i in live or ():
+                row = tuple(column[i] for column in columns)
+                if predicate(row, ctx) is True:
+                    out_rows.append(row)
+                    out_mults.append(mults[i])
+        else:
+            for row, multiplicity in zip(delta.rows(), mults):
+                if predicate(row, ctx) is True:
+                    out_rows.append(row)
+                    out_mults.append(multiplicity)
+        return ColumnDelta.from_rows(out_rows, out_mults, delta.width)
+
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         self.emit(self.transform(delta, side))
 
 
@@ -63,10 +124,18 @@ class SelectionPartitionNode(Node):
     def passes(self, row: tuple) -> bool:
         return self.owner.predicate(row, self.ctx) is True
 
-    def transform(self, delta: Delta, side: int) -> Delta:
-        out = Delta()
+    def transform(self, delta: "Delta | ColumnDelta", side: int):
         predicate = self.owner.predicate
         ctx = self.ctx
+        if type(delta) is ColumnDelta:
+            out_rows: list[tuple] = []
+            out_mults: list[int] = []
+            for row, multiplicity in zip(delta.rows(), delta.mults):
+                if predicate(row, ctx) is True:
+                    out_rows.append(row)
+                    out_mults.append(multiplicity)
+            return ColumnDelta.from_rows(out_rows, out_mults, delta.width)
+        out = Delta()
         for row, multiplicity in delta.items():
             if predicate(row, ctx) is True:
                 out.add(row, multiplicity)
@@ -82,20 +151,27 @@ class BindingIndexedSelectionNode(Node):
     One node serves every live binding of a parameterised selection: it is
     fed once by the shared binding-free core below the σ, and keeps one
     :class:`SelectionPartitionNode` per binding as its output partitions.
-    When the predicate contains an ``expr = $param`` conjunct, partitions
-    are indexed by their binding's value for that parameter, so routing an
-    input row costs one discriminant evaluation plus a dict probe —
-    O(matching bindings), not O(live bindings) — the alpha-memory hashing
-    trick that makes "the same view once per user" affordable.  Buckets
-    are candidate sets only: the full predicate re-confirms each hit under
-    the partition's own bindings, so index coarseness (Python equality vs
-    Cypher ``=``) can never leak a row into the wrong binding.
+    When the predicate contains ``expr = $param`` conjuncts, partitions
+    are indexed by their binding's *composite* value tuple over those
+    parameters (``a.x = $p AND a.y = $q`` becomes one two-component key),
+    so routing an input row costs one discriminant evaluation per
+    component plus a single dict probe — O(matching bindings), not O(live
+    bindings) — the alpha-memory hashing trick that makes "the same view
+    once per user" affordable.  Buckets are candidate sets only: the full
+    predicate re-confirms each hit under the partition's own bindings, so
+    index coarseness (Python equality vs Cypher ``=``) can never leak a
+    row into the wrong binding.
 
-    Partitions whose indexed binding is null or a collection — and every
-    partition when no equality conjunct exists — fall back to the scan
-    list, which evaluates the predicate per partition exactly like today's
-    per-binding σ nodes (still sharing the core's memory and per-event
-    translation work).
+    Partitions any of whose indexed bindings is null or a collection — and
+    every partition when no equality conjunct exists — fall back to the
+    scan list, which evaluates the predicate per partition exactly like
+    today's per-binding σ nodes (still sharing the core's memory and
+    per-event translation work).
+
+    When every discriminant expression is a bare column reference, the
+    columnar path extracts the whole composite key column with one C-level
+    transpose (:meth:`~repro.rete.deltas.ColumnDelta.key_column`) instead
+    of evaluating compiled expressions per row.
     """
 
     def __init__(
@@ -103,7 +179,7 @@ class BindingIndexedSelectionNode(Node):
         schema,
         predicate: CompiledExpr,
         param_order: tuple[str, ...],
-        discriminant: "tuple[int, CompiledExpr] | None" = None,
+        discriminants: "tuple[tuple[int, CompiledExpr, int | None], ...] | None" = None,
     ):
         super().__init__(schema)
         self.predicate = predicate
@@ -111,47 +187,56 @@ class BindingIndexedSelectionNode(Node):
         #: occurrence) order — later views translate their own names to
         #: these positions when a partition's evaluation context is built
         self.param_order = param_order
-        if discriminant is None:
-            self._disc_name: str | None = None
-            self._disc_expr: CompiledExpr | None = None
+        if not discriminants:
+            self._disc_names: tuple[str, ...] | None = None
+            self._disc_exprs: tuple[CompiledExpr, ...] | None = None
+            self._disc_cols: tuple[int, ...] | None = None
         else:
-            position, expr = discriminant
-            self._disc_name = param_order[position]
-            self._disc_expr = expr
+            self._disc_names = tuple(
+                param_order[position] for position, _, _ in discriminants
+            )
+            self._disc_exprs = tuple(expr for _, expr, _ in discriminants)
+            cols = tuple(col for _, _, col in discriminants)
+            # all-or-nothing: the zero-eval composite key column is only
+            # sound when every component is a direct column projection
+            self._disc_cols = cols if all(c is not None for c in cols) else None
         self._partitions: dict[tuple, SelectionPartitionNode] = {}
-        #: atomic indexed-binding value → candidate partitions
-        self._index: dict[Any, list[SelectionPartitionNode]] = {}
+        #: composite indexed-binding value tuple → candidate partitions
+        self._index: dict[tuple, list[SelectionPartitionNode]] = {}
         #: partitions the index cannot discriminate (no equality conjunct,
-        #: null or collection binding) — always evaluated
+        #: null or collection binding component) — always evaluated
         self._scan: list[SelectionPartitionNode] = []
 
     # -- partition lifecycle -------------------------------------------------
 
     def _index_value(self, facade: SelectionPartitionNode):
-        """(indexable, value) classification of one partition's binding."""
-        if self._disc_name is None:
+        """(indexable, key tuple) classification of one partition's binding."""
+        if self._disc_names is None:
             return False, None
-        value = freeze_value(facade.ctx.parameters.get(self._disc_name))
-        if value is None or not isinstance(value, _INDEXABLE_ATOMS):
-            return False, None
-        return True, value
+        key = []
+        for name in self._disc_names:
+            value = freeze_value(facade.ctx.parameters.get(name))
+            if value is None or not isinstance(value, _INDEXABLE_ATOMS):
+                return False, None
+            key.append(value)
+        return True, tuple(key)
 
     def add_partition(self, binding: tuple, facade: SelectionPartitionNode) -> None:
         self._partitions[binding] = facade
-        indexable, value = self._index_value(facade)
+        indexable, key = self._index_value(facade)
         if indexable:
-            self._index.setdefault(value, []).append(facade)
+            self._index.setdefault(key, []).append(facade)
         else:
             self._scan.append(facade)
 
     def remove_partition(self, binding: tuple) -> None:
         facade = self._partitions.pop(binding)
-        indexable, value = self._index_value(facade)
+        indexable, key = self._index_value(facade)
         if indexable:
-            bucket = self._index[value]
+            bucket = self._index[key]
             bucket.remove(facade)
             if not bucket:
-                del self._index[value]
+                del self._index[key]
         else:
             self._scan.remove(facade)
 
@@ -166,30 +251,46 @@ class BindingIndexedSelectionNode(Node):
     # -- propagation ---------------------------------------------------------
 
     def _candidates(self, row: tuple):
+        values = []
         try:
-            value = self._disc_expr(row, _NO_PARAMS)
+            for expr in self._disc_exprs:
+                values.append(expr(row, _NO_PARAMS))
         except Exception:
             # the predicate would raise the same way per partition; let the
             # scan below reproduce the baseline behaviour faithfully
             return self._partitions.values()
-        if value is None:
-            # ``expr = $param`` is unknown for null, never true: no binding
-            # can accept this row through the indexed conjunct
-            return ()
-        if isinstance(value, _INDEXABLE_ATOMS):
-            # atomic row value: collection/null bindings can never equal it
-            # (Cypher cross-type equality is false), so scan-list partitions
-            # need no look
-            return self._index.get(value, ())
-        # collection-valued row: only collection bindings can match
-        return self._scan
+        key = []
+        for value in values:
+            if value is None:
+                # ``expr = $param`` is unknown for null, never true: no
+                # binding can accept this row through the indexed conjunct
+                return ()
+            if not isinstance(value, _INDEXABLE_ATOMS):
+                # collection-valued component: only collection bindings
+                # (scan list) can match — Cypher cross-type equality is
+                # false, so no all-atom indexed binding need look
+                return self._scan
+            key.append(value)
+        return self._index.get(tuple(key), ())
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def _key_candidates(self, key: tuple):
+        """Candidates for a prebuilt composite key (direct-column path)."""
+        for value in key:
+            if value is None:
+                return ()
+            if not isinstance(value, _INDEXABLE_ATOMS):
+                return self._scan
+        return self._index.get(key, ())
+
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         if not self._partitions:
             return
-        if self._disc_expr is None:
+        if self._disc_exprs is None:
             for facade in self._partitions.values():
                 facade.emit(facade.transform(delta, side))
+            return
+        if type(delta) is ColumnDelta:
+            self._apply_columnar(delta)
             return
         routed: dict[int, tuple[SelectionPartitionNode, Delta]] = {}
         for row, multiplicity in delta.items():
@@ -203,6 +304,37 @@ class BindingIndexedSelectionNode(Node):
         for facade, out in routed.values():
             facade.emit(out)
 
+    def _apply_columnar(self, delta: ColumnDelta) -> None:
+        rows = delta.rows()
+        mults = delta.mults
+        keys = (
+            delta.key_column(self._disc_cols)
+            if self._disc_cols is not None
+            else None
+        )
+        routed: dict[int, tuple[SelectionPartitionNode, list, list]] = {}
+        get_slot = routed.get
+        for position, row in enumerate(rows):
+            candidates = (
+                self._key_candidates(keys[position])
+                if keys is not None
+                else self._candidates(row)
+            )
+            if not candidates:
+                continue
+            multiplicity = mults[position]
+            for facade in candidates:
+                if facade.passes(row):
+                    slot = get_slot(id(facade))
+                    if slot is None:
+                        slot = (facade, [], [])
+                        routed[id(facade)] = slot
+                    slot[1].append(row)
+                    slot[2].append(multiplicity)
+        width = len(self.schema.names)
+        for facade, out_rows, out_mults in routed.values():
+            facade.emit(ColumnDelta.from_rows(out_rows, out_mults, width))
+
 
 class ProjectionNode(Node):
     """π — maps each row through compiled item expressions (bag π:
@@ -213,24 +345,37 @@ class ProjectionNode(Node):
         self.items = items
         self.ctx = ctx
 
-    def transform(self, delta: Delta, side: int) -> Delta:
+    def transform(self, delta: "Delta | ColumnDelta", side: int):
+        items = self.items
+        ctx = self.ctx
+        if type(delta) is ColumnDelta:
+            out_rows = [
+                tuple(fn(row, ctx) for fn in items) for row in delta.rows()
+            ]
+            return ColumnDelta.from_rows(
+                out_rows, delta.mults, len(self.schema.names)
+            )
         out = Delta()
         for row, multiplicity in delta.items():
-            out.add(tuple(fn(row, self.ctx) for fn in self.items), multiplicity)
+            out.add(tuple(fn(row, ctx) for fn in items), multiplicity)
         return out
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         self.emit(self.transform(delta, side))
 
 
 class DedupNode(Node):
-    """δ — collapses multiplicities to one; emits only 0↔positive edges."""
+    """δ — collapses multiplicities to one; emits only 0↔positive edges.
+
+    Transition-sensitive: defined on net per-row changes, so columnar
+    batches consolidate at entry (boundary-materialisation rule)."""
 
     def __init__(self, schema):
         super().__init__(schema)
         self.counts: dict[tuple, int] = {}
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
+        delta = as_row_delta(delta)
         out = Delta()
         for row, multiplicity in delta.items():
             before = self.counts.get(row, 0)
@@ -265,10 +410,28 @@ class UnwindNode(Node):
         self.expression = expression
         self.ctx = ctx
 
-    def transform(self, delta: Delta, side: int) -> Delta:
+    def transform(self, delta: "Delta | ColumnDelta", side: int):
+        expression = self.expression
+        ctx = self.ctx
+        if type(delta) is ColumnDelta:
+            out_rows: list[tuple] = []
+            out_mults: list[int] = []
+            for row, multiplicity in zip(delta.rows(), delta.mults):
+                value = expression(row, ctx)
+                if value is None:
+                    continue
+                elements = (
+                    list(value) if isinstance(value, ListValue) else [value]
+                )
+                for element in elements:
+                    out_rows.append(row + (element,))
+                    out_mults.append(multiplicity)
+            return ColumnDelta.from_rows(
+                out_rows, out_mults, len(self.schema.names)
+            )
         out = Delta()
         for row, multiplicity in delta.items():
-            value = self.expression(row, self.ctx)
+            value = expression(row, ctx)
             if value is None:
                 continue
             elements = list(value) if isinstance(value, ListValue) else [value]
@@ -276,5 +439,5 @@ class UnwindNode(Node):
                 out.add(row + (element,), multiplicity)
         return out
 
-    def apply(self, delta: Delta, side: int) -> None:
+    def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         self.emit(self.transform(delta, side))

@@ -92,9 +92,16 @@ class SharingStats:
         return self.vertex_nodes + self.edge_nodes + (1 if self.unit_requests else 0)
 
 
-def vertex_signature(op: ops.GetVertices) -> tuple:
-    """Cache key for a © operator: tuple layout depends only on this."""
-    return (op.labels, op.projections)
+def vertex_signature(
+    op: ops.GetVertices, value_filters: tuple = ()
+) -> tuple:
+    """Cache key for a © operator: tuple layout depends only on this.
+
+    A pushed constant filter (value-level routing) narrows the node's
+    *relation*, so filtered and unfiltered requests must never collide —
+    the filters are part of the signature, and two views selecting the
+    same constant still share one filtered node."""
+    return (op.labels, op.projections, value_filters)
 
 
 def edge_signature(op: ops.GetEdges) -> tuple:
@@ -123,6 +130,9 @@ class SharedInputLayer:
     graph: PropertyGraph
     stats: SharingStats = field(default_factory=SharingStats)
     route_events: bool = True
+    #: emit batch translations as ColumnDelta (engine columnar flag);
+    #: cached input nodes are created with the matching wire format
+    columnar_deltas: bool = True
 
     def __post_init__(self) -> None:
         self._vertex_nodes: dict[tuple, VertexInputNode] = {}
@@ -134,12 +144,19 @@ class SharedInputLayer:
 
     # -- node acquisition ----------------------------------------------------
 
-    def vertex_node(self, op: ops.GetVertices) -> VertexInputNode:
+    def vertex_node(
+        self, op: ops.GetVertices, value_filters: tuple = ()
+    ) -> VertexInputNode:
         self.stats.vertex_requests += 1
-        key = vertex_signature(op)
+        key = vertex_signature(op, value_filters)
         node = self._vertex_nodes.get(key)
         if node is None:
-            node = VertexInputNode(op, self.graph)
+            node = VertexInputNode(
+                op,
+                self.graph,
+                value_filters=value_filters,
+                columnar=self.columnar_deltas,
+            )
             self._vertex_nodes[key] = node
             self.stats.vertex_nodes += 1
             if self.router is not None:
@@ -151,7 +168,7 @@ class SharedInputLayer:
         key = edge_signature(op)
         node = self._edge_nodes.get(key)
         if node is None:
-            node = EdgeInputNode(op, self.graph)
+            node = EdgeInputNode(op, self.graph, columnar=self.columnar_deltas)
             self._edge_nodes[key] = node
             self.stats.edge_nodes += 1
             if self.router is not None:
@@ -202,12 +219,12 @@ class SharedInputLayer:
             return
         if batch.vertex_events:
             for node in self._vertex_nodes.values():
-                node.emit(node.batch_delta(batch))
+                node.emit_batch(batch)
         if batch.edge_events or any(
             isinstance(event, ev.VertexChanged) for event in batch.vertex_events
         ):
             for edge_node in self._edge_nodes.values():
-                edge_node.emit(edge_node.batch_delta(batch))
+                edge_node.emit_batch(batch)
 
     # -- maintenance ---------------------------------------------------------------
 
