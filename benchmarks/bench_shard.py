@@ -1,0 +1,296 @@
+"""Sharded multi-process maintenance tier vs the in-process engine.
+
+The SNB-flavoured churn workload of ``bench_columnar`` replayed in
+``engine.batch()`` windows against a view mix deliberately spread over
+*distinct input signatures* — a parameter grid over Persons, constant
+language selections over Posts, KNOWS/LIKES joins and two aggregates —
+so the signature shard key scatters the maintenance work across workers.
+The sweep replays the identical stream under ``workers = 0/1/2/4/8``
+(``workers=0`` is the exact in-process PR 1–6 engine) and reports
+events/sec plus p99 per-window latency for each point.
+
+Every point is correctness-gated: all view multisets must match the
+``workers=0`` baseline *and* one-shot recomputation before its timing
+counts.  The standalone main writes a ``BENCH_shard.json`` trajectory
+point; the ≥2x-at-4-workers throughput assertion fires only on hosts
+that actually have ≥4 CPU cores — on fewer cores the fan-out cannot
+physically beat one process and the point is recorded with a
+``single_core`` marker instead of a vacuous claim.  ``--smoke`` runs a
+tiny differential-only configuration (no timing claims) for CI;
+``--workers N`` restricts the sweep to ``[0, N]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro import PropertyGraph, QueryEngine
+from repro.bench import Timer, format_table, speedup
+
+from bench_columnar import (
+    CONST_QUERIES,
+    COUNTRIES,
+    JOIN_QUERY,
+    LIKES_QUERY,
+    PARAM_QUERY,
+    build_graph,
+    churn_ops,
+)
+
+SMOKE_SIZES = {
+    "countries": 3,
+    "scores": 2,
+    "people": 24,
+    "posts": 16,
+    "windows": 8,
+    "window_ops": 6,
+}
+FULL_SIZES = {
+    "countries": 4,
+    "scores": 8,
+    "people": 200,
+    "posts": 120,
+    "windows": 60,
+    "window_ops": 20,
+}
+
+WORKER_COUNTS = (0, 1, 2, 4, 8)
+
+#: distinct-signature extras so the shard key has something to scatter
+AGG_COUNTRY = "MATCH (p:Person) RETURN p.country AS country, count(*) AS n"
+AGG_LANG = "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n"
+SAME_COUNTRY_JOIN = (
+    "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+    "WHERE a.country = b.country RETURN a, b"
+)
+EXTRA_QUERIES = (AGG_COUNTRY, AGG_LANG, SAME_COUNTRY_JOIN)
+
+
+def register_views(engine: QueryEngine, sizes: dict) -> dict[str, object]:
+    views: dict[str, object] = {}
+    for c in range(sizes["countries"]):
+        for s in range(sizes["scores"]):
+            views[f"param:{c}:{s}"] = engine.register(
+                PARAM_QUERY,
+                parameters={"country": COUNTRIES[c], "score": s},
+            )
+    for i, query in enumerate(CONST_QUERIES):
+        views[f"const:{i}"] = engine.register(query)
+    views["join"] = engine.register(JOIN_QUERY)
+    views["likes"] = engine.register(LIKES_QUERY)
+    for i, query in enumerate(EXTRA_QUERIES):
+        views[f"extra:{i}"] = engine.register(query)
+    return views
+
+
+def run_stream(sizes: dict, workers: int):
+    """Replay the churn windows under one worker count.
+
+    Returns (seconds, per-window latencies, view multisets, shard stats).
+    The engine is shut down before returning; timing covers only the
+    update loop.
+    """
+    graph, people, posts = build_graph(sizes)
+    engine = QueryEngine(graph, workers=workers)
+    try:
+        views = register_views(engine, sizes)
+        windows = churn_ops(sizes, people, posts)
+        latencies = []
+        with Timer() as total:
+            for ops in windows:
+                with Timer() as window:
+                    with engine.batch():
+                        for op in ops:
+                            op(graph)
+                latencies.append(window.seconds)
+        multisets = {name: view.multiset() for name, view in views.items()}
+        oracle = {
+            name: engine.evaluate(
+                query, parameters, use_views=False
+            ).multiset()
+            for name, query, parameters in _query_grid(sizes)
+        }
+        for name, expected in oracle.items():
+            assert multisets[name] == expected, (
+                f"workers={workers} diverged from recomputation on {name}"
+            )
+        return total.seconds, latencies, multisets, engine.shard_stats()
+    finally:
+        engine.shutdown()
+
+
+def _query_grid(sizes: dict):
+    for c in range(sizes["countries"]):
+        for s in range(sizes["scores"]):
+            yield (
+                f"param:{c}:{s}",
+                PARAM_QUERY,
+                {"country": COUNTRIES[c], "score": s},
+            )
+    for i, query in enumerate(CONST_QUERIES):
+        yield f"const:{i}", query, None
+    yield "join", JOIN_QUERY, None
+    yield "likes", LIKES_QUERY, None
+    for i, query in enumerate(EXTRA_QUERIES):
+        yield f"extra:{i}", query, None
+
+
+def p99(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)) + 1)]
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_sweep(sizes: dict, worker_counts):
+    """One timed, oracle-gated point per worker count; 0 is the baseline."""
+    results = []
+    baseline_multisets = None
+    for workers in worker_counts:
+        seconds, latencies, multisets, stats = run_stream(sizes, workers)
+        if baseline_multisets is None:
+            baseline_multisets = multisets
+        else:
+            for name, expected in baseline_multisets.items():
+                assert multisets[name] == expected, (
+                    f"workers={workers} diverged from workers=0 on {name}"
+                )
+        results.append(
+            {
+                "workers": workers,
+                "seconds": seconds,
+                "p99_window_ms": p99(latencies) * 1000.0,
+                "records_sliced_away": (
+                    stats["coordinator"]["records_sliced_away"]
+                    if stats
+                    else None
+                ),
+                "view_spread": (
+                    sorted(w["views"] for w in stats["workers"])
+                    if stats
+                    else None
+                ),
+            }
+        )
+    return results
+
+
+# -- pytest kernels ------------------------------------------------------------
+
+
+def test_sharded_matches_in_process_and_oracle():
+    run_sweep(SMOKE_SIZES, (0, 2))
+
+
+def test_sharded_stream(benchmark):
+    benchmark.pedantic(
+        lambda: run_stream(SMOKE_SIZES, 2), rounds=2, iterations=1
+    )
+
+
+def test_in_process_stream(benchmark):
+    benchmark.pedantic(
+        lambda: run_stream(SMOKE_SIZES, 0), rounds=2, iterations=1
+    )
+
+
+# -- standalone report ---------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    worker_counts = list(WORKER_COUNTS)
+    if "--workers" in argv:
+        worker_counts = [0, int(argv[argv.index("--workers") + 1])]
+    elif smoke:
+        worker_counts = [0, 2]
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    operations = sizes["windows"] * sizes["window_ops"]
+    view_count = (
+        sizes["countries"] * sizes["scores"]
+        + len(CONST_QUERIES)
+        + 2
+        + len(EXTRA_QUERIES)
+    )
+    cores = available_cores()
+    print(
+        f"shard churn: {operations} events in {sizes['windows']} batch "
+        f"windows, {view_count} views, sweep workers={worker_counts} "
+        f"({cores} cores available)"
+    )
+    results = run_sweep(sizes, worker_counts)
+    print("differential oracle: every worker count == workers=0 == "
+          "recomputation ✓")
+    baseline = results[0]["seconds"]
+    rows = []
+    for point in results:
+        label = (
+            "in-process (workers=0)"
+            if point["workers"] == 0
+            else f"sharded, {point['workers']} worker(s)"
+        )
+        rows.append(
+            [
+                label,
+                point["seconds"],
+                f"{operations / point['seconds']:.0f}",
+                f"{point['p99_window_ms']:.2f}",
+                speedup(baseline, point["seconds"]),
+            ]
+        )
+    print(
+        format_table(
+            ["maintenance tier", "total", "events/sec", "p99 window ms",
+             "vs in-process"],
+            rows,
+            title="sharded maintenance tier on SNB-style windowed churn",
+        )
+    )
+    if smoke:
+        print("\nsmoke mode: fan-out, slicing and merge exercised, timings "
+              "not asserted")
+        return
+    point = {
+        "experiment": "shard",
+        "events": operations,
+        "views": view_count,
+        "cores": cores,
+        "single_core": cores < 4,
+        "runs": [
+            {
+                **result,
+                "events_per_sec": operations / result["seconds"],
+                "speedup_vs_in_process": baseline / result["seconds"],
+            }
+            for result in results
+        ],
+    }
+    Path("BENCH_shard.json").write_text(json.dumps(point, indent=2) + "\n")
+    four = next((r for r in results if r["workers"] == 4), None)
+    if four is not None and cores >= 4:
+        ratio = baseline / four["seconds"]
+        print(f"\nwrote BENCH_shard.json (4-worker speedup {ratio:.1f}x)")
+        assert ratio >= 2.0, (
+            f"4 shard workers should sustain ≥2x the in-process events/sec "
+            f"on {cores} cores, got {ratio:.1f}x"
+        )
+        print("sharded ≥2x in-process at 4 workers ✓")
+    else:
+        print(
+            f"\nwrote BENCH_shard.json ({cores} core(s): the ≥2x-at-4-workers "
+            f"claim needs ≥4 cores, recording honest single-core numbers "
+            f"instead)"
+        )
+
+
+if __name__ == "__main__":
+    main()

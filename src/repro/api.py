@@ -35,6 +35,7 @@ from .eval.interpreter import Interpreter
 from .eval.results import ResultTable
 from .graph.graph import PropertyGraph
 from .rete.engine import IncrementalEngine, View
+from .rete.shard import ShardCoordinator
 from .updates import ExecutionResult, UpdateExecutor, UpdateSummary
 from .views import AnswerStats, ViewCatalog
 
@@ -51,6 +52,15 @@ class QueryEngine:
     the graph.  ``evaluate(..., use_views=False)`` forces the full
     recomputation baseline per call; ``answer_from_views=False`` disables
     the catalog engine-wide (the ablation configuration).
+
+    With ``workers=N`` (N ≥ 1) incremental maintenance runs on the sharded
+    multi-process tier (:class:`~repro.rete.shard.ShardCoordinator`): views
+    are partitioned across N forked worker processes by input-signature
+    shard key, net batches fan out over pipes, and per-view ``on_change``
+    streams merge back in registration order.  ``workers=0`` (the default)
+    is the exact in-process PR 1–6 engine.  Sharding disables the view
+    catalog (maintained state lives in the workers, not this process), so
+    one-shot ``evaluate`` always recomputes.
     """
 
     def __init__(
@@ -65,21 +75,40 @@ class QueryEngine:
         detached_cache_size: int = 4,
         share_across_bindings: bool = True,
         columnar_deltas: bool = True,
+        workers: int = 0,
     ):
         self.graph = graph
-        self._incremental = IncrementalEngine(
-            graph,
-            transitive_mode=transitive_mode,
-            share_inputs=share_inputs,
-            batch_transactions=batch_transactions,
-            route_events=route_events,
-            share_subplans=share_subplans,
-            detached_cache_size=detached_cache_size,
-            share_across_bindings=share_across_bindings,
-            columnar_deltas=columnar_deltas,
-        )
-        self.answer_from_views = answer_from_views
-        self._catalog = ViewCatalog(self._incremental)
+        self.workers = workers
+        if workers:
+            self._incremental: IncrementalEngine = ShardCoordinator(
+                graph,
+                workers=workers,
+                transitive_mode=transitive_mode,
+                share_inputs=share_inputs,
+                batch_transactions=batch_transactions,
+                route_events=route_events,
+                share_subplans=share_subplans,
+                detached_cache_size=detached_cache_size,
+                share_across_bindings=share_across_bindings,
+                columnar_deltas=columnar_deltas,
+            )
+            # view answering needs in-process networks; ShardViews have none
+            self.answer_from_views = False
+            self._catalog = None
+        else:
+            self._incremental = IncrementalEngine(
+                graph,
+                transitive_mode=transitive_mode,
+                share_inputs=share_inputs,
+                batch_transactions=batch_transactions,
+                route_events=route_events,
+                share_subplans=share_subplans,
+                detached_cache_size=detached_cache_size,
+                share_across_bindings=share_across_bindings,
+                columnar_deltas=columnar_deltas,
+            )
+            self.answer_from_views = answer_from_views
+            self._catalog = ViewCatalog(self._incremental)
         self._plan_cache: dict[str, CompiledQuery] = {}
 
     @property
@@ -128,7 +157,7 @@ class QueryEngine:
         compiled = self.compile(query)
         if use_views is None:
             use_views = self.answer_from_views
-        if use_views:
+        if use_views and self._catalog is not None:
             answered = self._catalog.try_answer(compiled, parameters)
             if answered is not None:
                 return answered
@@ -220,17 +249,38 @@ class QueryEngine:
         """The compilation pipeline's stages for *query*, plus how view
         answering would serve it against the current catalog."""
         compiled = self.compile(query)
-        match = self._catalog.describe_match(compiled, parameters)
+        if self._catalog is None:
+            match = "disabled (sharded tier: maintained state lives in workers)"
+        else:
+            match = self._catalog.describe_match(compiled, parameters)
         return compiled.explain() + f"\n\n== View answering ==\n{match}"
 
     @property
-    def catalog(self) -> ViewCatalog:
-        """The view-answering catalog (matching stats, entry counts)."""
+    def catalog(self) -> ViewCatalog | None:
+        """The view-answering catalog (``None`` under ``workers=N``)."""
         return self._catalog
 
     def answer_stats(self) -> AnswerStats:
         """Counters of how evaluate() calls were served."""
+        if self._catalog is None:
+            return AnswerStats()
         return self._catalog.stats
+
+    def shard_stats(self) -> dict | None:
+        """Per-worker and aggregate maintenance counters under ``workers=N``.
+
+        ``None`` for the in-process engine — its single-process counters
+        are already served by :meth:`memory_size`/:meth:`memory_cells` and
+        the per-view ``profile()``.
+        """
+        if isinstance(self._incremental, ShardCoordinator):
+            return self._incremental.shard_stats()
+        return None
+
+    def shutdown(self) -> None:
+        """Stop shard workers, if any.  A no-op for the in-process engine."""
+        if isinstance(self._incremental, ShardCoordinator):
+            self._incremental.shutdown()
 
     @property
     def views(self) -> tuple[View, ...]:

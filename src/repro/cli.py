@@ -37,6 +37,7 @@ what changed.  Meta commands:
   :register <query>     register an incremental view
   :detach <n>           drop view number n
   :catalog              view-answering catalog: entries and hit counters
+  :shards               per-worker maintenance stats (--workers mode only)
   :explain <query>      show the compilation stages and view-answering plan
   :profile <n>          per-node counters of view n
   :index <Label> <key>  create a property index
@@ -122,16 +123,41 @@ class Shell:
                 self._print(f"detached view [{index}]")
         elif command == ":catalog":
             catalog = self.engine.catalog
-            self._print(
-                f"{catalog.root_count} view root(s), "
-                f"{catalog.subplan_count} shared subplan(s) servable"
-            )
-            stats = catalog.stats
-            self._print(
-                f"answered {stats.answered}/{stats.queries} one-shot queries "
-                f"from views ({stats.exact} exact, {stats.residual} residual, "
-                f"{stats.fallbacks} full evaluations)"
-            )
+            if catalog is None:
+                self._print(
+                    "view answering is disabled under --workers "
+                    "(maintained state lives in the shard workers)"
+                )
+            else:
+                self._print(
+                    f"{catalog.root_count} view root(s), "
+                    f"{catalog.subplan_count} shared subplan(s) servable"
+                )
+                stats = catalog.stats
+                self._print(
+                    f"answered {stats.answered}/{stats.queries} one-shot "
+                    f"queries from views ({stats.exact} exact, "
+                    f"{stats.residual} residual, "
+                    f"{stats.fallbacks} full evaluations)"
+                )
+        elif command == ":shards":
+            stats = self.engine.shard_stats()
+            if stats is None:
+                self._print("not sharded (start with --workers N)")
+            else:
+                fanned = stats["coordinator"]
+                self._print(
+                    f"{len(stats['workers'])} workers, {stats['views']} views, "
+                    f"{fanned['batches_fanned_out']} batches fanned out "
+                    f"({fanned['records_sliced_away']} records sliced away)"
+                )
+                for worker in stats["workers"]:
+                    self._print(
+                        f"  worker {worker['worker']}: {worker['views']} views, "
+                        f"{worker['memory_cells']} memory cells, "
+                        f"{worker['dispatched_batches']}/{worker['batches']} "
+                        f"batches dispatched"
+                    )
         elif command == ":explain":
             self._print(self.engine.explain(argument))
         elif command == ":profile":
@@ -218,8 +244,21 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
         help="propagate each write statement to incremental views as one "
         "consolidated delta at commit (instead of per elementary change)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="maintain views on N forked shard worker processes "
+        "(0 = in-process; incompatible with --db)",
+    )
     args = parser.parse_args(argv)
     out = stdout if stdout is not None else sys.stdout
+
+    if args.workers and args.db:
+        # shard workers fork the store; a forked WAL handle would interleave
+        # writes from every process and corrupt the log
+        parser.error("--workers requires an in-memory store (omit --db)")
 
     durable = None
     if args.db:
@@ -227,7 +266,11 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
         graph = durable.graph
     else:
         graph = PropertyGraph()
-    engine = QueryEngine(graph, batch_transactions=args.batch_transactions)
+    engine = QueryEngine(
+        graph,
+        batch_transactions=args.batch_transactions,
+        workers=args.workers,
+    )
     shell = Shell(engine, out, durable=durable)
 
     try:
@@ -241,6 +284,7 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
                 out.write("repro shell — :help for commands, :quit to leave\n")
             shell.run(source, interactive=interactive)
     finally:
+        engine.shutdown()
         if durable is not None:
             durable.close()
     return 1 if shell.failed else 0

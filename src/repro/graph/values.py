@@ -63,6 +63,13 @@ class MapValue:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("MapValue is immutable")
 
+    def __reduce__(self):
+        # The default slot-state protocol restores attributes through
+        # __setattr__, which immutability forbids; rebuild through the
+        # constructor instead (items are already frozen, so this is cheap).
+        # Needed because deltas cross process boundaries in the sharded tier.
+        return (MapValue, (self._items,))
+
     def __getitem__(self, key: str) -> Any:
         for k, v in self._items:
             if k == key:
@@ -137,6 +144,11 @@ class PathValue:
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("PathValue is immutable")
+
+    def __reduce__(self):
+        # See MapValue.__reduce__: slot-state restoration trips the
+        # immutability guard, so unpickling goes through the constructor.
+        return (PathValue, (self.vertices, self.edges))
 
     @property
     def start(self) -> int:

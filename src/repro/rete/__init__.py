@@ -4,7 +4,8 @@ from .batch import BatchAccumulator, CoalescedBatch
 from .deltas import Delta
 from .engine import BatchScope, IncrementalEngine, View
 from .network import ReteNetwork
-from .router import EdgeInterest, EventRouter, VertexInterest
+from .router import EdgeInterest, EventRouter, InterestSummary, VertexInterest
+from .shard import ShardCoordinator, ShardView
 
 __all__ = [
     "BatchAccumulator",
@@ -14,6 +15,9 @@ __all__ = [
     "EdgeInterest",
     "EventRouter",
     "IncrementalEngine",
+    "InterestSummary",
+    "ShardCoordinator",
+    "ShardView",
     "VertexInterest",
     "View",
     "ReteNetwork",

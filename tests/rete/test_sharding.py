@@ -1,0 +1,468 @@
+"""Sharded maintenance tier: differential oracle against the in-process engine.
+
+``workers=N`` moves every view onto forked worker processes — replicated
+graphs, interest-sliced batch fan-out, merged ``on_change`` streams.  All
+of that must be *invisible*: the mirror classes here drive identical
+random streams through a sharded engine (≥3 workers) and its ``workers=0``
+in-process baseline (the exact PR 1–6 path) and require identical per-view
+contents and net change deltas throughout — across every flag combo of
+``columnar_deltas`` × ``share_across_bindings``, batched windows, rollback
+transactions, and mid-stream register/detach with live view migration.
+Mechanics classes pin the tier itself: shard-key placement, conservative
+batch splitting, the ``state_delta`` hand-off parity check, aggregated
+``shard_stats``, and the coordinator lifecycle.
+"""
+
+import random
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.errors import GraphError, ShardError
+from repro.rete.deltas import Delta
+from repro.rete.engine import IncrementalEngine
+from repro.rete.shard import ShardCoordinator, ShardView, shard_index
+
+from .test_columnar import LANGS, PARAM_QUERIES, QUERIES, _columnar_op, oracle
+from .test_sharing import _Abort
+
+WORKERS = 3
+
+#: every combination the satellite demands: the columnar representation and
+#: the binding tier must both compose with process sharding
+FLAG_COMBOS = [
+    {"columnar_deltas": True, "share_across_bindings": True},
+    {"columnar_deltas": True, "share_across_bindings": False},
+    {"columnar_deltas": False, "share_across_bindings": True},
+    {"columnar_deltas": False, "share_across_bindings": False},
+]
+_COMBO_IDS = [
+    ",".join(f"{k.split('_')[0]}={int(v)}" for k, v in combo.items())
+    for combo in FLAG_COMBOS
+]
+
+
+def _merged(deltas) -> Delta:
+    total = Delta()
+    for delta in deltas:
+        total.update(delta)
+    return total
+
+
+class ShardMirrorPair:
+    """A sharded engine and its in-process baseline, fed identically.
+
+    Change logs are compared as *net deltas per step*: the sharded tier
+    coalesces each elementary event into a (one-record) batch, so a single
+    event touching two input signatures of one view fires once with the
+    merged delta where the per-event baseline may fire twice — identical
+    net effect, different granularity.
+    """
+
+    def __init__(self, workers: int = WORKERS, **flags):
+        self.graphs = (PropertyGraph(), PropertyGraph())
+        self.engines = (
+            QueryEngine(self.graphs[0], workers=workers, **flags),
+            QueryEngine(self.graphs[1], **flags),
+        )
+        self.registered: list[tuple[str, dict | None]] = []
+        self.views: list[tuple] = []
+        self.logs: list[tuple] = []
+
+    @property
+    def coordinator(self) -> ShardCoordinator:
+        return self.engines[0]._incremental
+
+    def close(self) -> None:
+        self.engines[0].shutdown()
+
+    def register(self, query: str, parameters=None) -> None:
+        pair, logs = [], []
+        for engine in self.engines:
+            view = engine.register(query, parameters=parameters)
+            log: list = []
+            view.on_change(log.append)
+            pair.append(view)
+            logs.append(log)
+        self.registered.append((query, parameters))
+        self.views.append(tuple(pair))
+        self.logs.append(tuple(logs))
+
+    def register_all(self) -> None:
+        for query in QUERIES:
+            self.register(query)
+        for query, names in PARAM_QUERIES:
+            for lang in LANGS[:3]:
+                binding = {"lang": lang}
+                if "score" in names:
+                    binding["score"] = 1
+                self.register(query, binding)
+
+    def detach(self, index: int) -> None:
+        for view in self.views.pop(index):
+            view.detach()
+        self.registered.pop(index)
+        self.logs.pop(index)
+
+    def apply(self, op) -> None:
+        for graph in self.graphs:
+            op(graph)
+
+    def apply_window(self, ops) -> None:
+        for engine, graph in zip(self.engines, self.graphs):
+            with engine.batch():
+                for op in ops:
+                    op(graph)
+
+    def assert_consistent(self, use_oracle: bool = False) -> None:
+        for (query, parameters), (sharded, baseline) in zip(
+            self.registered, self.views
+        ):
+            assert sharded.multiset() == baseline.multiset(), (query, parameters)
+            if use_oracle:
+                assert sharded.multiset() == oracle(
+                    self.graphs[0], query, parameters
+                ), (query, parameters)
+        for (query, parameters), (sharded_log, baseline_log) in zip(
+            self.registered, self.logs
+        ):
+            assert _merged(sharded_log) == _merged(baseline_log), (
+                query,
+                parameters,
+            )
+            sharded_log.clear()
+            baseline_log.clear()
+
+
+def _drive(pair, rng, operations=40, rollback_chance=0.08, oracle_every=10):
+    for step in range(operations):
+        vertices = list(pair.graphs[0].vertices())
+        edges = list(pair.graphs[0].edges())
+        if rng.random() < rollback_chance:
+            ops = [
+                _columnar_op(rng, vertices, edges)
+                for _ in range(rng.randint(1, 4))
+            ]
+
+            def aborted(graph, ops=ops):
+                try:
+                    with graph.transaction():
+                        for op in ops:
+                            op(graph)
+                        raise _Abort()
+                except (_Abort, GraphError):
+                    pass
+
+            pair.apply(aborted)
+        else:
+            pair.apply(_columnar_op(rng, vertices, edges))
+        pair.assert_consistent(use_oracle=step % oracle_every == 0)
+    pair.assert_consistent(use_oracle=True)
+
+
+class TestShardedDifferential:
+    @pytest.mark.parametrize("flags", FLAG_COMBOS, ids=_COMBO_IDS)
+    def test_random_stream_matches_in_process(self, flags):
+        """Per-event mode across every columnar × binding-sharing combo."""
+        pair = ShardMirrorPair(**flags)
+        try:
+            pair.register_all()
+            _drive(pair, random.Random(500), operations=30)
+        finally:
+            pair.close()
+
+    @pytest.mark.parametrize("flags", FLAG_COMBOS, ids=_COMBO_IDS)
+    def test_batched_windows_match_in_process(self, flags):
+        """engine.batch() windows fan out as one net batch per window."""
+        rng = random.Random(600)
+        pair = ShardMirrorPair(**flags)
+        try:
+            pair.register_all()
+            for _ in range(10):
+                vertices = list(pair.graphs[0].vertices())
+                edges = list(pair.graphs[0].edges())
+                pair.apply_window(
+                    [
+                        _columnar_op(rng, vertices, edges)
+                        for _ in range(rng.randint(1, 5))
+                    ]
+                )
+                pair.assert_consistent(use_oracle=True)
+        finally:
+            pair.close()
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_rollback_transactions_leave_views_silent(self, seed):
+        """batch_transactions: rollbacks net to zero before the fan-out."""
+        rng = random.Random(700 + seed)
+        pair = ShardMirrorPair(batch_transactions=True)
+        try:
+            pair.register_all()
+            for _ in range(15):
+                vertices = list(pair.graphs[0].vertices())
+                edges = list(pair.graphs[0].edges())
+                ops = [
+                    _columnar_op(rng, vertices, edges)
+                    for _ in range(rng.randint(1, 5))
+                ]
+                abort = rng.random() < 0.4
+
+                def run(graph, ops=ops, abort=abort):
+                    try:
+                        with graph.transaction():
+                            for op in ops:
+                                op(graph)
+                            if abort:
+                                raise _Abort()
+                    except (_Abort, GraphError):
+                        pass
+
+                before = [pair.views[i][0].multiset() for i in range(len(pair.views))]
+                pair.apply(run)
+                if abort:
+                    # views untouched and callbacks silent on both engines
+                    for i, view_pair in enumerate(pair.views):
+                        assert view_pair[0].multiset() == before[i]
+                    for sharded_log, baseline_log in pair.logs:
+                        assert sharded_log == [] and baseline_log == []
+                pair.assert_consistent(use_oracle=True)
+        finally:
+            pair.close()
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_mid_stream_register_detach_and_migration(self, seed):
+        """Live lifecycle churn: late joiners, detaches, and migrations."""
+        rng = random.Random(800 + seed)
+        pair = ShardMirrorPair()
+        try:
+            pair.register(QUERIES[2])
+            pool = [(query, None) for query in QUERIES] + [
+                (query, {"lang": lang, **({"score": 1} if "score" in names else {})})
+                for query, names in PARAM_QUERIES
+                for lang in LANGS[:3]
+            ]
+            for step in range(40):
+                vertices = list(pair.graphs[0].vertices())
+                edges = list(pair.graphs[0].edges())
+                roll = rng.random()
+                if roll < 0.15:
+                    query, parameters = pool[rng.randrange(len(pool))]
+                    pair.register(query, parameters)
+                elif roll < 0.25 and len(pair.views) > 1:
+                    pair.detach(rng.randrange(len(pair.views)))
+                elif roll < 0.35 and pair.views:
+                    # live migration: the sharded view moves workers, the
+                    # baseline twin stays put — results must stay identical
+                    view = pair.views[rng.randrange(len(pair.views))][0]
+                    target = rng.randrange(pair.coordinator.worker_count)
+                    pair.coordinator.migrate_view(view, target)
+                else:
+                    pair.apply(_columnar_op(rng, vertices, edges))
+                pair.assert_consistent(use_oracle=step % 10 == 0)
+            pair.coordinator.rebalance()
+            counts = [0] * pair.coordinator.worker_count
+            for view_pair in pair.views:
+                counts[view_pair[0].worker_index] += 1
+            assert max(counts) - min(counts) <= 1
+            pair.assert_consistent(use_oracle=True)
+        finally:
+            pair.close()
+
+    def test_register_inside_open_batch_window(self):
+        """A view joining mid-batch flushes the window to the shards first."""
+        pair = ShardMirrorPair()
+        try:
+            pair.register(QUERIES[0])
+            for engine, graph in zip(pair.engines, pair.graphs):
+                with engine.batch():
+                    graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+                    view = engine.register(QUERIES[1])
+                    assert view.multiset() == {(1,): 1}
+                    graph.set_vertex_property(1, "lang", "de")
+            pair.register(QUERIES[1])  # adopt post-hoc for final comparison
+            pair.assert_consistent(use_oracle=True)
+        finally:
+            pair.close()
+
+    def test_callbacks_fire_in_registration_order(self):
+        """The merge point preserves per-view notification order."""
+        pair = ShardMirrorPair(batch_transactions=False)
+        try:
+            orders: tuple[list, list] = ([], [])
+            for query in QUERIES[:4]:
+                for which, engine in enumerate(pair.engines):
+                    view = engine.register(query)
+                    view.on_change(
+                        lambda delta, q=query, w=which: orders[w].append(q)
+                    )
+            ops = []
+            with pair.engines[0].batch(), pair.engines[1].batch():
+                for graph in pair.graphs:
+                    post = graph.add_vertex(
+                        labels=["Post"], properties={"lang": "en"}
+                    )
+                    comm = graph.add_vertex(
+                        labels=["Comm"], properties={"lang": "en"}
+                    )
+                    graph.add_edge(post, comm, "REPLY")
+            assert orders[0] == orders[1]
+            assert orders[0] == [q for q in QUERIES[:4]]
+        finally:
+            pair.close()
+
+
+class TestShardMechanics:
+    def test_workers_zero_is_the_plain_engine(self):
+        """The ablation path: no coordinator, no behaviour change."""
+        engine = QueryEngine(PropertyGraph())
+        assert type(engine._incremental) is IncrementalEngine
+        assert engine.catalog is not None
+        assert engine.shard_stats() is None
+        engine.shutdown()  # no-op without workers
+
+    def test_sharded_engine_disables_view_answering(self):
+        engine = QueryEngine(PropertyGraph(), workers=2)
+        try:
+            assert isinstance(engine._incremental, ShardCoordinator)
+            assert engine.catalog is None
+            assert not engine.answer_from_views
+            assert engine.answer_stats().queries == 0
+            assert "disabled" in engine.explain("MATCH (p:Post) RETURN p")
+        finally:
+            engine.shutdown()
+
+    def test_same_signature_views_colocate(self):
+        """The shard key is signature-determined: same inputs, same worker."""
+        engine = QueryEngine(PropertyGraph(), workers=WORKERS)
+        try:
+            first = engine.register("MATCH (p:Post) WHERE p.lang = 'en' RETURN p")
+            second = engine.register("MATCH (p:Post) WHERE p.lang = 'de' RETURN p")
+            bound = engine.register(
+                "MATCH (p:Post) WHERE p.lang = $lang RETURN p", {"lang": "en"}
+            )
+            other = engine.register(
+                "MATCH (p:Post) WHERE p.lang = $lang RETURN p", {"lang": "de"}
+            )
+            assert first.worker_index == second.worker_index
+            assert bound.worker_index == other.worker_index
+            for view in (first, second, bound, other):
+                assert view.worker_index == shard_index(
+                    view.compiled.plan, WORKERS
+                )
+        finally:
+            engine.shutdown()
+
+    def test_distinct_signatures_spread_across_workers(self):
+        engine = QueryEngine(PropertyGraph(), workers=WORKERS)
+        try:
+            for i in range(12):
+                engine.register(f"MATCH (n:L{i}) RETURN n")
+            occupied = {view.worker_index for view in engine.views}
+            assert len(occupied) == WORKERS
+        finally:
+            engine.shutdown()
+
+    def test_batch_splitting_slices_irrelevant_records(self):
+        """Churn outside every view's interest never reaches worker Rete."""
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, workers=2)
+        try:
+            view = engine.register("MATCH (p:Post) RETURN p")
+            with engine.batch():
+                post = graph.add_vertex(labels=["Post"])
+                for _ in range(5):
+                    graph.add_vertex(labels=["Unwatched"])
+            stats = engine.shard_stats()
+            assert stats["coordinator"]["records_sliced_away"] > 0
+            assert view.multiset() == {(post,): 1}
+            # the replica still applied everything it sliced away
+            late = engine.register("MATCH (u:Unwatched) RETURN u")
+            assert sum(late.multiset().values()) == 5
+        finally:
+            engine.shutdown()
+
+    def test_migration_guards(self):
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, workers=2)
+        coordinator = engine._incremental
+        try:
+            view = engine.register("MATCH (p:Post) RETURN p")
+            assert coordinator.migrate_view(view, view.worker_index) is view
+            with pytest.raises(ShardError):
+                coordinator.migrate_view(view, 99)
+            with engine.batch():
+                graph.add_vertex(labels=["Post"])
+                with pytest.raises(ShardError):
+                    coordinator.migrate_view(view, 1 - view.worker_index)
+            detached = engine.register("MATCH (c:Comm) RETURN c")
+            detached.detach()
+            with pytest.raises(ShardError):
+                coordinator.migrate_view(detached, 0)
+        finally:
+            engine.shutdown()
+
+    def test_shard_stats_aggregate_per_worker_memory(self):
+        """profile() stays truthful under workers=N: the aggregate equals
+        the sum of the per-worker process-local counters."""
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, workers=WORKERS)
+        try:
+            for i, query in enumerate(QUERIES[:4]):
+                engine.register(query)
+            graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+            stats = engine.shard_stats()
+            assert len(stats["workers"]) == WORKERS
+            assert stats["views"] == 4
+            assert stats["totals"]["views"] == 4
+            per_worker_cells = sum(w["memory_cells"] for w in stats["workers"])
+            assert stats["totals"]["memory_cells"] == per_worker_cells
+            assert engine.memory_cells() == per_worker_cells
+            assert stats["totals"]["sharing"]["vertex_requests"] >= 1
+            view = engine.views[0]
+            assert view.memory_cells() >= 1
+            assert "Production" in view.profile()
+        finally:
+            engine.shutdown()
+
+    def test_shutdown_is_idempotent_and_final(self):
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, workers=2)
+        engine.register("MATCH (p:Post) RETURN p")
+        engine.shutdown()
+        engine.shutdown()
+        # the coordinator unhooked from the graph: mutations no longer fan out
+        graph.add_vertex(labels=["Post"])
+        with pytest.raises(ShardError):
+            engine.register("MATCH (c:Comm) RETURN c")
+
+    def test_worker_failure_surfaces_as_shard_error(self):
+        engine = QueryEngine(PropertyGraph(), workers=2)
+        try:
+            view = engine.register("MATCH (p:Post) RETURN p")
+            handle = engine._incremental._workers[view.worker_index]
+            with pytest.raises(ShardError, match="failed"):
+                handle.request(("no-such-message",))
+        finally:
+            engine.shutdown()
+
+    def test_coordinator_rejects_zero_workers(self):
+        with pytest.raises(ShardError):
+            ShardCoordinator(PropertyGraph(), workers=0)
+
+    def test_shard_view_surface(self):
+        """ShardView mirrors the View API the rest of the stack expects."""
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, workers=2)
+        try:
+            post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+            view = engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+            assert isinstance(view, ShardView)
+            assert view.columns == ("lang",)
+            assert view.rows() == [("en",)]
+            assert view.result_table().rows() == [("en",)]
+            assert view.multiset() == {("en",): 1}
+            assert view.memory_size() >= 1
+            graph.set_vertex_property(post, "lang", "de")
+            assert view.rows() == [("de",)]
+        finally:
+            engine.shutdown()
