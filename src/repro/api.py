@@ -24,6 +24,7 @@ Example
 from __future__ import annotations
 
 from contextlib import nullcontext
+from dataclasses import asdict
 from typing import Any, Mapping
 
 from .compiler.pipeline import CompiledQuery, compile_query
@@ -36,6 +37,7 @@ from .eval.results import ResultTable
 from .graph.graph import PropertyGraph
 from .rete.engine import IncrementalEngine, View
 from .rete.shard import ShardCoordinator
+from .rete.sharing import SharedSubplanLayer
 from .updates import ExecutionResult, UpdateExecutor, UpdateSummary
 from .views import AnswerStats, ViewCatalog
 
@@ -76,6 +78,8 @@ class QueryEngine:
         share_across_bindings: bool = True,
         columnar_deltas: bool = True,
         workers: int = 0,
+        collect_metrics: bool = False,
+        trace_batches: bool = False,
     ):
         self.graph = graph
         self.workers = workers
@@ -91,6 +95,8 @@ class QueryEngine:
                 detached_cache_size=detached_cache_size,
                 share_across_bindings=share_across_bindings,
                 columnar_deltas=columnar_deltas,
+                collect_metrics=collect_metrics,
+                trace_batches=trace_batches,
             )
             # view answering needs in-process networks; ShardViews have none
             self.answer_from_views = False
@@ -106,9 +112,15 @@ class QueryEngine:
                 detached_cache_size=detached_cache_size,
                 share_across_bindings=share_across_bindings,
                 columnar_deltas=columnar_deltas,
+                collect_metrics=collect_metrics,
+                trace_batches=trace_batches,
             )
             self.answer_from_views = answer_from_views
             self._catalog = ViewCatalog(self._incremental)
+        if self._catalog is not None and self._incremental.metrics is not None:
+            self._incremental.metrics.registry.add_collector(
+                self._collect_catalog_gauges
+            )
         self._plan_cache: dict[str, CompiledQuery] = {}
 
     @property
@@ -253,7 +265,32 @@ class QueryEngine:
             match = "disabled (sharded tier: maintained state lives in workers)"
         else:
             match = self._catalog.describe_match(compiled, parameters)
-        return compiled.explain() + f"\n\n== View answering ==\n{match}"
+        text = compiled.explain() + f"\n\n== View answering ==\n{match}"
+        snapshot = self.metrics_snapshot()
+        if snapshot is not None:
+            lines = ["", "== Live stats =="]
+            for name in (
+                "repro_batches_total",
+                "repro_events_total",
+                "repro_views_live",
+                "repro_nodes_live",
+                "repro_memory_entries",
+                "repro_catalog_answered",
+                "repro_catalog_fallbacks",
+                "repro_shard_batches_fanned_out",
+            ):
+                data = snapshot.get(name)
+                if data is not None:
+                    lines.append(f"{name} = {data['value']}")
+            latency = snapshot.get("repro_batch_seconds")
+            if latency is not None and latency["count"]:
+                mean_ms = latency["sum"] / latency["count"] * 1000
+                lines.append(
+                    f"repro_batch_seconds: count={latency['count']} "
+                    f"mean={mean_ms:.3f}ms"
+                )
+            text += "\n" + "\n".join(lines)
+        return text
 
     @property
     def catalog(self) -> ViewCatalog | None:
@@ -266,16 +303,91 @@ class QueryEngine:
             return AnswerStats()
         return self._catalog.stats
 
-    def shard_stats(self) -> dict | None:
-        """Per-worker and aggregate maintenance counters under ``workers=N``.
+    def shard_stats(self) -> dict:
+        """Per-worker and aggregate maintenance counters.
 
-        ``None`` for the in-process engine — its single-process counters
-        are already served by :meth:`memory_size`/:meth:`memory_cells` and
-        the per-view ``profile()``.
+        Under ``workers=N`` the real cluster picture: one section per
+        worker plus aggregates.  The in-process engine answers the same
+        shape with zero workers — empty ``workers``/zeroed coordinator
+        counters and its own totals — so callers (the CLI's ``:shards``,
+        dashboards) need no special case.
         """
         if isinstance(self._incremental, ShardCoordinator):
             return self._incremental.shard_stats()
-        return None
+        engine = self._incremental
+        layer = engine.input_layer
+        totals: dict[str, Any] = {
+            "views": len(engine.views),
+            "memory_size": engine.memory_size(),
+            "memory_cells": engine.memory_cells(),
+            "node_count": layer.node_count if layer is not None else 0,
+            "sharing": asdict(layer.stats) if layer is not None else {},
+        }
+        if isinstance(layer, SharedSubplanLayer):
+            totals["subplan_count"] = layer.subplan_count
+            totals["binding_node_count"] = layer.binding_node_count
+            totals["binding_partition_count"] = layer.binding_partition_count
+            totals["detached_count"] = layer.detached_count
+        return {
+            "workers": [],
+            "totals": totals,
+            "views": len(engine.views),
+            "coordinator": {
+                "batches_fanned_out": 0,
+                "records_fanned_out": 0,
+                "records_sliced_away": 0,
+            },
+        }
+
+    # -- observability --------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict | None:
+        """JSON-ready metrics snapshot (``None`` with ``collect_metrics``
+        off).  Under ``workers=N`` this merges the coordinator's pipeline
+        metrics with every worker's node/router/sharing samples."""
+        return self._incremental.metrics_snapshot()
+
+    def view_costs(self) -> dict:
+        """Maintenance cost attributed per view (see
+        :meth:`~repro.rete.engine.IncrementalEngine.view_costs`)."""
+        return self._incremental.view_costs()
+
+    @property
+    def tracing(self) -> bool:
+        """Whether per-batch trace recording is currently on."""
+        return self._incremental.trace_batches
+
+    def set_tracing(self, enabled: bool) -> None:
+        """Toggle per-batch trace recording at runtime.
+
+        Recording costs one span per emit/apply hop while on; the latest
+        finished tree is kept at :attr:`last_trace`.
+        """
+        self._incremental.trace_batches = bool(enabled)
+
+    @property
+    def last_trace(self):
+        """Span tree of the most recently traced propagation, or ``None``."""
+        return self._incremental.last_trace
+
+    def _collect_catalog_gauges(self) -> None:
+        """Sample view-catalog counters into gauges at snapshot time."""
+        gauge = self._incremental.metrics.registry.gauge
+        help_by_name = {
+            "queries": "View-catalog probes (try_answer calls)",
+            "answered": "One-shot queries served from maintained state",
+            "exact": "Catalog answers covering the whole plan",
+            "residual": "Catalog answers with residual operators on top",
+            "root_hits": "Catalog sources read from view result tables",
+            "subplan_hits": "Catalog sources read from shared subplan memories",
+            "fallbacks": "Catalog declines (no cover / params / stale)",
+            "stale_declines": "Declines forced by an open batch window",
+        }
+        for name, value in self._catalog.stats.as_dict().items():
+            gauge(
+                f"repro_catalog_{name}",
+                help_by_name.get(name, "View-catalog counter"),
+            ).set(value)
 
     def shutdown(self) -> None:
         """Stop shard workers, if any.  A no-op for the in-process engine."""

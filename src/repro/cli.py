@@ -24,6 +24,7 @@ from .compiler.stats import GraphStatistics
 from .errors import ReproError
 from .graph.graph import PropertyGraph
 from .graph.persistence import DurableGraph
+from .obs.export import render_json, render_prometheus
 
 PROMPT = "repro> "
 CONTINUATION = "  ...> "
@@ -37,7 +38,10 @@ what changed.  Meta commands:
   :register <query>     register an incremental view
   :detach <n>           drop view number n
   :catalog              view-answering catalog: entries and hit counters
-  :shards               per-worker maintenance stats (--workers mode only)
+  :shards               per-worker maintenance stats (zeroed when in-process)
+  :metrics [json]       metrics snapshot, Prometheus text (or JSON); --metrics mode
+  :trace [on|off]       toggle per-batch tracing; bare :trace prints the last tree
+  :costs                maintenance cost attributed per view (row-work units)
   :explain <query>      show the compilation stages and view-answering plan
   :profile <n>          per-node counters of view n
   :index <Label> <key>  create a property index
@@ -142,22 +146,72 @@ class Shell:
                 )
         elif command == ":shards":
             stats = self.engine.shard_stats()
-            if stats is None:
-                self._print("not sharded (start with --workers N)")
-            else:
-                fanned = stats["coordinator"]
+            fanned = stats["coordinator"]
+            self._print(
+                f"{len(stats['workers'])} workers, {stats['views']} views, "
+                f"{fanned['batches_fanned_out']} batches fanned out "
+                f"({fanned['records_sliced_away']} records sliced away)"
+            )
+            if not stats["workers"]:
+                totals = stats["totals"]
                 self._print(
-                    f"{len(stats['workers'])} workers, {stats['views']} views, "
-                    f"{fanned['batches_fanned_out']} batches fanned out "
-                    f"({fanned['records_sliced_away']} records sliced away)"
+                    f"  in-process engine: {totals['memory_size']} memory "
+                    f"entries, {totals['memory_cells']} cells, "
+                    f"{totals['node_count']} shared nodes"
                 )
-                for worker in stats["workers"]:
-                    self._print(
-                        f"  worker {worker['worker']}: {worker['views']} views, "
-                        f"{worker['memory_cells']} memory cells, "
-                        f"{worker['dispatched_batches']}/{worker['batches']} "
-                        f"batches dispatched"
+            for worker in stats["workers"]:
+                self._print(
+                    f"  worker {worker['worker']}: {worker['views']} views, "
+                    f"{worker['memory_cells']} memory cells, "
+                    f"{worker['dispatched_batches']}/{worker['batches']} "
+                    f"batches dispatched"
+                )
+        elif command == ":metrics":
+            snapshot = self.engine.metrics_snapshot()
+            if snapshot is None:
+                self._print("metrics collection is off (start with --metrics)")
+            elif argument == "json":
+                self._print(render_json(snapshot).rstrip("\n"))
+            elif argument:
+                self._print("usage: :metrics [json]")
+            else:
+                self._print(render_prometheus(snapshot).rstrip("\n"))
+        elif command == ":trace":
+            if argument == "on":
+                self.engine.set_tracing(True)
+                self._print("batch tracing on")
+            elif argument == "off":
+                self.engine.set_tracing(False)
+                self._print("batch tracing off")
+            elif argument:
+                self._print("usage: :trace [on|off]")
+            elif self.engine.last_trace is None:
+                state = "on" if self.engine.tracing else "off"
+                self._print(f"tracing is {state}; no trace recorded yet")
+            else:
+                self._print(self.engine.last_trace.render())
+        elif command == ":costs":
+            costs = self.engine.view_costs()
+            if not costs["views"]:
+                self._print("no views registered")
+            else:
+                self._print(f"maintenance cost per view ({costs['unit']})")
+                total = costs["total"] or 1.0
+                for entry in costs["views"]:
+                    where = (
+                        f" on worker {entry['worker']}"
+                        if "worker" in entry
+                        else ""
                     )
+                    self._print(
+                        f"  [{entry['view']}] {entry['cost']:.1f} "
+                        f"({entry['cost'] / total * 100:.1f}%){where}  "
+                        f"{entry['query'].strip()}"
+                    )
+                self._print(
+                    f"  unattributed {costs['unattributed']:.1f}, "
+                    f"total {costs['total']:.1f}"
+                )
         elif command == ":explain":
             self._print(self.engine.explain(argument))
         elif command == ":profile":
@@ -252,6 +306,17 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
         help="maintain views on N forked shard worker processes "
         "(0 = in-process; incompatible with --db)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect engine metrics (inspect with :metrics; small "
+        "per-batch timing overhead)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="start with per-batch trace recording on (also :trace on|off)",
+    )
     args = parser.parse_args(argv)
     out = stdout if stdout is not None else sys.stdout
 
@@ -270,6 +335,8 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
         graph,
         batch_transactions=args.batch_transactions,
         workers=args.workers,
+        collect_metrics=args.metrics,
+        trace_batches=args.trace,
     )
     shell = Shell(engine, out, durable=durable)
 

@@ -1,0 +1,43 @@
+"""Render a metrics snapshot as Prometheus text or JSON.
+
+Input is the JSON-ready dict :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+returns (or several of them merged via
+:func:`~repro.obs.metrics.merge_snapshots`).  The Prometheus rendering
+follows the text exposition format: ``# HELP`` / ``# TYPE`` headers,
+histogram ``_bucket{le=...}`` series with a ``+Inf`` bucket, ``_sum`` and
+``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(snapshot: dict[str, dict]) -> str:
+    """The snapshot in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, data in sorted(snapshot.items()):
+        lines.append(f"# HELP {name} {data.get('help', '')}")
+        lines.append(f"# TYPE {name} {data['type']}")
+        if data["type"] == "histogram":
+            for bound, cumulative in data["buckets"]:
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {data["count"]}')
+            lines.append(f"{name}_sum {_format_value(data['sum'])}")
+            lines.append(f"{name}_count {data['count']}")
+        else:
+            lines.append(f"{name} {_format_value(data['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot: dict[str, dict]) -> str:
+    """The snapshot as stable, indented JSON."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"

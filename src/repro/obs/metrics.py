@@ -1,0 +1,269 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately small and allocation-light: a metric is a
+plain mutable object looked up once at instrumentation time and mutated
+with integer/float arithmetic on the hot path.  Nothing here imports the
+engine — the engine owns an :class:`EngineMetrics` bundle (created only
+under ``collect_metrics=True``) and *samples* the cheap always-on
+counters that already live on nodes, routers, the sharing layer and the
+view catalog into gauges at snapshot time, so the maintenance hot path
+pays instrumentation cost only for the handful of wall-clock timings the
+batch pipeline records per batch.
+
+Snapshot format
+---------------
+:meth:`MetricsRegistry.snapshot` returns a JSON-ready dict::
+
+    {"repro_batches_total": {"type": "counter", "help": ..., "value": 7},
+     "repro_batch_seconds": {"type": "histogram", "help": ...,
+                             "buckets": [[0.001, 3], [0.0025, 6], ...],
+                             "sum": 0.0123, "count": 7},
+     ...}
+
+Histogram buckets are cumulative (Prometheus ``le`` semantics) and the
+rendering lives in :mod:`repro.obs.export`.  Snapshots from several
+processes (the shard workers) merge bucket-wise via
+:func:`merge_snapshots`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: default wall-clock buckets (seconds) — spans sub-millisecond columnar
+#: batches through multi-second populate storms
+LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "help": self.help, "value": self.value}
+
+
+class Gauge:
+    """A sampled value, set at snapshot time from live engine state."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "help": self.help, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with a sum and a count.
+
+    Bucket counts are stored non-cumulatively (one integer add per
+    observation, no bisect — the bound list is short and observations
+    cluster in the low buckets) and cumulated only when snapshotted.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, help: str, bounds: tuple = LATENCY_BUCKETS):
+        self.name = name
+        self.help = help
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # trailing +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def as_dict(self) -> dict:
+        cumulative = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            cumulative.append([bound, running])
+        return {
+            "type": "histogram",
+            "help": self.help,
+            "buckets": cumulative,
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics plus snapshot-time collectors.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create (idempotent per
+    name, so instrument bundles can be rebuilt over one registry).
+    Collectors are callables run at the top of :meth:`snapshot`; the
+    engine registers one per live subsystem to refresh gauges from the
+    always-on counters it samples.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    def counter(self, name: str, help: str) -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str, bounds: tuple = LATENCY_BUCKETS
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, bounds)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
+        return metric
+
+    def _get_or_create(self, cls, name: str, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
+        return metric
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        self._collectors.append(collector)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Run collectors, then return every metric as a JSON-ready dict."""
+        for collector in self._collectors:
+            collector()
+        return {
+            name: metric.as_dict()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Sum several snapshots metric-wise (shard workers → one cluster view).
+
+    Counters, gauges and histogram sums/counts add; histogram buckets add
+    bucket-wise (all processes share the instrument definitions, so bucket
+    bounds agree).  Metrics present in only some snapshots pass through.
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, data in snapshot.items():
+            held = merged.get(name)
+            if held is None:
+                merged[name] = {
+                    key: (
+                        [list(pair) for pair in value]
+                        if key == "buckets"
+                        else value
+                    )
+                    for key, value in data.items()
+                }
+            elif data["type"] == "histogram":
+                held["sum"] += data["sum"]
+                held["count"] += data["count"]
+                for pair, other in zip(held["buckets"], data["buckets"]):
+                    pair[1] += other[1]
+            else:
+                held["value"] += data["value"]
+    return merged
+
+
+class EngineMetrics:
+    """The instrument bundle one engine threads through its batch pipeline.
+
+    Created only under ``collect_metrics=True``; every hot-path site
+    guards on ``engine.metrics is not None``, so the flag-off engine runs
+    the exact uninstrumented path.  The wall-clock instruments here are
+    the only metrics that add work per batch — everything else is sampled
+    into gauges at snapshot time by the collectors the engine registers.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        counter = self.registry.counter
+        histogram = self.registry.histogram
+        # batch pipeline phases
+        self.batches = counter(
+            "repro_batches_total", "Consolidated batches propagated"
+        )
+        self.batch_raw_events = counter(
+            "repro_batch_raw_events_total",
+            "Elementary events consumed by propagated batches",
+        )
+        self.batch_net_records = counter(
+            "repro_batch_net_records_total",
+            "Net per-entity records after coalescing",
+        )
+        self.events = counter(
+            "repro_events_total", "Per-event (unbatched) dispatches"
+        )
+        self.coalesce_seconds = histogram(
+            "repro_batch_coalesce_seconds",
+            "Batch coalesce phase (event buffer to net records)",
+        )
+        self.dispatch_seconds = histogram(
+            "repro_batch_dispatch_seconds",
+            "Batch dispatch phase (router and node-graph propagation)",
+        )
+        self.merge_seconds = histogram(
+            "repro_batch_merge_seconds",
+            "Batch merge phase (production net deltas and callbacks)",
+        )
+        self.batch_seconds = histogram(
+            "repro_batch_seconds",
+            "End-to-end batch latency (coalesce through callbacks)",
+        )
+        self.event_seconds = histogram(
+            "repro_event_dispatch_seconds",
+            "Per-event dispatch latency (unbatched path)",
+        )
+        # sharded tier (coordinator side; zero on the in-process engine)
+        self.shard_fanout_seconds = histogram(
+            "repro_shard_fanout_seconds",
+            "Coordinator fan-out phase (pickle plus per-worker sends)",
+        )
+        self.shard_merge_seconds = histogram(
+            "repro_shard_merge_seconds",
+            "Coordinator merge phase (blocking for worker replies)",
+        )

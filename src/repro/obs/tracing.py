@@ -1,0 +1,104 @@
+"""Per-batch trace spans: where did this delta's latency go?
+
+With ``trace_batches=True`` the engine records each propagated batch as a
+span tree — coalesce → dispatch (router → input nodes → the node graph,
+one span per ``emit``/``apply`` hop, nesting with the depth-first
+propagation) → merge — with per-span wall time and delta sizes.  The
+finished tree is retained on the engine (``last_trace``) and renders as
+indented text (:meth:`Span.render`) or JSON (:meth:`Span.as_dict`).
+
+The hook in :meth:`~repro.rete.nodes.base.Node.emit` reads the
+module-level :data:`ACTIVE` tracer; with tracing off that is one global
+load and ``None`` check per emitted delta, and the propagation path is
+otherwise byte-identical (the differential oracle in ``tests/obs``
+pins this).  The engine installs/restores ``ACTIVE`` around exactly one
+propagation at a time, saving the previous value so nested engines (an
+``on_change`` callback driving a second engine) compose.
+
+This module imports nothing from the engine, so node modules can import
+it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+
+@dataclass
+class Span:
+    """One timed step of a batch's path through the engine."""
+
+    name: str
+    detail: str = ""
+    #: rows carried by the delta this span handled (0 for phase spans)
+    rows: int = 0
+    #: inclusive wall time (children included)
+    seconds: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time spent in this span excluding its children."""
+        return self.seconds - sum(child.seconds for child in self.children)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "detail": self.detail,
+            "rows": self.rows,
+            "seconds": self.seconds,
+            "self_seconds": self.self_seconds,
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """Indented one-line-per-span text rendering of the subtree."""
+        label = f"{self.name} {self.detail}".rstrip()
+        line = (
+            f"{'  ' * indent}{label}  rows={self.rows} "
+            f"total={self.seconds * 1000:.3f}ms "
+            f"self={self.self_seconds * 1000:.3f}ms"
+        )
+        return "\n".join(
+            [line] + [child.render(indent + 1) for child in self.children]
+        )
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class BatchTracer:
+    """Builds one :class:`Span` tree while a batch propagates.
+
+    ``enter``/``exit`` bracket one step; nesting follows the call stack
+    (synchronous depth-first propagation), so the tree *is* the batch's
+    path.  ``finish`` closes the root and returns it.
+    """
+
+    def __init__(self, label: str, detail: str = ""):
+        self.root = Span(label, detail)
+        self._stack: list[tuple[Span, float]] = [(self.root, perf_counter())]
+
+    def enter(self, name: str, detail: str = "", rows: int = 0) -> None:
+        span = Span(name, detail, rows)
+        self._stack[-1][0].children.append(span)
+        self._stack.append((span, perf_counter()))
+
+    def exit(self) -> None:
+        span, start = self._stack.pop()
+        span.seconds = perf_counter() - start
+
+    def finish(self) -> Span:
+        while len(self._stack) > 1:  # defensive: exception mid-span
+            self.exit()
+        root, start = self._stack[0]
+        root.seconds = perf_counter() - start
+        return root
+
+
+#: the tracer observing the propagation currently on the stack, if any —
+#: read by Node.emit, installed/restored by the engine around one batch
+ACTIVE: BatchTracer | None = None

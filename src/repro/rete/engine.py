@@ -25,6 +25,7 @@ batch-size-1 ablation baseline).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Mapping
 
 from ..compiler.optimizer import lifted_plan
@@ -33,6 +34,8 @@ from ..errors import TransactionError
 from ..eval.results import ResultTable
 from ..graph import events as ev
 from ..graph.graph import PropertyGraph
+from ..obs import tracing
+from ..obs.metrics import EngineMetrics
 from .batch import BatchAccumulator
 from .deltas import Delta
 from .network import ReteNetwork
@@ -129,6 +132,8 @@ class IncrementalEngine:
         detached_cache_size: int = 4,
         share_across_bindings: bool = True,
         columnar_deltas: bool = True,
+        collect_metrics: bool = False,
+        trace_batches: bool = False,
     ):
         self.graph = graph
         self.transitive_mode = transitive_mode
@@ -164,6 +169,19 @@ class IncrementalEngine:
         self._view_listeners: list[Callable[[str, View], None]] = []
         self._subscribed = False
         self.batch_transactions = batch_transactions
+        #: metrics bundle, or ``None`` — every instrumentation site guards
+        #: on this, so ``collect_metrics=False`` runs the uninstrumented
+        #: maintenance path (pinned by the differential oracle in
+        #: ``tests/obs``)
+        self.collect_metrics = collect_metrics
+        self.metrics: EngineMetrics | None = None
+        if collect_metrics:
+            self.metrics = EngineMetrics()
+            self.metrics.registry.add_collector(self._collect_gauges)
+        #: record each propagation as a span tree; the latest finished
+        #: tree is retained as :attr:`last_trace`
+        self.trace_batches = trace_batches
+        self.last_trace: tracing.Span | None = None
         self._accumulator: BatchAccumulator | None = None
         self._batch_depth = 0
         self._dispatch_depth = 0
@@ -228,6 +246,14 @@ class IncrementalEngine:
         if self._accumulator is not None:
             self._accumulator.record(event)
             return
+        metrics = self.metrics
+        tracer = None
+        if self.trace_batches and tracing.ACTIVE is None:
+            # one tracer per outermost dispatch; events raised by callbacks
+            # mid-propagation nest into the active tree via Node.emit
+            tracer = tracing.BatchTracer("event", type(event).__name__)
+            tracing.ACTIVE = tracer
+        start = perf_counter() if metrics is not None else 0.0
         # Mid-propagation, some networks have seen the delta and some have
         # not; on_change callbacks run inside this window and must not be
         # served half-updated maintained state (see pending_changes).
@@ -239,6 +265,12 @@ class IncrementalEngine:
                 view.network.dispatch(event)
         finally:
             self._dispatch_depth -= 1
+            if metrics is not None:
+                metrics.events.inc()
+                metrics.event_seconds.observe(perf_counter() - start)
+            if tracer is not None:
+                tracing.ACTIVE = None
+                self.last_trace = tracer.finish()
 
     # -- batched propagation --------------------------------------------------
 
@@ -268,26 +300,76 @@ class IncrementalEngine:
         if self._batch_depth == 0:
             accumulator, self._accumulator = self._accumulator, None
             if accumulator is not None and accumulator:
-                self._propagate_batch(accumulator.consolidate())
+                self._run_batch(accumulator)
 
     def _flush_pending(self) -> None:
         """Flush the open window mid-batch (see :meth:`register`)."""
         accumulator = self._accumulator
         self._accumulator = BatchAccumulator(self.graph)
-        self._propagate_batch(accumulator.consolidate())
+        self._run_batch(accumulator)
 
-    def _propagate_batch(self, changes) -> None:
+    def _run_batch(self, accumulator: BatchAccumulator) -> None:
+        """Coalesce and propagate one window, instrumented when asked.
+
+        With metrics and tracing both off this is exactly
+        ``_propagate_batch(accumulator.consolidate())``.
+        """
+        metrics = self.metrics
+        if metrics is None and not self.trace_batches:
+            self._propagate_batch(accumulator.consolidate())
+            return
+        raw_events = len(accumulator)
+        tracer = None
+        if self.trace_batches and tracing.ACTIVE is None:
+            tracer = tracing.BatchTracer("batch", f"raw_events={raw_events}")
+            tracing.ACTIVE = tracer
+        batch_start = perf_counter()
+        try:
+            if tracer is not None:
+                tracer.enter("coalesce", f"raw_events={raw_events}", raw_events)
+            start = perf_counter()
+            changes = accumulator.consolidate()
+            coalesce_seconds = perf_counter() - start
+            if tracer is not None:
+                tracer.exit()
+            net_records = len(changes.vertex_events) + len(changes.edge_events)
+            try:
+                self._propagate_batch(changes, tracer)
+            finally:
+                if metrics is not None:
+                    metrics.batches.inc()
+                    metrics.batch_raw_events.inc(raw_events)
+                    metrics.batch_net_records.inc(net_records)
+                    metrics.coalesce_seconds.observe(coalesce_seconds)
+                    metrics.batch_seconds.observe(perf_counter() - batch_start)
+        finally:
+            if tracer is not None:
+                tracing.ACTIVE = None
+                self.last_trace = tracer.finish()
+
+    def _propagate_batch(self, changes, tracer=None) -> None:
         if not changes:
             return
+        metrics = self.metrics
+        net_records = len(changes.vertex_events) + len(changes.edge_events)
         productions = [view.network.production for view in self._views]
         for production in productions:
             production.begin_batch()
+        if tracer is not None:
+            tracer.enter("dispatch", f"net_records={net_records}", net_records)
+        start = perf_counter() if metrics is not None else 0.0
         try:
             if self.input_layer is not None:
                 self.input_layer.dispatch_batch(changes)
             for view in self._private_views:
                 view.network.dispatch_batch(changes)
         finally:
+            if metrics is not None:
+                metrics.dispatch_seconds.observe(perf_counter() - start)
+            if tracer is not None:
+                tracer.exit()
+                tracer.enter("merge", f"productions={len(productions)}")
+            start = perf_counter() if metrics is not None else 0.0
             # callbacks fire here, outside the dispatch loops; writes they
             # issue land in the fresh accumulator (or per-event when none).
             # One raising callback must not strand the other productions in
@@ -300,6 +382,10 @@ class IncrementalEngine:
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
                     if error is None:
                         error = exc
+            if metrics is not None:
+                metrics.merge_seconds.observe(perf_counter() - start)
+            if tracer is not None:
+                tracer.exit()
             if error is not None:
                 raise error
 
@@ -357,6 +443,164 @@ class IncrementalEngine:
         return layer + sum(
             view.network.private_memory_cells() for view in self._views
         )
+
+    # -- observability ---------------------------------------------------------
+
+    def _live_nodes(self) -> list:
+        """Every live node, shared counted once (layer first, then private)."""
+        seen: set[int] = set()
+        nodes = []
+        if self.input_layer is not None:
+            for node in self.input_layer.shared_nodes():
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    nodes.append(node)
+        for view in self._views:
+            for node in view.network.all_nodes:
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    nodes.append(node)
+        return nodes
+
+    def _collect_gauges(self) -> None:
+        """Snapshot-time collector: sample always-on counters into gauges.
+
+        Registered only under ``collect_metrics=True`` and run by
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, never on the
+        maintenance hot path — the node/router/sharing counters it reads
+        are the cheap integers those subsystems maintain regardless.
+        """
+        gauge = self.metrics.registry.gauge
+        nodes = self._live_nodes()
+        gauge("repro_views_live", "Registered incremental views").set(
+            len(self._views)
+        )
+        gauge("repro_nodes_live", "Live Rete nodes, shared counted once").set(
+            len(nodes)
+        )
+        for attribute, name, help in (
+            ("emitted_deltas", "repro_node_emitted_deltas", "Deltas emitted across live nodes"),
+            ("emitted_rows", "repro_node_emitted_rows", "Rows emitted across live nodes"),
+            ("applied_deltas", "repro_node_applied_deltas", "Delta applications across live nodes"),
+            ("applied_rows", "repro_node_applied_rows", "Rows applied across live nodes"),
+            ("columnar_batches", "repro_node_columnar_batches", "Columnar batches applied across live nodes"),
+            ("columnar_rows", "repro_node_columnar_rows", "Rows applied in columnar form across live nodes"),
+        ):
+            gauge(name, help).set(
+                sum(getattr(node, attribute) for node in nodes)
+            )
+        gauge("repro_memory_entries", "Stored memory entries, shared counted once").set(
+            self.memory_size()
+        )
+        gauge("repro_memory_cells", "Stored tuple fields, shared counted once").set(
+            self.memory_cells()
+        )
+        routers = []
+        if self.input_layer is not None and self.input_layer.router is not None:
+            routers.append(self.input_layer.router)
+        for view in self._private_views:
+            if view.network.router is not None:
+                routers.append(view.network.router)
+        for attribute, name, help in (
+            ("events_routed", "repro_router_events_routed", "Events dispatched through interest routers"),
+            ("batches_routed", "repro_router_batches_routed", "Consolidated batches dispatched through routers"),
+            ("candidates_visited", "repro_router_candidates_visited", "Input nodes offered a routed event or batch"),
+            ("union_hits", "repro_router_union_cache_hits", "Router candidate-union cache hits"),
+            ("union_misses", "repro_router_union_cache_misses", "Router candidate-union cache misses"),
+        ):
+            gauge(name, help).set(
+                sum(getattr(router, attribute) for router in routers)
+            )
+        layer = self.input_layer
+        if layer is None:
+            return
+        stats = layer.stats
+        for value, name, help in (
+            (stats.requests, "repro_sharing_input_requests", "Input-node requests across all views"),
+            (stats.nodes, "repro_sharing_input_nodes", "Distinct input nodes ever created"),
+            (stats.subplan_requests, "repro_sharing_subplan_requests", "Subplan cache probes"),
+            (stats.subplan_hits, "repro_sharing_subplan_hits", "Subplan cache hits"),
+            (stats.acquires, "repro_sharing_acquires", "Subplan refcount acquires"),
+            (stats.releases, "repro_sharing_releases", "Subplan refcount releases"),
+            (stats.pruned, "repro_sharing_pruned", "Shared nodes genuinely dropped by prune"),
+            (stats.detached_retained, "repro_sharing_detached_retained", "Dead subplan roots retained in the LRU"),
+            (stats.detached_revived, "repro_sharing_detached_revived", "Retained subplans revived by a later view"),
+            (stats.detached_evicted, "repro_sharing_detached_evicted", "Retained subplans evicted on LRU overflow"),
+        ):
+            gauge(name, help).set(value)
+        if isinstance(layer, SharedSubplanLayer):
+            gauge("repro_sharing_subplans_live", "Live cached subplan entries").set(
+                layer.subplan_count
+            )
+            gauge("repro_sharing_detached_live", "Dead-but-retained subplan roots").set(
+                layer.detached_count
+            )
+            gauge("repro_sharing_binding_nodes", "Live binding-indexed selection nodes").set(
+                layer.binding_node_count
+            )
+            gauge("repro_sharing_binding_partitions", "Live binding partitions").set(
+                layer.binding_partition_count
+            )
+
+    def metrics_snapshot(self) -> dict | None:
+        """JSON-ready metrics snapshot, or ``None`` with collection off."""
+        if self.metrics is None:
+            return None
+        return self.metrics.registry.snapshot()
+
+    def view_costs(self) -> dict:
+        """Maintenance cost attributed to each registered view.
+
+        The cost unit is *row-work*: ``applied_rows + emitted_rows`` per
+        node — the rows a node consumed plus the rows it pushed
+        downstream, counted by the always-on traffic counters (so this
+        works with ``collect_metrics`` off and never touches the hot
+        path).  A shared node's cost is split evenly across the views
+        that currently read it; work done by nodes no view reads any more
+        (detached-LRU residents and their upstream chains) lands in the
+        ``unattributed`` bucket.  The per-view shares plus that bucket sum
+        to ``total`` exactly, up to float rounding.
+        """
+        readers: dict[int, int] = {}
+        for view in self._views:
+            for node in view.network._shared_nodes.values():
+                readers[id(node)] = readers.get(id(node), 0) + 1
+        views = []
+        attributed = 0.0
+        for index, view in enumerate(self._views):
+            cost = float(
+                sum(
+                    node.applied_rows + node.emitted_rows
+                    for node in view.network.all_nodes
+                )
+            )
+            shared = 0.0
+            for node in view.network._shared_nodes.values():
+                shared += (
+                    node.applied_rows + node.emitted_rows
+                ) / readers[id(node)]
+            cost += shared
+            attributed += cost
+            views.append(
+                {
+                    "view": index,
+                    "query": view.compiled.text,
+                    "cost": cost,
+                    "shared_cost": shared,
+                }
+            )
+        total = float(
+            sum(
+                node.applied_rows + node.emitted_rows
+                for node in self._live_nodes()
+            )
+        )
+        return {
+            "unit": "row-work (applied_rows + emitted_rows)",
+            "views": views,
+            "unattributed": total - attributed,
+            "total": total,
+        }
 
 
 class BatchScope:

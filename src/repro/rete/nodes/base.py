@@ -20,6 +20,7 @@ entry via :func:`~repro.rete.deltas.as_row_delta`).
 
 from __future__ import annotations
 
+from ...obs import tracing
 from ..deltas import ColumnDelta, Delta
 
 LEFT = 0
@@ -66,6 +67,9 @@ class Node:
         self.emitted_deltas += 1
         self.emitted_rows += rows
         columnar = type(delta) is ColumnDelta
+        if tracing.ACTIVE is not None:
+            self._emit_traced(tracing.ACTIVE, delta, rows, columnar)
+            return
         for node, side in self._subscribers:
             node.applied_deltas += 1
             node.applied_rows += rows
@@ -73,6 +77,34 @@ class Node:
                 node.columnar_batches += 1
                 node.columnar_rows += rows
             node.apply(delta, side)
+
+    def _emit_traced(self, tracer, delta, rows: int, columnar: bool) -> None:
+        """The ``emit`` loop with one span per subscriber ``apply``.
+
+        Spans nest with the synchronous depth-first propagation, so the
+        tracer's tree records this delta's whole downstream path; the
+        counters are maintained identically to the untraced loop.
+        """
+        label = type(self).__name__.removesuffix("Node")
+        form = "columnar" if columnar else "rows"
+        tracer.enter(f"emit {label}", f"({', '.join(self.schema.names)}) {form}", rows)
+        try:
+            for node, side in self._subscribers:
+                node.applied_deltas += 1
+                node.applied_rows += rows
+                if columnar:
+                    node.columnar_batches += 1
+                    node.columnar_rows += rows
+                target = type(node).__name__.removesuffix("Node")
+                tracer.enter(
+                    f"apply {target}", f"side={'right' if side else 'left'}", rows
+                )
+                try:
+                    node.apply(delta, side)
+                finally:
+                    tracer.exit()
+        finally:
+            tracer.exit()
 
     def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         raise NotImplementedError

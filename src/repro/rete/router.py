@@ -197,6 +197,15 @@ class EventRouter:
     def __init__(self, graph: PropertyGraph):
         self.graph = graph
         self._seq = 0
+        # cheap always-on traffic counters (the Node-counter precedent):
+        # sampled into the metrics registry at snapshot time.  Candidate
+        # visits vs. registered nodes is the dispatch win; union-cache
+        # hits/misses expose the memoisation's effectiveness.
+        self.events_routed = 0
+        self.batches_routed = 0
+        self.candidates_visited = 0
+        self.union_hits = 0
+        self.union_misses = 0
         # vertex-node indexes
         self._v_membership = _Bucketed()  # discriminator label / label-free
         self._v_label_watch = _Bucketed()  # required label / labels() column
@@ -237,11 +246,14 @@ class EventRouter:
         """
         cached = self._union_cache.get(cache_key)
         if cached is None:
+            self.union_misses += 1
             cached = _ordered(*buckets)
             if cached:
                 if len(self._union_cache) >= self._UNION_CACHE_LIMIT:
                     self._union_cache.clear()
                 self._union_cache[cache_key] = cached
+        else:
+            self.union_hits += 1
         return cached
 
     # -- registration -------------------------------------------------------
@@ -504,9 +516,13 @@ class EventRouter:
         Vertex nodes run before edge nodes, and nodes within each group in
         registration order — the exact discipline of the broadcast path.
         """
-        for node in self.vertex_candidates(event):
+        self.events_routed += 1
+        vertex_nodes = self.vertex_candidates(event)
+        edge_nodes = self.edge_candidates(event)
+        self.candidates_visited += len(vertex_nodes) + len(edge_nodes)
+        for node in vertex_nodes:
             node.on_event(event)
-        for node in self.edge_candidates(event):
+        for node in edge_nodes:
             node.on_event(event)
 
     def dispatch_batch(self, batch) -> None:
@@ -516,9 +532,13 @@ class EventRouter:
         candidate then translates the whole batch once, exactly as under
         broadcast (irrelevant records inside cancel to nothing).
         """
-        for node in self._batch_vertex_candidates(batch):
+        self.batches_routed += 1
+        vertex_nodes = self._batch_vertex_candidates(batch)
+        edge_nodes = self._batch_edge_candidates(batch)
+        self.candidates_visited += len(vertex_nodes) + len(edge_nodes)
+        for node in vertex_nodes:
             node.emit_batch(batch)
-        for node in self._batch_edge_candidates(batch):
+        for node in edge_nodes:
             node.emit_batch(batch)
 
     def _batch_vertex_candidates(self, batch) -> list[object]:

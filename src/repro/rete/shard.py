@@ -53,6 +53,7 @@ import multiprocessing
 import pickle
 import traceback
 import zlib
+from time import perf_counter
 from typing import Any, Callable, Mapping
 
 from ..algebra import ops
@@ -61,6 +62,7 @@ from ..errors import ShardError
 from ..eval.results import ResultTable
 from ..graph import events as ev
 from ..graph.graph import PropertyGraph
+from ..obs.metrics import merge_snapshots
 from .batch import BatchAccumulator, CoalescedBatch
 from .deltas import Delta
 from .engine import IncrementalEngine
@@ -327,6 +329,9 @@ def _worker_main(conn, graph: PropertyGraph, config: dict) -> None:
             "memory_cells": engine.memory_cells(),
             "node_count": layer.node_count if layer is not None else 0,
             "sharing": asdict(layer.stats) if layer is not None else {},
+            # full metrics snapshot (None with collect_metrics off); the
+            # coordinator merges these bucket-wise into the cluster view
+            "metrics": engine.metrics_snapshot(),
         }
         stats.update(counters)
         if isinstance(layer, SharedSubplanLayer):
@@ -370,6 +375,16 @@ def _worker_main(conn, graph: PropertyGraph, config: dict) -> None:
             return views[message[1]].profile()
         if tag == "stats":
             return worker_stats()
+        if tag == "view_costs":
+            costs = engine.view_costs()
+            # the worker attributes by its local view order; translate to
+            # coordinator view ids so costs merge across workers
+            vid_of = {id(view): vid for vid, view in views.items()}
+            costs["views"] = [
+                {**entry, "view": vid_of[id(engine.views[entry["view"]])]}
+                for entry in costs["views"]
+            ]
+            return costs
         if tag == "shutdown":
             return None
         raise ShardError(f"unknown shard message {tag!r}")
@@ -495,8 +510,14 @@ class ShardView:
         return self._worker.request(("measure", self.view_id))[1]
 
     def profile(self) -> str:
-        """Per-node counters of this view's network, fetched from its shard."""
-        return self._worker.request(("profile", self.view_id))
+        """Per-node counters of this view's network, fetched from its shard.
+
+        The header names the hosting worker: counters below it are that
+        worker process's traffic, not the coordinator's (whose own network
+        is intentionally empty).
+        """
+        profile = self._worker.request(("profile", self.view_id))
+        return f"-- shard worker {self.worker_index} --\n{profile}"
 
     @property
     def _worker(self) -> _WorkerHandle:
@@ -550,6 +571,8 @@ class ShardCoordinator(IncrementalEngine):
         share_across_bindings: bool = True,
         columnar_deltas: bool = True,
         split_batches: bool = True,
+        collect_metrics: bool = False,
+        trace_batches: bool = False,
     ):
         if workers < 1:
             raise ShardError(f"workers must be >= 1, got {workers}")
@@ -565,10 +588,17 @@ class ShardCoordinator(IncrementalEngine):
             detached_cache_size=detached_cache_size,
             share_across_bindings=share_across_bindings,
             columnar_deltas=columnar_deltas,
+            collect_metrics=collect_metrics,
+            trace_batches=trace_batches,
         )
         #: slice dispatch by worker interest summaries; ``False`` ships the
         #: full batch to every worker's Rete layer (ablation)
         self.split_batches = split_batches
+        # collect_metrics is forwarded so each worker snapshots its own
+        # node/router/sharing traffic (merged by metrics_snapshot);
+        # trace_batches stays coordinator-side — node-level spans live in
+        # the worker address space and the coordinator's trace records the
+        # fan-out/merge phases instead
         self._worker_config = dict(
             transitive_mode=transitive_mode,
             share_inputs=share_inputs,
@@ -578,6 +608,7 @@ class ShardCoordinator(IncrementalEngine):
             detached_cache_size=detached_cache_size,
             share_across_bindings=share_across_bindings,
             columnar_deltas=columnar_deltas,
+            collect_metrics=collect_metrics,
         )
         self._next_view_id = 0
         self._batches_fanned_out = 0
@@ -711,17 +742,26 @@ class ShardCoordinator(IncrementalEngine):
         # Per-event mode still crosses the process boundary as a (one-record)
         # consolidated batch: the wire format is uniform and insert/delete
         # pairs inside compensation streams cancel exactly as they do locally.
+        metrics = self.metrics
+        start = perf_counter() if metrics is not None else 0.0
         accumulator = BatchAccumulator(self.graph)
         accumulator.record(event)
         self._propagate_batch(accumulator.consolidate())
+        if metrics is not None:
+            metrics.events.inc()
+            metrics.event_seconds.observe(perf_counter() - start)
 
-    def _propagate_batch(self, changes: CoalescedBatch) -> None:
+    def _propagate_batch(self, changes: CoalescedBatch, tracer=None) -> None:
         if not changes or not self._workers:
             return
+        metrics = self.metrics
         # one pickle, N sends: replicas need the whole batch even where the
         # interest slice is empty, so the payload is shared verbatim
-        blob = pickle.dumps(changes, protocol=pickle.HIGHEST_PROTOCOL)
         records = len(changes.vertex_events) + len(changes.edge_events)
+        if tracer is not None:
+            tracer.enter("fanout", f"workers={len(self._workers)}", records)
+        start = perf_counter() if metrics is not None else 0.0
+        blob = pickle.dumps(changes, protocol=pickle.HIGHEST_PROTOCOL)
         changed: list[tuple[ShardView, Delta]] = []
         self._dispatch_depth += 1
         try:
@@ -736,6 +776,12 @@ class ShardCoordinator(IncrementalEngine):
                         len(indices[0]) + len(indices[1])
                     )
                 handle.send(("batch", blob, indices))
+            if metrics is not None:
+                metrics.shard_fanout_seconds.observe(perf_counter() - start)
+            if tracer is not None:
+                tracer.exit()
+                tracer.enter("merge", f"workers={len(self._workers)}")
+            start = perf_counter() if metrics is not None else 0.0
             merged_notes: dict[int, Delta] = {}
             for handle in self._workers:
                 # a view lives on exactly one worker: no delta collisions
@@ -748,6 +794,10 @@ class ShardCoordinator(IncrementalEngine):
                 if delta is not None and delta:
                     view._apply(delta)
                     changed.append((view, delta))
+            if metrics is not None:
+                metrics.shard_merge_seconds.observe(perf_counter() - start)
+            if tracer is not None:
+                tracer.exit()
         finally:
             self._dispatch_depth -= 1
         # the merge point: every mirror has caught up before the first
@@ -796,6 +846,78 @@ class ShardCoordinator(IncrementalEngine):
                 "records_fanned_out": self._records_fanned_out,
                 "records_sliced_away": self._records_sliced_away,
             },
+        }
+
+    def _collect_gauges(self) -> None:
+        """Coordinator-side gauges only: fan-out traffic and worker count.
+
+        Node/memory/router/sharing gauges come from the workers' own
+        snapshots (every Rete node lives there) and are summed into the
+        cluster view by :meth:`metrics_snapshot` — the coordinator setting
+        them too would double-count.
+        """
+        gauge = self.metrics.registry.gauge
+        gauge("repro_shard_workers", "Live shard worker processes").set(
+            len(self._workers)
+        )
+        gauge(
+            "repro_shard_batches_fanned_out",
+            "Consolidated batches shipped to every worker",
+        ).set(self._batches_fanned_out)
+        gauge(
+            "repro_shard_records_fanned_out",
+            "Net records shipped (replica maintenance)",
+        ).set(self._records_fanned_out)
+        gauge(
+            "repro_shard_records_sliced_away",
+            "Record dispatches skipped by interest slicing",
+        ).set(self._records_sliced_away)
+
+    def metrics_snapshot(self) -> dict | None:
+        """Cluster-wide snapshot: coordinator metrics plus all workers'.
+
+        Counters, gauges and histogram buckets sum across processes (see
+        :func:`~repro.obs.metrics.merge_snapshots`); ``None`` with
+        ``collect_metrics`` off.
+        """
+        if self.metrics is None:
+            return None
+        snapshots = [self.metrics.registry.snapshot()]
+        for handle in self._workers:
+            worker = handle.request(("stats",)).get("metrics")
+            if worker:
+                snapshots.append(worker)
+        return merge_snapshots(snapshots)
+
+    def view_costs(self) -> dict:
+        """Per-view maintenance cost, merged across the workers.
+
+        Each worker attributes its own row-work exactly as the in-process
+        engine does; entries come back keyed by coordinator view id with
+        the hosting worker recorded, and the unattributed/total figures
+        sum across workers.
+        """
+        per_view: dict[int, dict] = {}
+        unit = "row-work (applied_rows + emitted_rows)"
+        unattributed = 0.0
+        total = 0.0
+        for handle in self._workers:
+            costs = handle.request(("view_costs",))
+            unit = costs["unit"]
+            unattributed += costs["unattributed"]
+            total += costs["total"]
+            for entry in costs["views"]:
+                entry["worker"] = handle.index
+                per_view[entry["view"]] = entry
+        return {
+            "unit": unit,
+            "views": [
+                per_view[view.view_id]
+                for view in self._views
+                if view.view_id in per_view
+            ],
+            "unattributed": unattributed,
+            "total": total,
         }
 
     def memory_size(self) -> int:

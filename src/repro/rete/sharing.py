@@ -82,6 +82,11 @@ class SharingStats:
     detached_revived: int = 0
     detached_evicted: int = 0
     release_underflows: int = 0
+    # refcount traffic (observability): every successful acquire/release
+    # pair and every node genuinely dropped by prune()
+    acquires: int = 0
+    releases: int = 0
+    pruned: int = 0
 
     @property
     def requests(self) -> int:
@@ -243,6 +248,7 @@ class SharedInputLayer:
                 removed += 1
         if self._unit_node is not None and self._unit_node.subscriber_count == 0:
             self._unit_node = None
+        self.stats.pruned += removed
         return removed
 
     @property
@@ -258,6 +264,10 @@ class SharedInputLayer:
         yield from self._edge_nodes.values()
         if self._unit_node is not None:
             yield self._unit_node
+
+    def shared_nodes(self):
+        """Every layer-owned node (public iteration for observability)."""
+        yield from self._shared_nodes()
 
     def memory_size(self) -> int:
         """Total entries across layer-owned node memories (engine metric)."""
@@ -578,6 +588,7 @@ class SharedSubplanLayer(SharedInputLayer):
 
     def acquire(self, key: tuple) -> None:
         self._subplans[key].refcount += 1
+        self.stats.acquires += 1
         # a held subplan is live again, not a detached-cache resident;
         # leaving the LRU under an acquire is precisely a revival
         if key in self._detached_lru:
@@ -601,6 +612,7 @@ class SharedSubplanLayer(SharedInputLayer):
             )
             return
         entry.refcount -= 1
+        self.stats.releases += 1
 
     # -- targeted activation --------------------------------------------------
 
@@ -664,6 +676,7 @@ class SharedSubplanLayer(SharedInputLayer):
                     cascade_orphans |= self._drop_subplan(key)
                     removed += 1
                     changed = True
+        self.stats.pruned += removed
         return removed + super().prune()
 
     def _drop_subplan(self, key: tuple) -> set[int]:

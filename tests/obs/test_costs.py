@@ -1,0 +1,127 @@
+"""Maintenance-cost attribution: per-view row-work shares.
+
+``view_costs()`` reads the always-on node traffic counters (it needs no
+``collect_metrics``), splits shared nodes' work evenly across their
+reader views, and books work done by reader-less nodes (detached-LRU
+residents) as ``unattributed``.  The invariant pinned throughout: the
+per-view shares plus the unattributed bucket sum to the engine-wide
+total exactly, up to float rounding.
+"""
+
+import random
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.rete.engine import IncrementalEngine
+
+from ..rete.test_sharing import _random_op
+
+
+def churn(graph, operations=30, seed=7):
+    rng = random.Random(seed)
+    for _ in range(operations):
+        vertices = list(graph.vertices())
+        edges = list(graph.edges())
+        _random_op(rng, vertices, edges)(graph)
+
+
+def assert_sums_to_total(costs):
+    attributed = sum(entry["cost"] for entry in costs["views"])
+    assert attributed + costs["unattributed"] == pytest.approx(
+        costs["total"], abs=1e-6
+    )
+
+
+class TestAttribution:
+    def test_sums_to_total_after_churn(self):
+        graph = PropertyGraph()
+        engine = IncrementalEngine(graph)
+        engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        engine.register(
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) "
+            "WHERE p.lang = c.lang RETURN p, c"
+        )
+        churn(graph)
+        costs = engine.view_costs()
+        assert costs["unit"] == "row-work (applied_rows + emitted_rows)"
+        assert costs["total"] > 0
+        assert_sums_to_total(costs)
+        assert [entry["view"] for entry in costs["views"]] == [0, 1]
+        for entry in costs["views"]:
+            assert entry["cost"] >= entry["shared_cost"] >= 0
+
+    def test_identical_views_split_shared_work(self):
+        graph = PropertyGraph()
+        engine = IncrementalEngine(graph)
+        query = "MATCH (p:Post) RETURN p.lang AS lang"
+        engine.register(query)
+        first_alone = None
+        churn(graph, operations=20)
+        first_alone = engine.view_costs()["views"][0]["cost"]
+        engine.register(query)
+        churn(graph, operations=20, seed=9)
+        costs = engine.view_costs()
+        first, second = costs["views"]
+        # the late twin cut over at the shared plan root, so it is charged
+        # a share of that node's work — but never more than the builder,
+        # which also reads the upstream chain it materialised
+        assert second["shared_cost"] > 0
+        assert first["shared_cost"] >= second["shared_cost"]
+        assert first["cost"] > first_alone  # new traffic keeps accruing
+        assert_sums_to_total(costs)
+
+    def test_no_views_means_everything_unattributed(self):
+        graph = PropertyGraph()
+        engine = IncrementalEngine(graph)
+        view = engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        churn(graph, operations=15)
+        view.detach()
+        costs = engine.view_costs()
+        assert costs["views"] == []
+        assert costs["unattributed"] == pytest.approx(costs["total"])
+
+    def test_detached_lru_work_lands_in_unattributed(self):
+        graph = PropertyGraph()
+        # retain detached subplans so their nodes keep doing reader-less work
+        engine = IncrementalEngine(graph, detached_cache_size=4)
+        keeper = engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        doomed = engine.register(
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c"
+        )
+        churn(graph, operations=15)
+        doomed.detach()
+        churn(graph, operations=15, seed=8)
+        costs = engine.view_costs()
+        assert len(costs["views"]) == 1
+        assert costs["unattributed"] > 0
+        assert_sums_to_total(costs)
+        assert keeper.multiset() is not None
+
+    def test_costs_need_no_metrics_flag(self):
+        graph = PropertyGraph()
+        engine = IncrementalEngine(graph)
+        assert engine.metrics is None
+        engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+        assert engine.view_costs()["total"] > 0
+
+
+class TestShardedAttribution:
+    def test_merged_costs_carry_worker_and_sum(self):
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, workers=2)
+        try:
+            engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+            engine.register(
+                "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c"
+            )
+            churn(graph, operations=20)
+            costs = engine.view_costs()
+            assert len(costs["views"]) == 2
+            assert {entry["view"] for entry in costs["views"]} == {0, 1}
+            assert all("worker" in entry for entry in costs["views"])
+            assert costs["total"] > 0
+            assert_sums_to_total(costs)
+        finally:
+            engine.shutdown()

@@ -1,0 +1,180 @@
+"""Golden shapes of the introspection surfaces.
+
+Pins the *structure* callers script against — profile columns,
+``answer_stats`` keys, memory counters, the EXPLAIN live-stats section,
+the shard-worker profile label, and the CLI observability metas — so a
+refactor cannot silently change a shape dashboards and the README
+examples rely on.
+"""
+
+import io
+import json
+
+from repro import PropertyGraph, QueryEngine
+from repro.cli import main
+
+
+def run_shell(script: str, *argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    status = main(list(argv), stdin=io.StringIO(script), stdout=out)
+    return status, out.getvalue()
+
+
+def engine_with_traffic(**flags) -> QueryEngine:
+    graph = PropertyGraph()
+    engine = QueryEngine(graph, **flags)
+    engine.register(
+        "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+    )
+    post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+    comment = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+    graph.add_edge(post, comment, "REPLY")
+    return engine
+
+
+class TestProfileShape:
+    def test_header_columns_and_separator(self):
+        engine = engine_with_traffic()
+        lines = engine.views[0].profile().splitlines()
+        header = lines[0]
+        for column in (
+            "node",
+            "schema",
+            "deltas",
+            "rows",
+            "rows/call",
+            "batch fill",
+            "memory",
+            "cells",
+        ):
+            assert column in header
+        assert set(lines[1]) == {"-"}
+        assert len(lines) > 2  # at least one node line
+
+    def test_shared_nodes_are_marked(self):
+        engine = engine_with_traffic()
+        profile = engine.views[0].profile()
+        assert "(shared)" in profile
+
+    def test_shard_view_profile_names_its_worker(self):
+        graph = PropertyGraph()
+        engine = QueryEngine(graph, workers=2)
+        try:
+            view = engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+            profile = view.profile()
+            first, rest = profile.split("\n", 1)
+            assert first == f"-- shard worker {view.worker_index} --"
+            assert "node" in rest  # the worker-side profile table follows
+        finally:
+            engine.shutdown()
+
+
+class TestAnswerStatsShape:
+    def test_as_dict_keys_are_pinned(self):
+        engine = engine_with_traffic()
+        engine.evaluate("MATCH (p:Post) RETURN p")
+        stats = engine.answer_stats().as_dict()
+        assert list(stats) == [
+            "queries",
+            "answered",
+            "exact",
+            "residual",
+            "root_hits",
+            "subplan_hits",
+            "fallbacks",
+            "stale_declines",
+        ]
+        assert all(isinstance(value, int) for value in stats.values())
+        assert stats["queries"] >= 1
+
+
+class TestMemoryCounters:
+    def test_view_and_engine_counters_are_nonnegative_ints(self):
+        engine = engine_with_traffic()
+        view = engine.views[0]
+        for value in (
+            view.memory_size(),
+            view.memory_cells(),
+            engine._incremental.memory_size(),
+            engine._incremental.memory_cells(),
+        ):
+            assert isinstance(value, int)
+            assert value >= 0
+        assert view.memory_cells() >= view.memory_size()
+
+
+class TestExplainLiveStats:
+    def test_section_present_with_metrics_on(self):
+        engine = engine_with_traffic(collect_metrics=True)
+        text = engine.explain("MATCH (p:Post) RETURN p")
+        assert "== Live stats ==" in text
+        assert "repro_batches_total = " in text
+        assert "repro_views_live = 1" in text
+
+    def test_section_absent_with_metrics_off(self):
+        engine = engine_with_traffic()
+        assert "== Live stats ==" not in engine.explain(
+            "MATCH (p:Post) RETURN p"
+        )
+
+
+class TestCliObservability:
+    SETUP = (
+        ":register MATCH (p:Post) RETURN p.lang AS lang\n"
+        "CREATE (:Post {lang: 'en'});\n"
+    )
+
+    def test_metrics_requires_the_flag(self):
+        status, output = run_shell(self.SETUP + ":metrics\n")
+        assert status == 0
+        assert "metrics collection is off" in output
+
+    def test_metrics_prometheus_and_json(self):
+        status, output = run_shell(
+            self.SETUP + ":metrics\n", "--metrics"
+        )
+        assert status == 0
+        assert "# TYPE repro_events_total counter" in output
+        assert "repro_views_live 1" in output
+        status, output = run_shell(
+            self.SETUP + ":metrics json\n", "--metrics"
+        )
+        assert status == 0
+        payload = json.loads(output[output.index("{"):])
+        assert payload["repro_events_total"]["value"] >= 1
+
+    def test_trace_toggle_and_render(self):
+        script = (
+            ":trace\n"
+            ":trace on\n" + self.SETUP + ":trace\n:trace off\n"
+        )
+        status, output = run_shell(script)
+        assert status == 0
+        assert "tracing is off; no trace recorded yet" in output
+        assert "batch tracing on" in output
+        assert "emit " in output  # the rendered span tree
+        assert "batch tracing off" in output
+
+    def test_costs_lists_views_and_total(self):
+        status, output = run_shell(self.SETUP + ":costs\n")
+        assert status == 0
+        assert "maintenance cost per view" in output
+        assert "[0]" in output and "MATCH (p:Post)" in output
+        assert "total" in output
+
+    def test_costs_without_views(self):
+        status, output = run_shell(":costs\n")
+        assert status == 0
+        assert "no views registered" in output
+
+    def test_shards_reports_in_process_engine(self):
+        status, output = run_shell(self.SETUP + ":shards\n")
+        assert status == 0
+        assert "0 workers, 1 views" in output
+        assert "in-process engine:" in output
+
+    def test_help_lists_the_new_metas(self):
+        status, output = run_shell(":help\n")
+        assert status == 0
+        for meta in (":metrics", ":trace", ":costs"):
+            assert meta in output

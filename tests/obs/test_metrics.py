@@ -1,0 +1,134 @@
+"""Metrics registry mechanics: instruments, snapshots, merging, export."""
+
+import json
+
+import pytest
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    EngineMetrics,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("c", "help")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.as_dict() == {"type": "counter", "help": "help", "value": 5}
+
+    def test_gauge_sets(self):
+        gauge = Gauge("g", "help")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.as_dict()["value"] == 3
+
+    def test_histogram_buckets_are_cumulative_in_snapshot(self):
+        histogram = Histogram("h", "help", bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        data = histogram.as_dict()
+        assert data["buckets"] == [[0.1, 1], [1.0, 3], [10.0, 4]]
+        assert data["count"] == 5
+        assert data["sum"] == pytest.approx(56.05)
+
+    def test_histogram_default_bounds_span_sub_ms_to_seconds(self):
+        assert LATENCY_BUCKETS[0] < 0.001 < LATENCY_BUCKETS[-1]
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help")
+        assert registry.counter("c", "help") is first
+        assert registry.histogram("h", "x") is registry.histogram("h", "x")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help")
+        with pytest.raises(TypeError):
+            registry.gauge("c", "help")
+        with pytest.raises(TypeError):
+            registry.histogram("c", "help")
+
+    def test_snapshot_runs_collectors_and_sorts(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("z_last", "")
+        registry.counter("a_first", "").inc()
+        registry.add_collector(lambda: gauge.set(42))
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a_first", "z_last"]
+        assert snapshot["z_last"]["value"] == 42
+
+    def test_engine_metrics_builds_over_one_registry(self):
+        bundle = EngineMetrics()
+        snapshot = bundle.registry.snapshot()
+        assert "repro_batches_total" in snapshot
+        assert "repro_batch_seconds" in snapshot
+        assert snapshot["repro_batch_seconds"]["type"] == "histogram"
+
+
+class TestMergeSnapshots:
+    def test_sums_counters_and_buckets(self):
+        def make(observations):
+            registry = MetricsRegistry()
+            registry.counter("c", "help").inc(2)
+            histogram = registry.histogram("h", "help", bounds=(1.0, 10.0))
+            for value in observations:
+                histogram.observe(value)
+            return registry.snapshot()
+
+        merged = merge_snapshots([make([0.5, 5.0]), make([0.5])])
+        assert merged["c"]["value"] == 4
+        assert merged["h"]["count"] == 3
+        assert merged["h"]["buckets"] == [[1.0, 2], [10.0, 3]]
+
+    def test_merge_does_not_mutate_inputs(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "", bounds=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        before = json.loads(json.dumps(snapshot))
+        merge_snapshots([snapshot, snapshot])
+        assert snapshot == before
+
+    def test_disjoint_metrics_pass_through(self):
+        left = MetricsRegistry()
+        left.counter("only_left", "").inc()
+        right = MetricsRegistry()
+        right.counter("only_right", "").inc(2)
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        assert merged["only_left"]["value"] == 1
+        assert merged["only_right"]["value"] == 2
+
+
+class TestExport:
+    def snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c", "a counter").inc(3)
+        registry.gauge("repro_g", "a gauge").set(7)
+        registry.histogram("repro_h", "a histogram", bounds=(0.5,)).observe(0.1)
+        return registry.snapshot()
+
+    def test_prometheus_text_format(self):
+        text = render_prometheus(self.snapshot())
+        lines = text.splitlines()
+        assert "# HELP repro_c a counter" in lines
+        assert "# TYPE repro_c counter" in lines
+        assert "repro_c 3" in lines
+        assert "repro_g 7" in lines
+        assert 'repro_h_bucket{le="0.5"} 1' in lines
+        assert 'repro_h_bucket{le="+Inf"} 1' in lines
+        assert "repro_h_count 1" in lines
+        assert text.endswith("\n")
+
+    def test_json_round_trips(self):
+        snapshot = self.snapshot()
+        assert json.loads(render_json(snapshot)) == snapshot

@@ -1,0 +1,160 @@
+"""Span trees: tracer mechanics and the engine's install discipline."""
+
+import pytest
+
+from repro import PropertyGraph, QueryEngine
+from repro.obs import tracing
+from repro.obs.tracing import BatchTracer, Span
+from repro.rete.engine import IncrementalEngine
+
+
+def small_graph():
+    graph = PropertyGraph()
+    post = graph.add_vertex(labels=["Post"], properties={"lang": "en"})
+    comment = graph.add_vertex(labels=["Comm"], properties={"lang": "en"})
+    graph.add_edge(post, comment, "REPLY")
+    return graph
+
+
+class TestSpan:
+    def tree(self):
+        child = Span("inner", seconds=0.25, rows=3)
+        return Span("outer", "d", seconds=1.0, children=[child]), child
+
+    def test_self_seconds_excludes_children(self):
+        root, child = self.tree()
+        assert root.self_seconds == pytest.approx(0.75)
+        assert child.self_seconds == pytest.approx(0.25)
+
+    def test_as_dict_nests(self):
+        root, _ = self.tree()
+        data = root.as_dict()
+        assert data["name"] == "outer"
+        assert data["self_seconds"] == pytest.approx(0.75)
+        assert data["children"][0]["name"] == "inner"
+        assert data["children"][0]["children"] == []
+
+    def test_render_indents_one_line_per_span(self):
+        root, _ = self.tree()
+        lines = root.render().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("outer d  rows=0 total=1000.000ms")
+        assert lines[1].startswith("  inner  rows=3 total=250.000ms")
+
+    def test_walk_is_preorder(self):
+        root, child = self.tree()
+        assert [span.name for span in root.walk()] == ["outer", "inner"]
+        assert list(child.walk()) == [child]
+
+
+class TestBatchTracer:
+    def test_nesting_follows_enter_exit(self):
+        tracer = BatchTracer("root")
+        tracer.enter("a")
+        tracer.enter("a.1", rows=2)
+        tracer.exit()
+        tracer.exit()
+        tracer.enter("b")
+        tracer.exit()
+        root = tracer.finish()
+        assert [span.name for span in root.children] == ["a", "b"]
+        assert root.children[0].children[0].rows == 2
+        assert root.seconds >= root.children[0].seconds >= 0
+
+    def test_finish_closes_abandoned_spans(self):
+        tracer = BatchTracer("root")
+        tracer.enter("a")
+        tracer.enter("a.1")  # never exited: exception mid-propagation
+        root = tracer.finish()
+        assert root.children[0].children[0].seconds >= 0
+        assert root.seconds >= root.children[0].seconds
+
+
+class TestEngineIntegration:
+    def test_per_event_trace_records_the_propagation_path(self):
+        graph = small_graph()
+        engine = IncrementalEngine(graph, trace_batches=True)
+        engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        assert engine.last_trace is None or engine.last_trace.name in (
+            "event",
+            "batch",
+        )
+        graph.add_vertex(labels=["Post"], properties={"lang": "de"})
+        trace = engine.last_trace
+        assert trace is not None
+        assert trace.name == "event"
+        names = [span.name for span in trace.walk()]
+        assert any(name.startswith("emit ") for name in names)
+        assert any(name.startswith("apply ") for name in names)
+        assert tracing.ACTIVE is None
+
+    def test_batch_trace_has_coalesce_dispatch_merge_phases(self):
+        graph = small_graph()
+        engine = IncrementalEngine(graph, trace_batches=True)
+        engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        with engine.batch():
+            graph.add_vertex(labels=["Post"], properties={"lang": "de"})
+            graph.add_vertex(labels=["Post"], properties={"lang": "hu"})
+        trace = engine.last_trace
+        assert trace.name == "batch"
+        assert trace.detail == "raw_events=2"
+        phases = [span.name for span in trace.children]
+        assert phases[:2] == ["coalesce", "dispatch"]
+        assert phases[-1] == "merge"
+        dispatch = trace.children[1]
+        assert any(
+            span.name.startswith("emit ") for span in dispatch.walk()
+        )
+        assert tracing.ACTIVE is None
+
+    def test_tracer_restored_when_a_callback_raises(self):
+        graph = small_graph()
+        engine = IncrementalEngine(graph, trace_batches=True)
+        view = engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+
+        def boom(delta):
+            raise RuntimeError("callback failure")
+
+        view.on_change(boom)
+        with pytest.raises(RuntimeError):
+            graph.add_vertex(labels=["Post"], properties={"lang": "de"})
+        assert tracing.ACTIVE is None
+        assert engine.last_trace is not None  # the partial tree is kept
+
+    def test_tracing_off_records_nothing(self):
+        graph = small_graph()
+        engine = IncrementalEngine(graph)
+        engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        graph.add_vertex(labels=["Post"], properties={"lang": "de"})
+        assert engine.last_trace is None
+
+    def test_runtime_toggle_via_api(self):
+        graph = small_graph()
+        engine = QueryEngine(graph)
+        engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        assert engine.tracing is False
+        engine.execute("CREATE (:Post {lang: 'de'})")
+        assert engine.last_trace is None
+        engine.set_tracing(True)
+        assert engine.tracing is True
+        engine.execute("CREATE (:Post {lang: 'hu'})")
+        first = engine.last_trace
+        assert first is not None
+        engine.set_tracing(False)
+        engine.execute("CREATE (:Post {lang: 'fi'})")
+        assert engine.last_trace is first  # no new tree recorded
+
+    def test_trace_spans_carry_row_counts(self):
+        graph = small_graph()
+        engine = IncrementalEngine(graph, trace_batches=True)
+        engine.register("MATCH (p:Post) RETURN p.lang AS lang")
+        with engine.batch():
+            for lang in ("de", "hu", "fi"):
+                graph.add_vertex(labels=["Post"], properties={"lang": lang})
+        emits = [
+            span
+            for span in engine.last_trace.walk()
+            if span.name.startswith("emit ")
+        ]
+        assert emits and all(span.rows >= 1 for span in emits)
+        assert engine.last_trace.children[0].rows == 3  # coalesce raw events

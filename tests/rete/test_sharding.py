@@ -317,7 +317,18 @@ class TestShardMechanics:
         engine = QueryEngine(PropertyGraph())
         assert type(engine._incremental) is IncrementalEngine
         assert engine.catalog is not None
-        assert engine.shard_stats() is None
+        # shard_stats answers the same shape as the sharded tier, with an
+        # empty worker list and zeroed fan-out counters
+        stats = engine.shard_stats()
+        assert stats["workers"] == []
+        assert stats["views"] == 0
+        assert stats["coordinator"] == {
+            "batches_fanned_out": 0,
+            "records_fanned_out": 0,
+            "records_sliced_away": 0,
+        }
+        assert stats["totals"]["memory_size"] == 0
+        assert "sharing" in stats["totals"]
         engine.shutdown()  # no-op without workers
 
     def test_sharded_engine_disables_view_answering(self):
