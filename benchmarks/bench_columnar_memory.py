@@ -1,0 +1,265 @@
+"""Column-backed node memories vs the row-dict path: cells and churn.
+
+A multigraph workload built to expose the one thing
+``columnar_memories=True`` changes — how β-memory state is *stored*.
+Persons pair up and each pair carries ``FAN`` parallel ``KNOWS`` and
+``CALLS`` edges; the view mix is 64 overlapping COUNT-aggregate views
+over the two-edge join
+
+    MATCH (a:Person)-[k:KNOWS]->(b:Person), (a)-[c:CALLS]->(b)
+    WHERE a.grp = <g> RETURN count(*) AS n
+
+so every join memory keys on the shared ``(a, b)`` attributes (width 2)
+and stores one edge-id payload cell per occurrence.  The row-dict path
+keeps the full 3-wide row per entry; the column store keeps the 1-wide
+payload per entry plus the 2-wide key once per distinct pair — with
+``FAN`` parallel edges per pair that is a 3/(1 + 2/FAN) ≈ 2.4x cell
+reduction at FAN=8, which the full run asserts clears **1.5x** after
+churn.  Views overlap eight-to-one on their shared subplans, so the
+engine-wide row interner also folds the transition-sensitive count-map
+keys into one pool.
+
+Every run is correctness-gated: the column-memory engine and the
+``columnar_memories=False`` baseline replay the identical stream over
+identical graphs, and at the end all view multisets must agree pairwise
+*and* with one-shot re-evaluation.  The standalone main additionally
+asserts the churn loop got **no slower** (within noise tolerance) and
+writes a ``BENCH_columnar_memory.json`` trajectory point; ``--smoke``
+runs a tiny differential-only configuration for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from pathlib import Path
+
+from repro import PropertyGraph, QueryEngine
+from repro.bench import Timer, format_table, speedup
+
+SEED = 47
+GROUPS = 8
+VIEWS = 64
+FAN = 8
+
+SMOKE_SIZES = {"pairs": 12, "windows": 6, "window_ops": 5}
+FULL_SIZES = {"pairs": 96, "windows": 60, "window_ops": 25}
+
+VIEW_QUERY = (
+    "MATCH (a:Person)-[k:KNOWS]->(b:Person), (a)-[c:CALLS]->(b) "
+    "WHERE a.grp = {group} RETURN count(*) AS n"
+)
+
+
+def build_graph(sizes: dict, seed: int = SEED):
+    """Person pairs with ``FAN`` parallel KNOWS and CALLS edges each."""
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    people = [
+        graph.add_vertex(labels=["Person"], properties={"grp": i % GROUPS})
+        for i in range(2 * sizes["pairs"])
+    ]
+    pairs = [
+        (people[2 * i], people[2 * i + 1]) for i in range(sizes["pairs"])
+    ]
+    for a, b in pairs:
+        for _ in range(FAN):
+            graph.add_edge(a, b, "KNOWS")
+            graph.add_edge(a, b, "CALLS")
+    del rng  # placement is deterministic; kept for signature symmetry
+    return graph, people, pairs
+
+
+def register_views(engine: QueryEngine) -> dict[str, object]:
+    """64 COUNT views, eight per group — eight-way subplan overlap."""
+    return {
+        f"count:{i}": engine.register(VIEW_QUERY.format(group=i % GROUPS))
+        for i in range(VIEWS)
+    }
+
+
+def churn_ops(sizes: dict, people, pairs, seed: int = SEED + 1):
+    """Deterministic update windows, replayable over identical graphs.
+
+    The mix churns exactly what the join memories index: parallel-edge
+    add/remove inside existing pairs (occurrence-level fold traffic) and
+    group flips on Persons (selection-partition migration).
+    """
+    rng = random.Random(seed)
+    edges_created = 2 * FAN * len(pairs)
+    windows = []
+    for _ in range(sizes["windows"]):
+        ops = []
+        for _ in range(sizes["window_ops"]):
+            roll = rng.random()
+            if roll < 0.45:
+                a, b = rng.choice(pairs)
+                label = rng.choice(("KNOWS", "CALLS"))
+                ops.append(lambda g, s=a, t=b, l=label: g.add_edge(s, t, l))
+                edges_created += 1
+            elif roll < 0.75:
+                target = max(1, edges_created - rng.randrange(4 * FAN))
+                ops.append(
+                    lambda g, e=target: g.remove_edge(e) if g.has_edge(e) else None
+                )
+            else:
+                person = rng.choice(people)
+                value = rng.randrange(GROUPS)
+                ops.append(
+                    lambda g, v=person, x=value: g.set_vertex_property(
+                        v, "grp", x
+                    )
+                )
+        windows.append(ops)
+    return windows
+
+
+def run_stream(sizes: dict, columnar: bool):
+    """Replay the churn windows under one memory representation.
+
+    Returns (seconds, views, engine); timing covers only the update loop.
+    """
+    graph, people, pairs = build_graph(sizes)
+    engine = QueryEngine(graph, columnar_memories=columnar)
+    views = register_views(engine)
+    windows = churn_ops(sizes, people, pairs)
+    with Timer() as timer:
+        for ops in windows:
+            with engine.batch():
+                for op in ops:
+                    op(graph)
+    return timer.seconds, views, engine
+
+
+def verify(columnar_views, row_views, engine) -> None:
+    """The differential oracle gate: columnar == row == recomputation."""
+    for i in range(VIEWS):
+        name = f"count:{i}"
+        query = VIEW_QUERY.format(group=i % GROUPS)
+        columnar = columnar_views[name].multiset()
+        assert columnar == row_views[name].multiset(), name
+        assert (
+            columnar == engine.evaluate(query, use_views=False).multiset()
+        ), name
+
+
+def run_pair(sizes: dict, rounds: int = 1):
+    """Times and memory-cell totals for both representations."""
+    columnar_seconds, columnar_views, columnar_engine = run_stream(sizes, True)
+    row_seconds, row_views, row_engine = run_stream(sizes, False)
+    verify(columnar_views, row_views, columnar_engine)
+    assert columnar_engine.memory_size() == row_engine.memory_size()
+    cells = (columnar_engine.memory_cells(), row_engine.memory_cells())
+    for _ in range(rounds - 1):
+        columnar_seconds = min(columnar_seconds, run_stream(sizes, True)[0])
+        row_seconds = min(row_seconds, run_stream(sizes, False)[0])
+    return columnar_seconds, row_seconds, cells
+
+
+# -- pytest-benchmark kernels --------------------------------------------------
+
+
+def test_columnar_memory_stream(benchmark):
+    benchmark.pedantic(
+        lambda: run_stream(SMOKE_SIZES, True), rounds=3, iterations=1
+    )
+
+
+def test_row_memory_stream(benchmark):
+    benchmark.pedantic(
+        lambda: run_stream(SMOKE_SIZES, False), rounds=3, iterations=1
+    )
+
+
+def test_columnar_memory_matches_row_and_oracle():
+    _, _, (columnar_cells, row_cells) = run_pair(SMOKE_SIZES)
+    assert 0 < columnar_cells < row_cells
+
+
+# -- standalone report ---------------------------------------------------------
+
+
+def main(smoke: bool = False, out: str | None = None) -> None:
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    operations = sizes["windows"] * sizes["window_ops"]
+    print(
+        f"columnar memory churn: {operations} events over "
+        f"{sizes['pairs']} pairs x {2 * FAN} parallel edges, "
+        f"{VIEWS} COUNT views ({VIEWS // GROUPS} per group)"
+    )
+    columnar_seconds, row_seconds, (columnar_cells, row_cells) = run_pair(
+        sizes, rounds=1 if smoke else 3
+    )
+    print("differential oracle: columnar == row == recomputation ✓")
+    ratio = row_cells / columnar_cells
+    rows = [
+        [
+            "row dicts (columnar_memories=False)",
+            row_seconds,
+            f"{row_cells}",
+            "1.00x",
+        ],
+        [
+            "column stores (ColumnStore + interner)",
+            columnar_seconds,
+            f"{columnar_cells}",
+            f"{ratio:.2f}x",
+        ],
+    ]
+    print(
+        format_table(
+            ["node memories", "churn total", "memory cells", "cells saved"],
+            rows,
+            title=f"column-backed memories at {VIEWS} overlapping views",
+        )
+    )
+    point = {
+        "experiment": "columnar_memory",
+        "events": operations,
+        "views": VIEWS,
+        "fan_in": FAN,
+        "row_cells": row_cells,
+        "columnar_cells": columnar_cells,
+        "cells_reduction": ratio,
+        "row_seconds": row_seconds,
+        "columnar_seconds": columnar_seconds,
+        "row_events_per_sec": operations / row_seconds,
+        "columnar_events_per_sec": operations / columnar_seconds,
+        "churn_speedup": row_seconds / columnar_seconds,
+    }
+    if out is not None:
+        directory = Path(out)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_columnar_memory.json").write_text(
+            json.dumps(point, indent=2) + "\n"
+        )
+    if smoke:
+        assert ratio > 1.0, (
+            f"column stores must not inflate cells, got {ratio:.2f}x"
+        )
+        print("\nsmoke mode: both representations exercised, cell reduction "
+              f"{ratio:.2f}x, timings not asserted")
+        return
+    Path("BENCH_columnar_memory.json").write_text(
+        json.dumps(point, indent=2) + "\n"
+    )
+    print(f"\nwrote BENCH_columnar_memory.json (cells {ratio:.2f}x, churn "
+          f"{speedup(row_seconds, columnar_seconds)})")
+    assert ratio >= 1.5, (
+        f"column stores should cut memory cells ≥1.5x at fan-in {FAN}, "
+        f"got {ratio:.2f}x"
+    )
+    assert columnar_seconds <= row_seconds * 1.15, (
+        f"churn must not regress: columnar {columnar_seconds:.3f}s vs row "
+        f"{row_seconds:.3f}s"
+    )
+    print(f"cells ≥1.5x smaller and churn within noise of the row path ✓")
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    main(
+        smoke="--smoke" in argv,
+        out=argv[argv.index("--out") + 1] if "--out" in argv else None,
+    )

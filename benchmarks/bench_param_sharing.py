@@ -200,7 +200,9 @@ def test_shared_core_memory_is_flat_in_view_count():
 # -- standalone report ---------------------------------------------------------
 
 
-def main(smoke: bool = False, columnar: bool = True) -> None:
+def main(
+    smoke: bool = False, columnar: bool = True, out: str | None = None
+) -> None:
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     operations = sizes["operations"]
     print(
@@ -272,13 +274,6 @@ def main(smoke: bool = False, columnar: bool = True) -> None:
         f"cross-binding sharing should at least halve total memory at "
         f"{full} bindings, got {memory_ratio:.1f}x"
     )
-    if smoke:
-        print("\nsmoke mode: sharing paths exercised, timings not asserted")
-        return
-    assert throughput_ratio > 1.0, (
-        f"cross-binding sharing should win on event throughput, got "
-        f"{throughput_ratio:.2f}x"
-    )
     point = {
         "experiment": "param_sharing",
         "views": full,
@@ -295,6 +290,19 @@ def main(smoke: bool = False, columnar: bool = True) -> None:
         "throughput_speedup": throughput_ratio,
         "registration_speedup": register_ratio,
     }
+    if out is not None:
+        directory = Path(out)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_param_sharing.json").write_text(
+            json.dumps(point, indent=2) + "\n"
+        )
+    if smoke:
+        print("\nsmoke mode: sharing paths exercised, timings not asserted")
+        return
+    assert throughput_ratio > 1.0, (
+        f"cross-binding sharing should win on event throughput, got "
+        f"{throughput_ratio:.2f}x"
+    )
     Path("BENCH_param_sharing.json").write_text(json.dumps(point, indent=2) + "\n")
     print(
         f"\nwrote BENCH_param_sharing.json (memory {memory_ratio:.1f}x, "
@@ -304,7 +312,9 @@ def main(smoke: bool = False, columnar: bool = True) -> None:
 
 
 if __name__ == "__main__":
+    argv = sys.argv[1:]
     main(
-        smoke="--smoke" in sys.argv[1:],
-        columnar="--no-columnar" not in sys.argv[1:],
+        smoke="--smoke" in argv,
+        columnar="--no-columnar" not in argv,
+        out=argv[argv.index("--out") + 1] if "--out" in argv else None,
     )

@@ -190,7 +190,7 @@ def test_shared_memory_is_smaller():
 # -- standalone report ---------------------------------------------------------
 
 
-def main(smoke: bool = False) -> None:
+def main(smoke: bool = False, out: str | None = None) -> None:
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     operations = sizes["operations"]
     print(
@@ -230,13 +230,6 @@ def main(smoke: bool = False) -> None:
         f"memory: {memory_ratio:.1f}x fewer cells; "
         f"throughput: {throughput_ratio:.2f}x"
     )
-    if smoke:
-        assert memory_ratio >= 2.0, (
-            f"subplan sharing should at least halve memory cells, got "
-            f"{memory_ratio:.1f}x"
-        )
-        print("\nsmoke mode: sharing paths exercised, timings not asserted")
-        return
     point = {
         "experiment": "sharing",
         "views": sizes["views"],
@@ -250,6 +243,19 @@ def main(smoke: bool = False) -> None:
         "memory_ratio": memory_ratio,
         "throughput_speedup": throughput_ratio,
     }
+    if out is not None:
+        directory = Path(out)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_sharing.json").write_text(
+            json.dumps(point, indent=2) + "\n"
+        )
+    if smoke:
+        assert memory_ratio >= 2.0, (
+            f"subplan sharing should at least halve memory cells, got "
+            f"{memory_ratio:.1f}x"
+        )
+        print("\nsmoke mode: sharing paths exercised, timings not asserted")
+        return
     Path("BENCH_sharing.json").write_text(json.dumps(point, indent=2) + "\n")
     print(f"\nwrote BENCH_sharing.json (memory {memory_ratio:.1f}x, " \
           f"throughput {throughput_ratio:.2f}x)")
@@ -267,4 +273,8 @@ def main(smoke: bool = False) -> None:
 
 
 if __name__ == "__main__":
-    main(smoke="--smoke" in sys.argv[1:])
+    argv = sys.argv[1:]
+    main(
+        smoke="--smoke" in argv,
+        out=argv[argv.index("--out") + 1] if "--out" in argv else None,
+    )

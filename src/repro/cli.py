@@ -24,7 +24,7 @@ from .compiler.stats import GraphStatistics
 from .errors import ReproError
 from .graph.graph import PropertyGraph
 from .graph.persistence import DurableGraph
-from .obs.export import render_json, render_prometheus
+from .obs.export import render_json, render_prometheus, render_table
 
 PROMPT = "repro> "
 CONTINUATION = "  ...> "
@@ -39,7 +39,7 @@ what changed.  Meta commands:
   :detach <n>           drop view number n
   :catalog              view-answering catalog: entries and hit counters
   :shards               per-worker maintenance stats (zeroed when in-process)
-  :metrics [json]       metrics snapshot, Prometheus text (or JSON); --metrics mode
+  :metrics [json|table] metrics snapshot, Prometheus text (JSON, or a p50/p99 table)
   :trace [on|off]       toggle per-batch tracing; bare :trace prints the last tree
   :costs                maintenance cost attributed per view (row-work units)
   :explain <query>      show the compilation stages and view-answering plan
@@ -172,8 +172,10 @@ class Shell:
                 self._print("metrics collection is off (start with --metrics)")
             elif argument == "json":
                 self._print(render_json(snapshot).rstrip("\n"))
+            elif argument == "table":
+                self._print(render_table(snapshot).rstrip("\n"))
             elif argument:
-                self._print("usage: :metrics [json]")
+                self._print("usage: :metrics [json|table]")
             else:
                 self._print(render_prometheus(snapshot).rstrip("\n"))
         elif command == ":trace":

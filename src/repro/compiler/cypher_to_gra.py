@@ -60,6 +60,8 @@ class GraCompiler:
 
     def __init__(self) -> None:
         self._anon = 0
+        # compiler-introduced column names, invisible to ``RETURN *``
+        self._anon_names: set[str] = set()
         self._used_rel_vars: set[str] = set()
         # var-length relationship variable -> expression over its segment path
         self._rel_list_rewrites: dict[str, ast.Expr] = {}
@@ -70,7 +72,9 @@ class GraCompiler:
 
     def _fresh(self, prefix: str) -> str:
         self._anon += 1
-        return f"_{prefix}{self._anon}"
+        name = f"_{prefix}{self._anon}"
+        self._anon_names.add(name)
+        return name
 
     # -- expression preparation --------------------------------------------
 
@@ -412,9 +416,30 @@ class GraCompiler:
         where: ast.Expr | None,
     ) -> ops.Operator:
         """Compile a WITH/RETURN projection body onto *plan*."""
+        items = body.items
+        if body.star:
+            # ``*`` expands to the user-visible columns, in schema order,
+            # ahead of any explicit items; compiler-introduced names
+            # (anonymous pattern variables) stay hidden.
+            visible = [
+                name
+                for name in plan.schema.names
+                if name not in self._anon_names
+            ]
+            if not visible:
+                raise CypherSemanticError(
+                    "* is not allowed when there are no variables in scope"
+                )
+            items = (
+                tuple(
+                    ast.ReturnItem(ast.Variable(name), None)
+                    for name in visible
+                )
+                + items
+            )
         named_items: list[tuple[str, ast.Expr]] = []
         seen: set[str] = set()
-        for item in body.items:
+        for item in items:
             expr = self._prepare(item.expression, plan.schema, allow_aggregates=True)
             name = item.alias or self._default_name(item.expression)
             if name in seen:

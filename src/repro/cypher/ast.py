@@ -258,13 +258,18 @@ class OrderItem(AstNode):
 
 @dataclass(frozen=True, slots=True)
 class ProjectionBody(AstNode):
-    """The shared shape of WITH and RETURN."""
+    """The shared shape of WITH and RETURN.
+
+    ``star`` records a leading ``*`` item (``RETURN *`` / ``WITH *, x``);
+    it expands to the in-scope variables at compile time, ahead of any
+    explicit items."""
 
     items: tuple[ReturnItem, ...]
     distinct: bool = False
     order_by: tuple[OrderItem, ...] = ()
     skip: Expr | None = None
     limit: Expr | None = None
+    star: bool = False
 
 
 @dataclass(frozen=True, slots=True)

@@ -290,7 +290,13 @@ class Parser:
 
     def _parse_projection_body(self) -> ast.ProjectionBody:
         distinct = self._accept_keyword("DISTINCT")
-        items = [self._parse_return_item()]
+        star = False
+        items: list[ast.ReturnItem] = []
+        if self.current.type is TokenType.STAR:
+            self._advance()
+            star = True
+        else:
+            items.append(self._parse_return_item())
         while self.current.type is TokenType.COMMA:
             self._advance()
             items.append(self._parse_return_item())
@@ -304,11 +310,13 @@ class Parser:
             order_by = tuple(order_items)
         skip = self._parse_expression() if self._accept_keyword("SKIP") else None
         limit = self._parse_expression() if self._accept_keyword("LIMIT") else None
-        return ast.ProjectionBody(tuple(items), distinct, order_by, skip, limit)
+        return ast.ProjectionBody(
+            tuple(items), distinct, order_by, skip, limit, star
+        )
 
     def _parse_return_item(self) -> ast.ReturnItem:
         if self.current.type is TokenType.STAR:
-            raise UnsupportedFeatureError("RETURN * is not supported; list items explicitly")
+            raise self._error("* must be the first projection item")
         expression = self._parse_expression()
         alias = None
         if self._accept_keyword("AS"):

@@ -77,8 +77,12 @@ def unparse(node: ast.AstNode | UnionQuery) -> str:
 def _projection(body: ast.ProjectionBody) -> str:
     text = "DISTINCT " if body.distinct else ""
     text += ", ".join(
-        unparse_expr(item.expression) + (f" AS {item.alias}" if item.alias else "")
-        for item in body.items
+        (["*"] if body.star else [])
+        + [
+            unparse_expr(item.expression)
+            + (f" AS {item.alias}" if item.alias else "")
+            for item in body.items
+        ]
     )
     if body.order_by:
         text += " ORDER BY " + ", ".join(

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import json
 
+from .metrics import quantile_from_buckets
+
 
 def _format_value(value) -> str:
     if isinstance(value, float):
@@ -41,3 +43,42 @@ def render_prometheus(snapshot: dict[str, dict]) -> str:
 def render_json(snapshot: dict[str, dict]) -> str:
     """The snapshot as stable, indented JSON."""
     return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def _seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 0.001:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}µs"
+
+
+def render_table(snapshot: dict[str, dict]) -> str:
+    """The snapshot as an aligned human-readable table.
+
+    Counters and gauges print their value; histograms print count, sum
+    and the p50/p99 latency quantiles estimated from the buckets."""
+    rows: list[tuple[str, str, str]] = []
+    for name, data in sorted(snapshot.items()):
+        if data["type"] == "histogram":
+            count = data["count"]
+            bounds = [bound for bound, _ in data["buckets"]]
+            cumulative = [cum for _, cum in data["buckets"]]
+            p50 = quantile_from_buckets(bounds, cumulative, count, 0.50)
+            p99 = quantile_from_buckets(bounds, cumulative, count, 0.99)
+            value = (
+                f"count {count}  sum {_seconds(data['sum'])}  "
+                f"p50 {_seconds(p50)}  p99 {_seconds(p99)}"
+            )
+        else:
+            value = _format_value(data["value"])
+        rows.append((name, data["type"], value))
+    name_width = max((len(name) for name, _, _ in rows), default=0)
+    type_width = max((len(kind) for _, kind, _ in rows), default=0)
+    return (
+        "\n".join(
+            f"{name:<{name_width}}  {kind:<{type_width}}  {value}"
+            for name, kind, value in rows
+        )
+        + "\n"
+    )

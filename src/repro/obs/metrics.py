@@ -125,6 +125,46 @@ class Histogram:
             "count": self.count,
         }
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0 ≤ q ≤ 1) from the bucket counts.
+
+        Prometheus ``histogram_quantile`` semantics: linear interpolation
+        inside the bucket the rank falls into, clamped to the highest
+        finite bound when the rank lands in the ``+Inf`` bucket.  Returns
+        0.0 for an empty histogram."""
+        cumulative = []
+        running = 0
+        for count in self.counts[:-1]:
+            running += count
+            cumulative.append(running)
+        return quantile_from_buckets(self.bounds, cumulative, self.count, q)
+
+
+def quantile_from_buckets(
+    bounds, cumulative, total: int, q: float
+) -> float:
+    """Quantile estimate from cumulative bucket counts (``le`` semantics).
+
+    *bounds* and *cumulative* run in parallel over the finite buckets;
+    *total* includes the trailing ``+Inf`` bucket.  Shared by live
+    :meth:`Histogram.quantile` and snapshot-dict rendering (the table
+    export), so both agree on interpolation."""
+    if total <= 0 or not bounds:
+        return 0.0
+    rank = q * total
+    previous_bound = 0.0
+    previous_cum = 0
+    for bound, cum in zip(bounds, cumulative):
+        if cum >= rank:
+            bucket_count = cum - previous_cum
+            if bucket_count <= 0:
+                return float(bound)
+            fraction = (rank - previous_cum) / bucket_count
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_cum = bound, cum
+    # the rank falls in the +Inf bucket: clamp to the highest finite bound
+    return float(bounds[-1])
+
 
 class MetricsRegistry:
     """Named metrics plus snapshot-time collectors.

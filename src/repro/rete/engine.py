@@ -37,7 +37,7 @@ from ..graph.graph import PropertyGraph
 from ..obs import tracing
 from ..obs.metrics import EngineMetrics
 from .batch import BatchAccumulator
-from .deltas import Delta
+from .deltas import Delta, RowInterner
 from .network import ReteNetwork
 from .sharing import SharedInputLayer, SharedSubplanLayer
 
@@ -132,6 +132,7 @@ class IncrementalEngine:
         detached_cache_size: int = 4,
         share_across_bindings: bool = True,
         columnar_deltas: bool = True,
+        columnar_memories: bool = True,
         collect_metrics: bool = False,
         trace_batches: bool = False,
     ):
@@ -143,6 +144,13 @@ class IncrementalEngine:
         #: composite binding discriminants) are enabled; ``False`` is the
         #: exact row-at-a-time ablation baseline
         self.columnar_deltas = columnar_deltas
+        #: node memories use :class:`~repro.rete.deltas.ColumnStore` column
+        #: storage in the join layer, and transition-sensitive nodes intern
+        #: their dict-key rows through one engine-wide
+        #: :class:`~repro.rete.deltas.RowInterner`; ``False`` restores the
+        #: exact PR 1–9 row-dict memory layout (ablation)
+        self.columnar_memories = columnar_memories
+        self.interner = RowInterner() if columnar_memories else None
         if share_inputs:
             if share_subplans:
                 self.input_layer: SharedInputLayer | None = SharedSubplanLayer(
@@ -225,6 +233,8 @@ class IncrementalEngine:
             input_layer=self.input_layer,
             route_events=self.route_events,
             columnar_deltas=self.columnar_deltas,
+            columnar_memories=self.columnar_memories,
+            interner=self.interner,
         )
         network.populate()
         view = View(self, compiled, network)
@@ -495,6 +505,11 @@ class IncrementalEngine:
         gauge("repro_memory_cells", "Stored tuple fields, shared counted once").set(
             self.memory_cells()
         )
+        if self.interner is not None:
+            gauge(
+                "repro_interned_rows",
+                "Distinct row tuples held by the engine intern pool",
+            ).set(len(self.interner))
         routers = []
         if self.input_layer is not None and self.input_layer.router is not None:
             routers.append(self.input_layer.router)

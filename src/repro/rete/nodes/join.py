@@ -13,26 +13,71 @@ memory folds use the bulk :func:`~repro.rete.deltas.index_update`.  All
 four maintenance rules are linear in row occurrences, so the columnar
 loops are exact on unconsolidated batches (duplicate occurrences sum; any
 compensating output pairs cancel at the next consolidation boundary).
+
+Memories come in two representations, chosen at construction by the
+``columnar_memories`` flag: the PR 1–9 row-dict index (``key → {row:
+mult}``, the ``columnar_memories=False`` ablation, byte-identical loops)
+or the :class:`~repro.rete.deltas.ColumnStore` — key cells stored once
+per distinct key, payload values in parallel columns.  Under column
+storage the batch loops specialise further: a :class:`ColumnDelta`'s key
+column probes the store and its value columns fold in directly
+(``insert_columns``), materialising row tuples only for the positions
+that actually produce output; the right store of ⋈/⟕ keeps its payload
+in ``right_extra`` order so probe hits *are* the merge suffixes.  The
+left outer join's per-key right count map dissolves into the store
+(``key_weight``) — one fewer copy of every distinct right key.
 """
 
 from __future__ import annotations
 
-from ..deltas import ColumnDelta, Delta, index_insert, index_update
+from ..deltas import (
+    ColumnDelta,
+    ColumnStore,
+    Delta,
+    index_cells,
+    index_insert,
+    index_size,
+    index_update,
+)
 from .base import LEFT, Node
 
 Index = dict  # key -> {row: multiplicity}
 
 
+def _complement(key: list[int], width: int) -> list[int]:
+    """Payload columns of a *width*-wide row not covered by *key*."""
+    covered = set(key)
+    return [i for i in range(width) if i not in covered]
+
+
 class JoinNode(Node):
     """⋈ — natural join with two hash memories."""
 
-    def __init__(self, schema, left_key: list[int], right_key: list[int], right_extra: list[int]):
+    def __init__(
+        self,
+        schema,
+        left_key: list[int],
+        right_key: list[int],
+        right_extra: list[int],
+        columnar_memories: bool = True,
+    ):
         super().__init__(schema)
         self.left_key = left_key
         self.right_key = right_key
         self.right_extra = right_extra
-        self.left_index: Index = {}
-        self.right_index: Index = {}
+        self.columnar_memories = columnar_memories
+        if columnar_memories:
+            left_width = len(schema.names) - len(right_extra)
+            self.left_index: "Index | ColumnStore" = ColumnStore(
+                left_key, _complement(left_key, left_width)
+            )
+            # payload order == right_extra: probe hits are merge suffixes
+            self.right_index: "Index | ColumnStore" = ColumnStore(
+                right_key, right_extra
+            )
+        else:
+            self.left_index = {}
+            self.right_index = {}
 
     def _merge(self, left_row: tuple, right_row: tuple) -> tuple:
         return left_row + tuple(right_row[i] for i in self.right_extra)
@@ -40,6 +85,9 @@ class JoinNode(Node):
     def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         if type(delta) is ColumnDelta:
             self._apply_columnar(delta, side)
+            return
+        if self.columnar_memories:
+            self._apply_row_store(delta, side)
             return
         out = Delta()
         if side == LEFT:
@@ -56,7 +104,38 @@ class JoinNode(Node):
                 index_insert(self.right_index, key, row, multiplicity)
         self.emit(out)
 
+    def _apply_row_store(self, delta: Delta, side: int) -> None:
+        """The row loop over column storage — probe hits on the right store
+        are suffix tuples already (payload order == ``right_extra``)."""
+        out = Delta()
+        if side == LEFT:
+            probe = self.right_index.get
+            fold = self.left_index.insert
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.left_key)
+                bucket = probe(key)
+                if bucket is not None:
+                    for suffix, m2 in bucket.payloads():
+                        out.add(row + suffix, multiplicity * m2)
+                fold(key, row, multiplicity)
+        else:
+            extra = self.right_extra
+            probe = self.left_index.get
+            fold = self.right_index.insert_payload
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.right_key)
+                suffix = tuple(row[i] for i in extra)
+                bucket = probe(key)
+                if bucket is not None:
+                    for other, m2 in bucket.items():
+                        out.add(other + suffix, multiplicity * m2)
+                fold(key, suffix, multiplicity)
+        self.emit(out)
+
     def _apply_columnar(self, delta: ColumnDelta, side: int) -> None:
+        if self.columnar_memories:
+            self._apply_columnar_store(delta, side)
+            return
         rows = delta.rows()
         mults = delta.mults
         extra = self.right_extra
@@ -89,6 +168,69 @@ class JoinNode(Node):
             ColumnDelta.from_rows(out_rows, out_mults, len(self.schema.names))
         )
 
+    def _apply_columnar_store(self, delta: ColumnDelta, side: int) -> None:
+        """The batch loop over column storage: the prebuilt key column
+        probes, the value columns fold in directly (``insert_columns``),
+        and row tuples materialise only at positions that produce output."""
+        mults = delta.mults
+        cols = delta.columns
+        out_rows: list[tuple] = []
+        out_mults: list[int] = []
+        append_row = out_rows.append
+        append_mult = out_mults.append
+        if side == LEFT:
+            keys = delta.key_column(self.left_key)
+            store = self.right_index
+            positions_of = store.index.get
+            s_single = store._single
+            s_columns = store.columns
+            s_mults = store.mults
+            pos = 0
+            for key, multiplicity in zip(keys, mults):
+                positions = positions_of(key)
+                if positions is not None:
+                    row = tuple(col[pos] for col in cols)
+                    # payload order == right_extra: payloads are suffixes
+                    if s_single is not None:
+                        for p in positions:
+                            append_row(row + (s_single[p],))
+                            append_mult(multiplicity * s_mults[p])
+                    else:
+                        for p in positions:
+                            append_row(
+                                row + tuple(c[p] for c in s_columns)
+                            )
+                            append_mult(multiplicity * s_mults[p])
+                pos += 1
+            self.left_index.insert_columns(keys, cols, mults)
+        else:
+            extra = self.right_extra
+            keys = delta.key_column(self.right_key)
+            store = self.left_index
+            positions_of = store.index.get
+            assemble = store._assemble
+            s_columns = store.columns
+            s_mults = store.mults
+            pos = 0
+            for key, multiplicity in zip(keys, mults):
+                positions = positions_of(key)
+                if positions is not None:
+                    suffix = tuple(cols[i][pos] for i in extra)
+                    for p in positions:
+                        append_row(
+                            tuple(
+                                key[j] if from_key else s_columns[j][p]
+                                for from_key, j in assemble
+                            )
+                            + suffix
+                        )
+                        append_mult(multiplicity * s_mults[p])
+                pos += 1
+            self.right_index.insert_columns(keys, cols, mults)
+        self.emit(
+            ColumnDelta.from_rows(out_rows, out_mults, len(self.schema.names))
+        )
+
     def state_delta(self) -> Delta:
         out = Delta()
         for key, bucket in self.left_index.items():
@@ -101,18 +243,10 @@ class JoinNode(Node):
         return out
 
     def memory_size(self) -> int:
-        return sum(len(b) for b in self.left_index.values()) + sum(
-            len(b) for b in self.right_index.values()
-        )
-
+        return index_size(self.left_index) + index_size(self.right_index)
 
     def memory_cells(self) -> int:
-        return sum(
-            len(row)
-            for index in (self.left_index, self.right_index)
-            for bucket in index.values()
-            for row in bucket
-        )
+        return index_cells(self.left_index) + index_cells(self.right_index)
 
 
 class AntiJoinNode(Node):
@@ -121,11 +255,25 @@ class AntiJoinNode(Node):
     Right memory stores aggregate multiplicity per key; left rows toggle
     in or out of the result when that count crosses zero."""
 
-    def __init__(self, schema, left_key: list[int], right_key: list[int]):
+    def __init__(
+        self,
+        schema,
+        left_key: list[int],
+        right_key: list[int],
+        columnar_memories: bool = True,
+    ):
         super().__init__(schema)
         self.left_key = left_key
         self.right_key = right_key
-        self.left_index: Index = {}
+        self.columnar_memories = columnar_memories
+        if columnar_memories:
+            self.left_index: "Index | ColumnStore" = ColumnStore(
+                left_key, _complement(left_key, len(schema.names))
+            )
+        else:
+            self.left_index = {}
+        # the right memory is a per-key count either way: no rows are
+        # stored, so there is nothing for column storage to deduplicate
         self.right_counts: dict[tuple, int] = {}
 
     def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
@@ -162,13 +310,25 @@ class AntiJoinNode(Node):
         out_mults: list[int] = []
         if side == LEFT:
             keys = delta.key_column(self.left_key)
-            rows = delta.rows()
             unmatched = self.right_counts.get
-            for key, row, multiplicity in zip(keys, rows, mults):
-                if unmatched(key, 0) == 0:
-                    out_rows.append(row)
-                    out_mults.append(multiplicity)
-            index_update(self.left_index, keys, rows, mults)
+            if self.columnar_memories:
+                # column storage: emit-side rows materialise only where the
+                # key is unmatched; the fold reads the columns directly
+                cols = delta.columns
+                pos = 0
+                for key, multiplicity in zip(keys, mults):
+                    if unmatched(key, 0) == 0:
+                        out_rows.append(tuple(col[pos] for col in cols))
+                        out_mults.append(multiplicity)
+                    pos += 1
+                self.left_index.insert_columns(keys, cols, mults)
+            else:
+                rows = delta.rows()
+                for key, row, multiplicity in zip(keys, rows, mults):
+                    if unmatched(key, 0) == 0:
+                        out_rows.append(row)
+                        out_mults.append(multiplicity)
+                index_update(self.left_index, keys, rows, mults)
         else:
             keys = delta.key_column(self.right_key)
             counts = self.right_counts
@@ -201,12 +361,12 @@ class AntiJoinNode(Node):
         return out
 
     def memory_size(self) -> int:
-        return sum(len(b) for b in self.left_index.values()) + len(self.right_counts)
+        return index_size(self.left_index) + len(self.right_counts)
 
     def memory_cells(self) -> int:
-        return sum(
-            len(row) for bucket in self.left_index.values() for row in bucket
-        ) + sum(len(key) for key in self.right_counts)
+        return index_cells(self.left_index) + sum(
+            len(key) for key in self.right_counts
+        )
 
 
 class LeftOuterJoinNode(Node):
@@ -218,14 +378,29 @@ class LeftOuterJoinNode(Node):
         left_key: list[int],
         right_key: list[int],
         right_extra: list[int],
+        columnar_memories: bool = True,
     ):
         super().__init__(schema)
         self.left_key = left_key
         self.right_key = right_key
         self.right_extra = right_extra
-        self.left_index: Index = {}
-        self.right_index: Index = {}
-        self.right_counts: dict[tuple, int] = {}
+        self.columnar_memories = columnar_memories
+        if columnar_memories:
+            left_width = len(schema.names) - len(right_extra)
+            self.left_index: "Index | ColumnStore" = ColumnStore(
+                left_key, _complement(left_key, left_width)
+            )
+            self.right_index: "Index | ColumnStore" = ColumnStore(
+                right_key, right_extra
+            )
+            # no separate per-key count map: the store's bucket weight
+            # (``key_weight``) is that count, so every distinct right key
+            # is stored once instead of twice
+            self.right_counts: dict[tuple, int] | None = None
+        else:
+            self.left_index = {}
+            self.right_index = {}
+            self.right_counts = {}
         self._nulls = ()  # set by network builder via configure_nulls
 
     def configure_nulls(self, width: int) -> None:
@@ -237,6 +412,9 @@ class LeftOuterJoinNode(Node):
     def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         if type(delta) is ColumnDelta:
             self._apply_columnar(delta, side)
+            return
+        if self.columnar_memories:
+            self._apply_row_store(delta, side)
             return
         out = Delta()
         if side == LEFT:
@@ -270,7 +448,52 @@ class LeftOuterJoinNode(Node):
                         out.add(left_row + self._nulls, m)
         self.emit(out)
 
+    def _apply_row_store(self, delta: Delta, side: int) -> None:
+        """The row loop over column storage.  The right count map is gone:
+        ``key_weight`` (the bucket's summed multiplicity) *is* the count,
+        read just before each fold, so the before/after zero-crossing that
+        toggles null padding is decided exactly as in the row-dict loop."""
+        out = Delta()
+        nulls = self._nulls
+        if side == LEFT:
+            probe = self.right_index.get
+            fold = self.left_index.insert
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.left_key)
+                bucket = probe(key)
+                if bucket is not None:
+                    for suffix, m2 in bucket.payloads():
+                        out.add(row + suffix, multiplicity * m2)
+                else:
+                    out.add(row + nulls, multiplicity)
+                fold(key, row, multiplicity)
+        else:
+            extra = self.right_extra
+            left = self.left_index.get
+            right_store = self.right_index
+            for row, multiplicity in delta.items():
+                key = tuple(row[i] for i in self.right_key)
+                suffix = tuple(row[i] for i in extra)
+                bucket = left(key)
+                if bucket is not None:
+                    for left_row, m in bucket.items():
+                        out.add(left_row + suffix, multiplicity * m)
+                before = right_store.key_weight(key)
+                right_store.insert_payload(key, suffix, multiplicity)
+                after = before + multiplicity
+                if bucket is not None:
+                    if before == 0 and after > 0:
+                        for left_row, m in bucket.items():
+                            out.add(left_row + nulls, -m)
+                    elif before > 0 and after == 0:
+                        for left_row, m in bucket.items():
+                            out.add(left_row + nulls, m)
+        self.emit(out)
+
     def _apply_columnar(self, delta: ColumnDelta, side: int) -> None:
+        if self.columnar_memories:
+            self._apply_columnar_store(delta, side)
+            return
         rows = delta.rows()
         mults = delta.mults
         extra = self.right_extra
@@ -323,6 +546,62 @@ class LeftOuterJoinNode(Node):
             ColumnDelta.from_rows(out_rows, out_mults, len(self.schema.names))
         )
 
+    def _apply_columnar_store(self, delta: ColumnDelta, side: int) -> None:
+        """The batch loop over column storage.  The right side keeps the
+        per-occurrence interleaving of joins, count transition and fold
+        (the row loop's discipline); the left side bulk-folds because only
+        the right memory drives null toggles."""
+        mults = delta.mults
+        cols = delta.columns
+        extra = self.right_extra
+        nulls = self._nulls
+        out_rows: list[tuple] = []
+        out_mults: list[int] = []
+        if side == LEFT:
+            keys = delta.key_column(self.left_key)
+            probe = self.right_index.get
+            pos = 0
+            for key, multiplicity in zip(keys, mults):
+                row = tuple(col[pos] for col in cols)
+                bucket = probe(key)
+                if bucket is not None:
+                    for suffix, m2 in bucket.payloads():
+                        out_rows.append(row + suffix)
+                        out_mults.append(multiplicity * m2)
+                else:
+                    out_rows.append(row + nulls)
+                    out_mults.append(multiplicity)
+                pos += 1
+            self.left_index.insert_columns(keys, cols, mults)
+        else:
+            keys = delta.key_column(self.right_key)
+            left = self.left_index.get
+            right_store = self.right_index
+            pos = 0
+            for key, multiplicity in zip(keys, mults):
+                suffix = tuple(cols[i][pos] for i in extra)
+                bucket = left(key)
+                if bucket is not None:
+                    for left_row, m in bucket.items():
+                        out_rows.append(left_row + suffix)
+                        out_mults.append(multiplicity * m)
+                before = right_store.key_weight(key)
+                right_store.insert_payload(key, suffix, multiplicity)
+                after = before + multiplicity
+                if bucket is not None:
+                    if before == 0 and after > 0:
+                        for left_row, m in bucket.items():
+                            out_rows.append(left_row + nulls)
+                            out_mults.append(-m)
+                    elif before > 0 and after == 0:
+                        for left_row, m in bucket.items():
+                            out_rows.append(left_row + nulls)
+                            out_mults.append(m)
+                pos += 1
+        self.emit(
+            ColumnDelta.from_rows(out_rows, out_mults, len(self.schema.names))
+        )
+
     def state_delta(self) -> Delta:
         out = Delta()
         for key, bucket in self.left_index.items():
@@ -337,14 +616,22 @@ class LeftOuterJoinNode(Node):
         return out
 
     def memory_size(self) -> int:
+        if self.columnar_memories:
+            # the dissolved count map's entries are the store's distinct keys
+            return (
+                self.left_index.size()
+                + self.right_index.size()
+                + len(self.right_index.index)
+            )
         return (
             sum(len(b) for b in self.left_index.values())
             + sum(len(b) for b in self.right_index.values())
             + len(self.right_counts)
         )
 
-
     def memory_cells(self) -> int:
+        if self.columnar_memories:
+            return self.left_index.cells() + self.right_index.cells()
         return sum(
             len(row)
             for index in (self.left_index, self.right_index)

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..deltas import ColumnDelta, Delta, as_row_delta, bag_insert, merged
+from ..deltas import (
+    ColumnDelta,
+    Delta,
+    as_row_delta,
+    interned_bag_insert,
+    merged,
+)
 from .base import Node
 
 ChangeCallback = Callable[[Delta], None]
@@ -20,9 +26,12 @@ class ProductionNode(Node):
     not at all when the batch nets to nothing.
     """
 
-    def __init__(self, schema):
+    def __init__(self, schema, interner=None):
         super().__init__(schema)
         self.results: dict[tuple, int] = {}
+        #: result-bag keys are interned through the engine row pool when
+        #: given (see :class:`~repro.rete.deltas.RowInterner`)
+        self.interner = interner
         self._callbacks: list[ChangeCallback] = []
         self._batch_depth = 0
         self._pending: list[Delta] = []
@@ -50,9 +59,10 @@ class ProductionNode(Node):
         # transient delete/insert pair can never trip the negative check
         delta = as_row_delta(delta)
         real = Delta()
+        interner = self.interner
         for row, multiplicity in delta.items():
             before = self.results.get(row, 0)
-            after = bag_insert(self.results, row, multiplicity)
+            after = interned_bag_insert(self.results, row, multiplicity, interner)
             if after < 0:
                 raise AssertionError(
                     f"view multiplicity went negative for row {row!r}"
@@ -65,6 +75,10 @@ class ProductionNode(Node):
             else:
                 for callback in self._callbacks:
                     callback(real)
+
+    def dispose(self) -> None:
+        if self.interner is not None:
+            self.interner.release_all(self.results)
 
     def multiset(self) -> dict[tuple, int]:
         return dict(self.results)

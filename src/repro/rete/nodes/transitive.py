@@ -28,7 +28,7 @@ ablation D2.
 from __future__ import annotations
 
 from ...graph.values import PathValue
-from ..deltas import ColumnDelta, Delta, as_row_delta, index_insert
+from ..deltas import ColumnDelta, Delta, as_row_delta, interned_index_insert
 from .base import LEFT, Node
 
 EDGES = 1
@@ -45,6 +45,7 @@ class TransitiveClosureNode(Node):
         min_hops: int,
         max_hops: int | None,
         emit_path: bool,
+        interner=None,
     ):
         super().__init__(schema)
         self.source_index = source_index
@@ -52,6 +53,8 @@ class TransitiveClosureNode(Node):
         self.min_hops = min_hops
         self.max_hops = max_hops
         self.emit_path = emit_path
+        #: left rows are interned through the engine row pool when given
+        self.interner = interner
         # left memory: source vertex -> {left row: multiplicity}
         self.left_index: dict[int, dict[tuple, int]] = {}
         # trail store, triple-indexed
@@ -136,7 +139,9 @@ class TransitiveClosureNode(Node):
                 for trail in self.trails_by_start.get(source, ()):
                     if len(trail) >= self.min_hops:
                         out.add(self._out_row(row, trail), multiplicity)
-                index_insert(self.left_index, source, row, multiplicity)
+                interned_index_insert(
+                    self.left_index, source, row, multiplicity, self.interner
+                )
         else:
             for row, multiplicity in delta.items():
                 s, e, t = row[0], row[1], row[2]
@@ -170,6 +175,12 @@ class TransitiveClosureNode(Node):
             self._discard(trail)
             self._emit_trail_delta(out, trail, -1)
         self.trails_by_edge.pop(e, None)
+
+    def dispose(self) -> None:
+        if self.interner is not None:
+            self.interner.release_all(
+                row for bucket in self.left_index.values() for row in bucket
+            )
 
     def state_delta(self) -> Delta:
         out = Delta()
@@ -215,13 +226,21 @@ class ReachabilityNode(Node):
     ``min_hops <= 1`` and no ``max_hops`` cap.
     """
 
-    def __init__(self, schema, source_index: int, direction: str, min_hops: int):
+    def __init__(
+        self,
+        schema,
+        source_index: int,
+        direction: str,
+        min_hops: int,
+        interner=None,
+    ):
         if min_hops > 1:
             raise ValueError("reachability mode supports min_hops <= 1 only")
         super().__init__(schema)
         self.source_index = source_index
         self.direction = direction
         self.min_hops = min_hops
+        self.interner = interner
         self.left_index: dict[int, dict[tuple, int]] = {}
         self.arcs: dict[int, dict[int, set[int]]] = {}  # u -> v -> {edge ids}
         self.reachable: dict[int, set[int]] = {}  # source -> targets
@@ -285,7 +304,9 @@ class ReachabilityNode(Node):
                     self.reachable[source] = self._bfs(source)
                 for target in self.reachable[source]:
                     out.add(row + (target,), multiplicity)
-                index_insert(self.left_index, source, row, multiplicity)
+                interned_index_insert(
+                    self.left_index, source, row, multiplicity, self.interner
+                )
                 if source not in self.left_index:
                     del self.reachable[source]
         else:
@@ -310,6 +331,12 @@ class ReachabilityNode(Node):
                     self._emit_target_diff(out, source, before, after)
                     self.reachable[source] = after
         self.emit(out)
+
+    def dispose(self) -> None:
+        if self.interner is not None:
+            self.interner.release_all(
+                row for bucket in self.left_index.values() for row in bucket
+            )
 
     def state_delta(self) -> Delta:
         out = Delta()

@@ -14,7 +14,7 @@ from typing import Any
 
 from ...algebra.expressions import CompiledExpr, EvalContext
 from ...graph.values import ListValue, freeze_value
-from ..deltas import ColumnDelta, Delta, as_row_delta, bag_insert
+from ..deltas import ColumnDelta, Delta, as_row_delta, interned_bag_insert
 from .base import Node
 
 #: atom types whose Python hashing/equality agree with Cypher ``=`` closely
@@ -305,32 +305,43 @@ class BindingIndexedSelectionNode(Node):
             facade.emit(out)
 
     def _apply_columnar(self, delta: ColumnDelta) -> None:
-        rows = delta.rows()
         mults = delta.mults
-        keys = (
-            delta.key_column(self._disc_cols)
-            if self._disc_cols is not None
-            else None
-        )
         routed: dict[int, tuple[SelectionPartitionNode, list, list]] = {}
         get_slot = routed.get
-        for position, row in enumerate(rows):
-            candidates = (
-                self._key_candidates(keys[position])
-                if keys is not None
-                else self._candidates(row)
-            )
-            if not candidates:
-                continue
-            multiplicity = mults[position]
-            for facade in candidates:
-                if facade.passes(row):
-                    slot = get_slot(id(facade))
-                    if slot is None:
-                        slot = (facade, [], [])
-                        routed[id(facade)] = slot
-                    slot[1].append(row)
-                    slot[2].append(multiplicity)
+        if self._disc_cols is not None:
+            # direct-column path: route on the prebuilt composite key
+            # column and materialise a row tuple only at the (typically
+            # few) positions whose key has candidate partitions
+            keys = delta.key_column(self._disc_cols)
+            columns = delta.columns
+            for position, key in enumerate(keys):
+                candidates = self._key_candidates(key)
+                if not candidates:
+                    continue
+                row = tuple(column[position] for column in columns)
+                multiplicity = mults[position]
+                for facade in candidates:
+                    if facade.passes(row):
+                        slot = get_slot(id(facade))
+                        if slot is None:
+                            slot = (facade, [], [])
+                            routed[id(facade)] = slot
+                        slot[1].append(row)
+                        slot[2].append(multiplicity)
+        else:
+            for position, row in enumerate(delta.rows()):
+                candidates = self._candidates(row)
+                if not candidates:
+                    continue
+                multiplicity = mults[position]
+                for facade in candidates:
+                    if facade.passes(row):
+                        slot = get_slot(id(facade))
+                        if slot is None:
+                            slot = (facade, [], [])
+                            routed[id(facade)] = slot
+                        slot[1].append(row)
+                        slot[2].append(multiplicity)
         width = len(self.schema.names)
         for facade, out_rows, out_mults in routed.values():
             facade.emit(ColumnDelta.from_rows(out_rows, out_mults, width))
@@ -368,18 +379,23 @@ class DedupNode(Node):
     """δ — collapses multiplicities to one; emits only 0↔positive edges.
 
     Transition-sensitive: defined on net per-row changes, so columnar
-    batches consolidate at entry (boundary-materialisation rule)."""
+    batches consolidate at entry (boundary-materialisation rule).  Count
+    keys are interned through the engine's row pool when one is given, so
+    a row held by several transition-sensitive memories is one tuple
+    object engine-wide."""
 
-    def __init__(self, schema):
+    def __init__(self, schema, interner=None):
         super().__init__(schema)
         self.counts: dict[tuple, int] = {}
+        self.interner = interner
 
     def apply(self, delta: "Delta | ColumnDelta", side: int) -> None:
         delta = as_row_delta(delta)
         out = Delta()
+        interner = self.interner
         for row, multiplicity in delta.items():
             before = self.counts.get(row, 0)
-            after = bag_insert(self.counts, row, multiplicity)
+            after = interned_bag_insert(self.counts, row, multiplicity, interner)
             if before == 0 and after > 0:
                 out.add(row, 1)
             elif before > 0 and after == 0:
@@ -387,6 +403,10 @@ class DedupNode(Node):
             elif after < 0:
                 raise AssertionError(f"negative multiplicity for {row}")
         self.emit(out)
+
+    def dispose(self) -> None:
+        if self.interner is not None:
+            self.interner.release_all(self.counts)
 
     def state_delta(self) -> Delta:
         out = Delta()

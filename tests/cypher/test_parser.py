@@ -77,9 +77,21 @@ class TestClauses:
         with pytest.raises(UnsupportedFeatureError):
             parse("RETURN 1 AS x UNION RETURN 2 AS x UNION ALL RETURN 3 AS x")
 
-    def test_return_star_rejected(self):
-        with pytest.raises(UnsupportedFeatureError):
-            parse("MATCH (n) RETURN *")
+    def test_return_star(self):
+        body = parse("MATCH (n) RETURN *").return_clause.body
+        assert body.star and body.items == ()
+
+    def test_return_star_with_explicit_items(self):
+        body = parse("MATCH (n) RETURN *, n.x AS x").return_clause.body
+        assert body.star and len(body.items) == 1
+
+    def test_with_star(self):
+        q = parse("MATCH (n) WITH * RETURN n")
+        assert q.clauses[1].body.star
+
+    def test_star_after_items_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n) RETURN n, *")
 
     def test_missing_return_rejected(self):
         with pytest.raises(CypherSyntaxError):

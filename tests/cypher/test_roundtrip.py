@@ -1,0 +1,157 @@
+"""Parser ↔ unparser round-trip over query *strings*.
+
+The contract under test is ``parse(unparse(parse(q))) == parse(q)``: a
+query that parses must unparse to text that reparses to the identical
+AST.  Complements :mod:`tests.cypher.test_roundtrip_property` (which
+builds random ASTs directly): here the starting point is always a query
+string — a curated corpus spanning the supported surface plus a seeded
+random generator composing MATCH patterns, predicates and projections
+the way users write them.
+"""
+
+import random
+
+import pytest
+
+from repro.cypher import parse, unparse
+
+#: one query per supported construct family, including the combinations
+#: the unparser has to parenthesise or order carefully
+CORPUS = [
+    # projections
+    "MATCH (n) RETURN *",
+    "MATCH (a)-[k:KNOWS]->(b) RETURN *, a.name AS name",
+    "MATCH (n) WITH * RETURN n",
+    "MATCH (n) WITH DISTINCT * RETURN n",
+    "MATCH (n) RETURN DISTINCT n.x AS x ORDER BY x DESC SKIP 2 LIMIT 3",
+    "MATCH (n) WITH n.x AS x WHERE x > 0 RETURN x ORDER BY x",
+    # patterns
+    "MATCH (a:Post {lang: 'en', score: 3})-[e:REPLY|LIKES]->(b:Comm) RETURN a, e, b",
+    "MATCH (a)<-[:REPLY*1..3]-(b), (b)-[:KNOWS]-(c) RETURN a, c",
+    "MATCH p = (a)-[:REPLY*]->(b) RETURN p",
+    "OPTIONAL MATCH (a:Person)-[:KNOWS]->(b) RETURN a, b",
+    "MATCH (a) OPTIONAL MATCH (a)-[:LIKES]->(p) WHERE p.lang = 'en' RETURN a, p",
+    # expressions
+    "MATCH (n) WHERE n.name STARTS WITH 'a' OR n.name ENDS WITH 'z' RETURN n",
+    "MATCH (n) WHERE n.name CONTAINS 'mid' XOR n:Post RETURN n",
+    "MATCH (n) WHERE NOT (n.x IS NULL) AND n.y IN [1, 2, 3] RETURN n",
+    "MATCH (n) RETURN CASE WHEN n.x > 1 THEN 'big' WHEN n.x = 1 THEN 'one' ELSE 'small' END AS size",
+    "MATCH (n) RETURN {k: n.x, nested: {l: [1, n.y]}} AS m",
+    "MATCH (n) RETURN n.list[0] AS head, n.list[1..3] AS mid",
+    "MATCH (n) RETURN (n.x + 1) * -n.y % 2 AS v",
+    "MATCH (n) WHERE 1 < n.x <= 5 RETURN n",
+    "RETURN $param AS p, coalesce($other, 0) AS q",
+    # aggregates
+    "MATCH (n) RETURN n.lang AS lang, count(*) AS c, collect(DISTINCT n.x) AS xs",
+    "MATCH (n) WITH n.lang AS lang, sum(n.score) AS total RETURN lang, total",
+    # multi-clause shapes
+    "UNWIND [1, 2, 3] AS v WITH v WHERE v > 1 RETURN v * 2 AS doubled",
+    "MATCH (a) WITH a.x AS x MATCH (b) WHERE b.y = x RETURN b",
+    "RETURN 1 AS x UNION RETURN 2 AS x",
+    "MATCH (a:X) RETURN a.v AS v UNION ALL MATCH (b:Y) RETURN b.v AS v",
+    # updating queries
+    "CREATE (:Post {lang: 'en'})-[:REPLY]->(:Comm)",
+    "MATCH (n:Post) SET n.score = n.score + 1, n:Pinned",
+    "MATCH (n:Post) REMOVE n.score, n:Pinned",
+    "MATCH (n) DETACH DELETE n",
+    "MERGE (n:Post {lang: 'en'}) RETURN n",
+    "MATCH (a), (b) CREATE (a)-[:KNOWS]->(b)",
+]
+
+
+@pytest.mark.parametrize("query", CORPUS)
+def test_corpus_roundtrip(query):
+    first = parse(query)
+    rendered = unparse(first)
+    assert parse(rendered) == first, (
+        f"unparsed form {rendered!r} changed the AST"
+    )
+
+
+LABELS = ("Post", "Comm", "Person")
+TYPES = ("REPLY", "KNOWS", "LIKES")
+KEYS = ("lang", "score", "name")
+
+
+def _random_pattern(rng: random.Random, variables: list[str]) -> str:
+    """One pattern part: nodes and relationships with random decorations."""
+
+    def node() -> str:
+        parts = ""
+        if rng.random() < 0.8:
+            name = f"n{len(variables)}"
+            variables.append(name)
+            parts = name
+        if rng.random() < 0.6:
+            parts += ":" + rng.choice(LABELS)
+        if rng.random() < 0.25:
+            parts += f" {{{rng.choice(KEYS)}: {rng.randrange(5)}}}"
+        return f"({parts})"
+
+    text = node()
+    for _ in range(rng.randrange(3)):
+        rel = ""
+        if rng.random() < 0.4:
+            name = f"e{len(variables)}"
+            variables.append(name)
+            rel = name
+        if rng.random() < 0.7:
+            rel += ":" + rng.choice(TYPES)
+        if rng.random() < 0.2:
+            hops = rng.choice(("*", "*1..2", "*2..3"))
+            rel += hops
+        arrow = rng.choice(("-[{}]->", "<-[{}]-", "-[{}]-"))
+        text += arrow.format(rel) + node()
+    return text
+
+
+def _random_query(rng: random.Random) -> str:
+    variables: list[str] = []
+    patterns = [_random_pattern(rng, variables)]
+    while rng.random() < 0.2:
+        patterns.append(_random_pattern(rng, variables))
+    text = "MATCH " + ", ".join(patterns)
+    if variables and rng.random() < 0.5:
+        subject = rng.choice(variables)
+        predicate = rng.choice(
+            (
+                f"{subject}.{rng.choice(KEYS)} > {rng.randrange(10)}",
+                f"{subject}.{rng.choice(KEYS)} IS NOT NULL",
+                f"NOT {subject}.{rng.choice(KEYS)} IN [1, 2]",
+                f"{subject}.{rng.choice(KEYS)} = $p",
+            )
+        )
+        text += " WHERE " + predicate
+    if not variables:
+        return text + " RETURN 1 AS one"
+    if rng.random() < 0.3:
+        text += " RETURN *"
+    else:
+        chosen = rng.sample(variables, rng.randint(1, len(variables)))
+        items = ", ".join(
+            v if rng.random() < 0.5 else f"{v}.{rng.choice(KEYS)} AS c{i}"
+            for i, v in enumerate(chosen)
+        )
+        distinct = "DISTINCT " if rng.random() < 0.2 else ""
+        text += f" RETURN {distinct}{items}"
+        if rng.random() < 0.2:
+            text += f" LIMIT {rng.randint(1, 9)}"
+    return text
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_queries_roundtrip(seed):
+    rng = random.Random(2900 + seed)
+    for _ in range(20):
+        query = _random_query(rng)
+        first = parse(query)
+        rendered = unparse(first)
+        assert parse(rendered) == first, (
+            f"{query!r} -> {rendered!r} changed the AST"
+        )
+
+
+def test_unparse_is_idempotent_on_corpus():
+    for query in CORPUS:
+        once = unparse(parse(query))
+        assert unparse(parse(once)) == once

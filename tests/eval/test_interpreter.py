@@ -227,6 +227,56 @@ class TestProjectionsAndAggregates:
         assert len(rows(engine, "MATCH (n) WHERE n:Post RETURN n")) == 2
 
 
+class TestReturnStar:
+    def test_expands_to_pattern_variables_in_order(self, engine):
+        assert rows(
+            engine, "MATCH (a:Person)-[k:KNOWS]->(b:Person) RETURN *"
+        ) == rows(
+            engine, "MATCH (a:Person)-[k:KNOWS]->(b:Person) RETURN a, k, b"
+        )
+
+    def test_anonymous_pattern_variables_stay_hidden(self, engine):
+        assert rows(
+            engine, "MATCH (a:Person)-[:KNOWS]->(:Person) RETURN *"
+        ) == rows(engine, "MATCH (a:Person)-[:KNOWS]->(:Person) RETURN a")
+
+    def test_star_plus_explicit_items(self, engine):
+        assert rows(engine, "MATCH (p:Person) RETURN *, p.name AS n") == rows(
+            engine, "MATCH (p:Person) RETURN p, p.name AS n"
+        )
+
+    def test_with_star_carries_scope(self, engine):
+        assert rows(
+            engine,
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WITH *, p.lang AS l "
+            "RETURN l, c",
+        ) == rows(
+            engine,
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p.lang AS l, c",
+        )
+
+    def test_star_with_aggregate_groups_on_visible_columns(self, engine):
+        assert rows(
+            engine, "MATCH (c:Comm) WITH c.lang AS lang RETURN *, count(*) AS n"
+        ) == [("de", 1), ("en", 2)]
+
+    def test_registered_view_maintains_star_projection(self, graph):
+        engine = QueryEngine(graph)
+        view = engine.register("MATCH (a:Person)-[k:KNOWS]->(b:Person) RETURN *")
+        assert view.rows() == [(6, 6, 7)]
+        extra = graph.add_vertex(labels=["Person"], properties={"name": "cec"})
+        graph.add_edge(7, extra, "KNOWS")
+        assert sorted(view.rows()) == [(6, 6, 7), (7, 7, 8)]
+
+    def test_star_without_scope_rejected(self, engine):
+        from repro.errors import CypherSemanticError
+
+        with pytest.raises(CypherSemanticError):
+            engine.evaluate("RETURN *")
+        with pytest.raises(CypherSemanticError):
+            engine.evaluate("MATCH ()-[]->() RETURN *")
+
+
 class TestOptionalMatchWithUnwind:
     def test_optional_match_padding(self, engine):
         result = rows(

@@ -143,6 +143,22 @@ class TestCliObservability:
         payload = json.loads(output[output.index("{"):])
         assert payload["repro_events_total"]["value"] >= 1
 
+    def test_metrics_table_shows_quantiles(self):
+        status, output = run_shell(
+            self.SETUP + ":metrics table\n", "--metrics"
+        )
+        assert status == 0
+        assert "repro_events_total" in output
+        latency_line = next(
+            line
+            for line in output.splitlines()
+            if line.startswith("repro_event_dispatch_seconds")
+        )
+        assert "p50" in latency_line and "p99" in latency_line
+        status, output = run_shell(self.SETUP + ":metrics bogus\n", "--metrics")
+        assert status == 0
+        assert "usage: :metrics [json|table]" in output
+
     def test_trace_toggle_and_render(self):
         script = (
             ":trace\n"

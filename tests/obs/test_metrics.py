@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.export import render_json, render_prometheus
+from repro.obs.export import render_json, render_prometheus, render_table
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     Counter,
@@ -42,6 +42,24 @@ class TestInstruments:
     def test_histogram_default_bounds_span_sub_ms_to_seconds(self):
         assert LATENCY_BUCKETS[0] < 0.001 < LATENCY_BUCKETS[-1]
         assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+    def test_histogram_quantiles_interpolate_within_buckets(self):
+        histogram = Histogram("h", "help", bounds=(0.1, 1.0, 10.0))
+        for value in (0.5,) * 10:  # all ten land in the (0.1, 1.0] bucket
+            histogram.observe(value)
+        # rank interpolates linearly across the bucket's (0.1, 1.0] span
+        assert histogram.quantile(0.5) == pytest.approx(0.55)
+        assert histogram.quantile(0.99) == pytest.approx(0.991)
+        assert 0.1 < histogram.quantile(0.01) <= 1.0
+
+    def test_histogram_quantile_edge_cases(self):
+        histogram = Histogram("h", "help", bounds=(0.1, 1.0))
+        assert histogram.quantile(0.5) == 0.0  # empty
+        histogram.observe(50.0)  # lands in +Inf
+        assert histogram.quantile(0.99) == 1.0  # clamped to top finite bound
+        low = Histogram("l", "help", bounds=(0.1, 1.0))
+        low.observe(0.05)
+        assert 0.0 < low.quantile(0.5) <= 0.1
 
 
 class TestRegistry:
@@ -132,3 +150,13 @@ class TestExport:
     def test_json_round_trips(self):
         snapshot = self.snapshot()
         assert json.loads(render_json(snapshot)) == snapshot
+
+    def test_table_lists_quantiles_for_histograms(self):
+        text = render_table(self.snapshot())
+        lines = text.splitlines()
+        counter_line = next(l for l in lines if l.startswith("repro_c"))
+        assert "counter" in counter_line and counter_line.endswith("3")
+        histogram_line = next(l for l in lines if l.startswith("repro_h"))
+        assert "count 1" in histogram_line
+        assert "p50" in histogram_line and "p99" in histogram_line
+        assert text.endswith("\n")
